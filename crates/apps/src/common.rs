@@ -1,0 +1,88 @@
+//! Shared helpers for the application kernels: the compute-cost model,
+//! deterministic input generation, and the run-result bundle.
+
+use san_sim::Duration;
+use san_svm::SvmReport;
+
+/// Simulated host compute throughput. A 450 MHz Pentium II sustains on the
+/// order of 100 Mflop/s on these kernels, i.e. ~10 ns per floating-point
+/// operation including loads/stores.
+pub const NS_PER_FLOP: u64 = 10;
+
+/// Cost of `n` floating-point operations on the simulated host CPU.
+#[inline]
+pub fn flops(n: u64) -> Duration {
+    Duration::from_nanos(n * NS_PER_FLOP)
+}
+
+/// Outcome of one application run.
+#[derive(Debug)]
+pub struct AppRun {
+    /// The SVM execution report (breakdowns, wall time, network stats).
+    pub report: SvmReport,
+    /// Output validated against the sequential reference.
+    pub valid: bool,
+}
+
+/// Deterministic pseudo-random `u32` stream (xorshift*), independent of any
+/// crate's RNG so inputs never change under dependency updates.
+#[derive(Debug, Clone)]
+pub struct InputRng(u64);
+
+impl InputRng {
+    /// Seeded stream.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    /// Next raw value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Next `u32`.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_cost_scale() {
+        assert_eq!(flops(100), Duration::from_micros(1));
+        assert_eq!(flops(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn input_rng_deterministic() {
+        let mut a = InputRng::new(7);
+        let mut b = InputRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = InputRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = InputRng::new(3);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

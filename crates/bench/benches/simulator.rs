@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the simulator itself: how fast the reproduction
+//! executes its hot paths and whole experiments. These are wall-clock
+//! benchmarks of the *simulator* (virtual-time results live in the `fig*`
+//! and `table*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use san_fabric::crc::crc32;
+use san_ft::ProtocolConfig;
+use san_microbench::{unidirectional_bandwidth, FwKind};
+use san_nic::ClusterConfig;
+use san_sim::{EventQueue, Time};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(Time::from_nanos(i * 37 % 9999), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 4096];
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("4k_packet", |b| b.iter(|| std::hint::black_box(crc32(&data))));
+    g.finish();
+}
+
+fn bench_bandwidth_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whole_sim");
+    g.sample_size(10);
+    g.bench_function("uni_1mb_noft", |b| {
+        b.iter(|| {
+            let bw = unidirectional_bandwidth(
+                &FwKind::NoFt,
+                4096,
+                256,
+                ClusterConfig::default(),
+                Time::from_secs(10),
+            );
+            assert!(bw.completed);
+            std::hint::black_box(bw.mbps)
+        })
+    });
+    g.bench_function("uni_1mb_ft", |b| {
+        b.iter(|| {
+            let bw = unidirectional_bandwidth(
+                &FwKind::Ft(ProtocolConfig::default()),
+                4096,
+                256,
+                ClusterConfig::default(),
+                Time::from_secs(10),
+            );
+            assert!(bw.completed);
+            std::hint::black_box(bw.mbps)
+        })
+    });
+    g.bench_function("uni_1mb_ft_err_1e2", |b| {
+        b.iter(|| {
+            let bw = unidirectional_bandwidth(
+                &FwKind::Ft(ProtocolConfig::default().with_error_rate(1e-2)),
+                4096,
+                256,
+                ClusterConfig::default(),
+                Time::from_secs(30),
+            );
+            assert!(bw.completed);
+            std::hint::black_box(bw.mbps)
+        })
+    });
+    g.finish();
+}
+
+fn bench_svm_app(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    g.bench_function("water_tiny", |b| {
+        b.iter(|| {
+            let mut cfg = san_apps::WaterConfig::small();
+            cfg.molecules = 64;
+            cfg.steps = 1;
+            let run = san_apps::run_water(cfg);
+            assert!(run.valid);
+        })
+    });
+    g.bench_function("radix_tiny", |b| {
+        b.iter(|| {
+            let mut cfg = san_apps::RadixConfig::small();
+            cfg.keys = 4096;
+            let run = san_apps::run_radix(cfg);
+            assert!(run.valid);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_crc, bench_bandwidth_run, bench_svm_app);
+criterion_main!(benches);

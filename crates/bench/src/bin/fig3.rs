@@ -1,0 +1,37 @@
+//! Figure 3: one-way latency breakdown for a 4-byte message, with and
+//! without the retransmission protocol.
+
+use san_ft::ProtocolConfig;
+use san_microbench::{one_way_latency, FwKind};
+use san_nic::ClusterConfig;
+
+fn main() {
+    let reps = 20;
+    let cfg = ClusterConfig::default();
+    let no_ft = one_way_latency(&FwKind::NoFt, 4, reps, cfg.clone());
+    let ft = one_way_latency(&FwKind::Ft(ProtocolConfig::default()), 4, reps, cfg);
+
+    println!("Figure 3: latency breakdown for 4-byte messages (microseconds)");
+    println!();
+    println!("{:<14} {:>18} {:>20}", "Stage", "No Fault Tolerance", "With Fault Tolerance");
+    let rows = [
+        ("Host Send", no_ft.host_send_us, ft.host_send_us),
+        ("NIC Send", no_ft.nic_send_us, ft.nic_send_us),
+        ("Wire", no_ft.wire_us, ft.wire_us),
+        ("NIC Receive", no_ft.nic_recv_us, ft.nic_recv_us),
+        ("Host Receive", no_ft.host_recv_us, ft.host_recv_us),
+    ];
+    for (name, a, b) in rows {
+        println!("{name:<14} {a:>18.2} {b:>20.2}");
+        san_bench::tsv(&[name.into(), format!("{a:.3}"), format!("{b:.3}")]);
+    }
+    println!("{:<14} {:>18.2} {:>20.2}", "TOTAL", no_ft.total_us(), ft.total_us());
+    println!();
+    println!(
+        "Paper: ~8 us -> ~10 us (+2 us, ~20%); measured: {:.2} -> {:.2} (+{:.2}, {:.0}%)",
+        no_ft.total_us(),
+        ft.total_us(),
+        ft.total_us() - no_ft.total_us(),
+        (ft.total_us() / no_ft.total_us() - 1.0) * 100.0
+    );
+}

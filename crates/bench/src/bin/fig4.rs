@@ -1,0 +1,84 @@
+//! Figure 4: one-way latency for small messages (left) and ping-pong +
+//! unidirectional bandwidth across sizes (right), with and without the
+//! retransmission protocol (r = 1 ms, q = 32 — the best values).
+
+use san_bench::{parse_mode, size_series, tsv};
+use san_ft::ProtocolConfig;
+use san_microbench::{one_way_latency, run_grid, FwKind, GridPoint, GridSpec};
+use san_nic::ClusterConfig;
+use san_sim::Duration;
+
+fn main() {
+    let mode = parse_mode();
+
+    println!("Figure 4 (left): one-way latency for small messages (us)");
+    println!();
+    println!("{:<10} {:>12} {:>12} {:>10}", "Bytes", "No FT", "With FT", "Overhead");
+    for bytes in [4u32, 8, 16, 32, 64] {
+        let no_ft = one_way_latency(&FwKind::NoFt, bytes, 10, ClusterConfig::default());
+        let ft = one_way_latency(
+            &FwKind::Ft(ProtocolConfig::default()),
+            bytes,
+            10,
+            ClusterConfig::default(),
+        );
+        println!(
+            "{bytes:<10} {:>12.2} {:>12.2} {:>10.2}",
+            no_ft.total_us(),
+            ft.total_us(),
+            ft.total_us() - no_ft.total_us()
+        );
+        tsv(&[
+            "latency".into(),
+            bytes.to_string(),
+            format!("{:.3}", no_ft.total_us()),
+            format!("{:.3}", ft.total_us()),
+        ]);
+    }
+
+    println!();
+    println!("Figure 4 (right): bandwidth (MB/s), r=1ms q=32");
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "Bytes", "PP no-FT", "PP FT", "Uni no-FT", "Uni FT"
+    );
+    let sizes = size_series(mode);
+    let mut points = Vec::new();
+    for &bidi in &[true, false] {
+        for timer in [None, Some(Duration::from_millis(1))] {
+            for &bytes in &sizes {
+                points.push(GridPoint {
+                    timer,
+                    queue: 32,
+                    error_rate: 0.0,
+                    bytes,
+                    bidirectional: bidi,
+                });
+            }
+        }
+    }
+    let results = run_grid(points, GridSpec { volume: mode.volume(), ..Default::default() });
+    let k = sizes.len();
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let pp_noft = &results[i].bw;
+        let pp_ft = &results[k + i].bw;
+        let uni_noft = &results[2 * k + i].bw;
+        let uni_ft = &results[3 * k + i].bw;
+        println!(
+            "{bytes:<10} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            pp_noft.mbps, pp_ft.mbps, uni_noft.mbps, uni_ft.mbps
+        );
+        tsv(&[
+            "bandwidth".into(),
+            bytes.to_string(),
+            format!("{:.2}", pp_noft.mbps),
+            format!("{:.2}", pp_ft.mbps),
+            format!("{:.2}", uni_noft.mbps),
+            format!("{:.2}", uni_ft.mbps),
+        ]);
+    }
+    println!();
+    println!("Paper: FT latency overhead <= 2.1us up to 64B; bandwidth overhead < 4% above 4KB;");
+    println!("plateau ~120 MB/s (32-bit PCI bound).");
+}

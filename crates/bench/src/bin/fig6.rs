@@ -1,0 +1,59 @@
+//! Figure 6: effect of the retransmission interval on bandwidth with
+//! injected errors (rates 1e-2, 1e-3, 1e-4; queue size 32).
+
+use san_bench::{parse_mode, size_series, tsv};
+use san_microbench::{run_grid, GridPoint, GridSpec};
+use san_sim::Duration;
+
+fn main() {
+    let mode = parse_mode();
+    let sizes = size_series(mode);
+    let timers: Vec<Duration> = san_ft::ProtocolConfig::timer_sweep();
+    let errors = [1e-2f64, 1e-3, 1e-4];
+
+    for &bidi in &[true, false] {
+        let title = if bidi { "Bidirectional" } else { "Unidirectional" };
+        println!("Figure 6: {title} bandwidth (MB/s) with errors, q=32");
+        println!();
+        print!("{:<10} {:>8}", "Bytes", "err");
+        for t in &timers {
+            print!(" {:>12}", format!("{t}"));
+        }
+        println!();
+        let mut points = Vec::new();
+        for &err in &errors {
+            for t in &timers {
+                for &bytes in &sizes {
+                    points.push(GridPoint {
+                        timer: Some(*t),
+                        queue: 32,
+                        error_rate: err,
+                        bytes,
+                        bidirectional: bidi,
+                    });
+                }
+            }
+        }
+        let results =
+            run_grid(points, GridSpec { volume: mode.volume(), ..Default::default() });
+        let k = sizes.len();
+        for (ei, &err) in errors.iter().enumerate() {
+            for (i, &bytes) in sizes.iter().enumerate() {
+                print!("{bytes:<10} {:>8}", format!("{err:.0e}"));
+                let mut fields = vec![title.to_string(), format!("{err:.0e}"), bytes.to_string()];
+                for (ti, _) in timers.iter().enumerate() {
+                    let bw = &results[(ei * timers.len() + ti) * k + i].bw;
+                    let cell =
+                        format!("{:.1}{}", bw.mbps, if bw.completed { "" } else { "*" });
+                    print!(" {cell:>12}");
+                    fields.push(cell);
+                }
+                println!();
+                tsv(&fields);
+            }
+            println!();
+        }
+    }
+    println!("Paper: 1ms is robust (within 10% of error-free at 1e-4 for >=4KB messages);");
+    println!("100us drops >18%, 1s drops ~72% once errors appear (slow recovery).");
+}

@@ -1,0 +1,43 @@
+//! Table 2: SPLASH application problem sizes — the paper's sizes and the
+//! scaled sizes this reproduction's quick mode uses.
+
+use san_apps::{FftConfig, RadixConfig, WaterConfig};
+
+fn main() {
+    println!("Table 2: SPLASH application problem sizes");
+    println!();
+    println!(
+        "{:<16} {:<26} {:<20} {}",
+        "Application", "Paper size", "Other parameter", "Quick size (this repo)"
+    );
+    let fp = FftConfig::paper();
+    let fq = FftConfig::small();
+    println!(
+        "{:<16} {:<26} {:<20} {} points, {} iters",
+        "FFT",
+        format!("{} points (2^{})", fp.n(), fp.points_log2),
+        format!("{} iterations", fp.iterations),
+        fq.n(),
+        fq.iterations
+    );
+    let rp = RadixConfig::paper();
+    let rq = RadixConfig::small();
+    println!(
+        "{:<16} {:<26} {:<20} {} keys, {} iters",
+        "RadixLocal",
+        format!("{} keys", rp.keys),
+        format!("{} iterations", rp.iterations),
+        rq.keys,
+        rq.iterations
+    );
+    let wp = WaterConfig::paper();
+    let wq = WaterConfig::small();
+    println!(
+        "{:<16} {:<26} {:<20} {} molecules, {} steps",
+        "WaterNSquared",
+        format!("{} molecules", wp.molecules),
+        format!("{} steps", wp.steps),
+        wq.molecules,
+        wq.steps
+    );
+}

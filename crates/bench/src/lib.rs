@@ -1,0 +1,73 @@
+//! # san-bench — regeneration harness for the paper's tables and figures
+//!
+//! One binary per experiment (run with
+//! `cargo run -p san-bench --release --bin <id>`):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 — the parameter space actually swept |
+//! | `table2` | Table 2 — application problem sizes |
+//! | `fig3`   | Figure 3 — 4-byte latency breakdown, FT vs no-FT |
+//! | `fig4`   | Figure 4 — small-message latency + bandwidth curves |
+//! | `fig5`   | Figure 5 — retransmission-interval sweep, no errors |
+//! | `fig6`   | Figure 6 — interval sweep with injected errors |
+//! | `fig7`   | Figure 7 — send-queue-size sweep, no errors |
+//! | `fig8`   | Figure 8 — queue-size sweep with injected errors |
+//! | `fig9`   | Figure 9 — application execution-time breakdowns |
+//! | `table3` | Table 3 — on-demand mapping probes and time vs hops |
+//! | `ablate` | design-choice ablations (DESIGN.md §5) |
+//!
+//! Every binary accepts `--quick` (reduced volume; the default) or `--full`
+//! (paper-scale volumes — minutes of CPU). Output is aligned text plus
+//! machine-readable TSV lines prefixed with `#tsv`.
+
+use san_sim::Duration;
+
+/// Parse the common CLI flags.
+pub fn parse_mode() -> RunMode {
+    let full = std::env::args().any(|a| a == "--full");
+    if full {
+        RunMode::Full
+    } else {
+        RunMode::Quick
+    }
+}
+
+/// Volume selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Reduced volumes: seconds of wall clock.
+    Quick,
+    /// Paper-scale volumes: minutes.
+    Full,
+}
+
+impl RunMode {
+    /// Per-measurement payload volume.
+    pub fn volume(self) -> u64 {
+        match self {
+            RunMode::Quick => 2 << 20,
+            RunMode::Full => 32 << 20,
+        }
+    }
+}
+
+/// The Figure 4/5/6/7/8 message-size series.
+pub fn size_series(mode: RunMode) -> Vec<u32> {
+    match mode {
+        RunMode::Quick => vec![4, 64, 1024, 4096, 16384, 65536, 262144],
+        RunMode::Full => {
+            vec![4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20]
+        }
+    }
+}
+
+/// Pretty-print a duration in µs with 2 decimals.
+pub fn us(d: Duration) -> String {
+    format!("{:.2}", d.as_micros_f64())
+}
+
+/// Emit one TSV record (machine-readable mirror of the human tables).
+pub fn tsv(fields: &[String]) {
+    println!("#tsv\t{}", fields.join("\t"));
+}

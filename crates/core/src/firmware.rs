@@ -1,0 +1,597 @@
+//! The reliable control program (§4.1) — the paper's retransmission scheme
+//! as a `san_nic::Firmware`.
+//!
+//! Send path: every data packet gets a per-destination sequence number and
+//! the current generation; after the network DMA reads it, the buffer moves
+//! to that destination's retransmission queue instead of the free list.
+//! A *single* periodic timer scans all queues; a queue whose oldest packet
+//! has been unacknowledged for longer than the timeout is retransmitted
+//! whole, in order (go-back-N), straight from NIC SRAM — no host copies,
+//! no re-DMA (the paper's key difference from host-level schemes, §4.1.1).
+//!
+//! Receive path: in-order packets are deposited and advance the cumulative
+//! ACK; gaps are dropped with no buffering and no NACK; duplicates are
+//! dropped but re-ACKed. ACKs piggy-back on reverse data when possible and
+//! are sent explicitly when the packet requests one — the request frequency
+//! being the sender-based feedback of §4.1.2.
+//!
+//! Error injection: the paper's mechanism (§5.1.3) — every Nth data packet
+//! is placed directly into the retransmission queue *without* touching the
+//! wire, so the receiver misses it and drops all successors until the timer
+//! recovers.
+
+use san_fabric::{NodeId, Packet, PacketFlags, PacketKind, Route};
+use san_nic::{BufId, Firmware, NicCore, NicCtx, SendDesc};
+use san_sim::Time;
+
+use crate::config::{MapperConfig, ProtocolConfig};
+use crate::mapper::{MapOutcome, Mapper};
+use crate::proto::{ReceiverState, RxVerdict, SenderState};
+
+/// Timer token: the retransmission scan.
+pub const TOKEN_RETX: u64 = 0;
+/// Timer tokens in `[TOKEN_MAPPER_BASE, TOKEN_PKT_BASE)` belong to the mapper.
+pub const TOKEN_MAPPER_BASE: u64 = 1 << 32;
+/// Timer tokens at or above this are per-packet expiries (the AM-II
+/// ablation): `TOKEN_PKT_BASE | dst << 32 | seq`.
+pub const TOKEN_PKT_BASE: u64 = 1 << 48;
+
+/// The reliable firmware (retransmission + optional on-demand mapping).
+pub struct ReliableFirmware {
+    cfg: ProtocolConfig,
+    senders: Vec<SenderState>,
+    receivers: Vec<ReceiverState>,
+    /// Out-of-order packets held per source (selective-retransmission
+    /// ablation only; the paper's design keeps these empty).
+    rx_buffers: Vec<std::collections::BTreeMap<u32, Packet>>,
+    mapper: Mapper,
+    /// Data packets processed by the injector so far (drop-interval clock).
+    tx_counter: u64,
+    n_nodes: usize,
+}
+
+/// Bound on buffered out-of-order packets per source in the selective
+/// ablation.
+const RX_BUFFER_WINDOW: u32 = 64;
+
+impl ReliableFirmware {
+    /// Build the firmware for a cluster of `n_nodes` hosts.
+    pub fn new(cfg: ProtocolConfig, mapper_cfg: MapperConfig, n_nodes: usize) -> Self {
+        Self {
+            cfg,
+            senders: (0..n_nodes).map(|_| SenderState::default()).collect(),
+            receivers: (0..n_nodes).map(|_| ReceiverState::default()).collect(),
+            rx_buffers: (0..n_nodes).map(|_| Default::default()).collect(),
+            mapper: Mapper::new(mapper_cfg),
+            tx_counter: 0,
+            n_nodes,
+        }
+    }
+
+    /// Protocol configuration in use.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// Mapper statistics (probe counts, mapping times).
+    pub fn mapper_stats(&self) -> &crate::mapper::MapStats {
+        self.mapper.stats()
+    }
+
+    /// Send-side state toward `dst` (for tests and reports).
+    pub fn sender(&self, dst: NodeId) -> &SenderState {
+        &self.senders[dst.idx()]
+    }
+
+    /// Receive-side state from `src` (for tests and reports).
+    pub fn receiver(&self, src: NodeId) -> &ReceiverState {
+        &self.receivers[src.idx()]
+    }
+
+    /// Pre-position the sequence space toward `dst` (testing hook: exercise
+    /// wrap-around without sending 2³² packets). The receiving side must be
+    /// positioned identically with [`ReliableFirmware::force_receiver_seq`].
+    pub fn force_sender_seq(&mut self, dst: NodeId, next_seq: u32) {
+        self.senders[dst.idx()].next_seq = next_seq;
+    }
+
+    /// Pre-position the expected sequence number from `src` (testing hook,
+    /// pairs with [`ReliableFirmware::force_sender_seq`]).
+    pub fn force_receiver_seq(&mut self, src: NodeId, expected: u32) {
+        self.receivers[src.idx()].expected = expected;
+    }
+
+    fn arm_timer(&self, core: &NicCore, ctx: &mut NicCtx) {
+        let node = core.node;
+        // Self-pacing: the timer handler runs *on* the LANai, so the next
+        // firing cannot happen before the CPU has finished everything the
+        // current one queued. Without this, a 10 µs timer on a saturated
+        // NIC stacks retransmission storms faster than they can execute
+        // (and the event queue grows without bound).
+        let at = core.cpu.free_at().max(ctx.now()) + self.cfg.retx_timeout;
+        ctx.sim.schedule(
+            at,
+            san_nic::ClusterEvent::Nic(node, san_nic::NicEvent::Timer { token: TOKEN_RETX }),
+        );
+    }
+
+    /// Process a cumulative acknowledgment from `peer`.
+    fn process_ack(&mut self, core: &mut NicCore, ctx: &mut NicCtx, peer: NodeId, ack_seq: u32, ack_gen: u16) {
+        core.stats.acks_rx.hit();
+        core.cpu.acquire(ctx.now(), core.timing.ack_proc);
+        let s = &mut self.senders[peer.idx()];
+        let freed = {
+            let pool = &core.pool;
+            s.take_acked(ack_seq, ack_gen, |b| {
+                let p = pool.pkt(b);
+                (p.seq, p.generation)
+            })
+        };
+        if !freed.is_empty() {
+            s.last_progress = ctx.now();
+            for b in freed {
+                core.pool.release(b);
+            }
+            core.request_pump();
+        }
+    }
+
+    /// Send an explicit cumulative ACK to `to`, routed along the reverse of
+    /// the path the acknowledged packet just arrived on. That path is
+    /// provably fresh (the packet crossed it nanoseconds ago, and links are
+    /// full duplex), whereas the receiver's own route table may be stale —
+    /// the receiver has no way to notice a dead route it only uses for ACKs,
+    /// because ACKs are themselves unacknowledged.
+    fn send_explicit_ack(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        to: NodeId,
+        reverse: Route,
+        earliest: Time,
+    ) {
+        let r = self.receivers[to.idx()].clone();
+        let route =
+            if reverse.is_empty() { core.routes.get(to).unwrap_or(reverse) } else { reverse };
+        let mut ack = Packet::new(core.node, to, PacketKind::Ack);
+        ack.route = route;
+        ack.ack_seq = r.cumulative_ack();
+        ack.ack_gen = r.generation;
+        ack.flags.set(PacketFlags::PIGGY_ACK);
+        let t = core.cpu.acquire(ctx.now(), core.timing.ack_build).max(earliest);
+        core.stats.acks_tx.hit();
+        core.transmit_unpooled_from(ctx, ack, t);
+        self.receivers[to.idx()].note_ack_sent();
+    }
+
+    /// Arm a per-packet expiry (AM-II ablation).
+    fn arm_pkt_timer(&self, core: &NicCore, ctx: &mut NicCtx, dst: NodeId, seq: u32) {
+        if !self.cfg.per_packet_timers {
+            return;
+        }
+        let token = TOKEN_PKT_BASE | ((dst.0 as u64) << 32) | seq as u64;
+        let node = core.node;
+        // Same self-pacing rationale as `arm_timer`.
+        let at = core.cpu.free_at().max(ctx.now()) + self.cfg.retx_timeout;
+        ctx.sim.schedule(
+            at,
+            san_nic::ClusterEvent::Nic(node, san_nic::NicEvent::Timer { token }),
+        );
+    }
+
+    /// Selective-repeat retransmission (ablation): resend every packet that
+    /// has individually aged past the timeout — but, unlike go-back-N, not
+    /// the packets transmitted recently. Paired with receiver buffering,
+    /// retransmissions of packets the receiver already holds become cheap
+    /// duplicates instead of useful redeliveries.
+    fn retransmit_aged(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+        let now = ctx.now();
+        let s = &self.senders[dst.idx()];
+        if s.mapping || s.retrans_q.is_empty() {
+            return;
+        }
+        if now < s.retx_busy_until {
+            return;
+        }
+        let aged: Vec<BufId> = s
+            .retrans_q
+            .iter()
+            .copied()
+            .filter(|&b| now.since(core.pool.last_tx(b)) >= self.cfg.retx_timeout)
+            .collect();
+        let n = aged.len();
+        for (i, b) in aged.iter().enumerate() {
+            let t = core.cpu.acquire(now, core.timing.retx_per_pkt);
+            if i + 1 == n {
+                core.pool.pkt_mut(*b).flags.set(PacketFlags::ACK_REQUEST);
+            }
+            core.stats.retransmits.hit();
+            let seq = core.pool.pkt(*b).seq;
+            core.transmit_from(ctx, *b, t);
+            self.arm_pkt_timer(core, ctx, dst, seq);
+        }
+        if n > 0 {
+            self.senders[dst.idx()].retx_busy_until = core.net_tx.free_at();
+        }
+    }
+
+    /// Retransmit every unacknowledged packet to `dst`, in order, from SRAM
+    /// (go-back-N). The last one requests an ACK so recovery completes even
+    /// with no further traffic.
+    fn retransmit_queue(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+        let now = ctx.now();
+        let s = &mut self.senders[dst.idx()];
+        if s.retrans_q.is_empty() || s.mapping {
+            return;
+        }
+        // Don't stack a second copy of the window onto the network DMA while
+        // the previous retransmission round is still draining.
+        if now < s.retx_busy_until {
+            return;
+        }
+        let bufs: Vec<BufId> = s.retrans_q.iter().copied().collect();
+        let n = bufs.len();
+        for (i, b) in bufs.iter().enumerate() {
+            let t = core.cpu.acquire(now, core.timing.retx_per_pkt);
+            if i + 1 == n {
+                core.pool.pkt_mut(*b).flags.set(PacketFlags::ACK_REQUEST);
+            }
+            core.stats.retransmits.hit();
+            let seq = core.pool.pkt(*b).seq;
+            core.transmit_from(ctx, *b, t);
+            self.arm_pkt_timer(core, ctx, dst, seq);
+        }
+        self.senders[dst.idx()].retx_busy_until = core.net_tx.free_at();
+    }
+
+    /// Declare `dst`'s route permanently failed and start on-demand mapping.
+    fn start_remap(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+        core.routes.invalidate(dst);
+        self.senders[dst.idx()].mapping = true;
+        self.mapper.request(core, ctx, dst);
+    }
+
+    /// Mapping finished for `dst`: either re-route + new generation, or give
+    /// up and drop everything queued toward it (§4.2).
+    fn finish_remap(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId, route: Option<Route>) {
+        let s = &mut self.senders[dst.idx()];
+        s.mapping = false;
+        match route {
+            Some(route) => {
+                core.routes.set(dst, route);
+                // New generation: renumber the queued window from zero and
+                // retransmit it over the new route.
+                s.new_generation();
+                let generation = s.generation;
+                let bufs: Vec<BufId> = s.retrans_q.iter().copied().collect();
+                for b in &bufs {
+                    let seq = s.take_seq();
+                    let p = core.pool.pkt_mut(*b);
+                    p.seq = seq;
+                    p.generation = generation;
+                    p.route = route;
+                }
+                s.last_progress = ctx.now();
+                s.retx_busy_until = Time::ZERO;
+                self.retransmit_queue(core, ctx, dst);
+                core.request_pump();
+            }
+            None => {
+                // Unreachable: drop pending packets (paper: "the node is
+                // labeled as unreachable and any pending packets are
+                // dropped").
+                let bufs: Vec<BufId> = s.retrans_q.drain(..).collect();
+                for b in bufs {
+                    core.pool.release(b);
+                }
+                core.stats.unroutable.hit();
+                // Descriptors still pending toward dst are dropped too.
+                core.pending.retain(|d| d.dst != dst);
+                core.request_pump();
+            }
+        }
+    }
+}
+
+impl Firmware for ReliableFirmware {
+    fn name(&self) -> &'static str {
+        "reliable-ft"
+    }
+
+    fn on_start(&mut self, core: &mut NicCore, ctx: &mut NicCtx) {
+        debug_assert_eq!(self.n_nodes, self.senders.len());
+        self.arm_timer(core, ctx);
+    }
+
+    fn on_tx_ready(&mut self, core: &mut NicCore, ctx: &mut NicCtx, buf: BufId) {
+        let now = ctx.now();
+        let fw_done = core.cpu.acquire(now, core.timing.ft_send_overhead);
+        let dst = core.pool.pkt(buf).dst;
+        let free_frac = core.pool.free_fraction();
+        let capacity = core.pool.capacity();
+
+        // Sequence + generation assignment.
+        let s = &mut self.senders[dst.idx()];
+        let seq = s.take_seq();
+        let generation = s.generation;
+        // ACK-request decision (sender-based feedback, §4.1.2). The
+        // interval is capped at half the pool, so a full pool always has a
+        // request outstanding — no forced per-packet requests needed.
+        s.since_ack_req += 1;
+        let interval = self.cfg.feedback.interval(free_frac, capacity);
+        let want_ack = s.since_ack_req >= interval;
+        if want_ack {
+            s.since_ack_req = 0;
+        }
+        if s.retrans_q.is_empty() {
+            // The queue was empty, so "progress" bookkeeping restarts now —
+            // an idle path must not look permanently failed.
+            s.last_progress = now;
+        }
+        s.retrans_q.push_back(buf);
+
+        // Piggy-back any owed ACK for this destination on the data packet.
+        let r = &mut self.receivers[dst.idx()];
+        let (piggy, ack_seq, ack_gen) =
+            if r.ack_owed { (true, r.cumulative_ack(), r.generation) } else { (false, 0, 0) };
+        if piggy {
+            r.note_ack_sent();
+        }
+
+        {
+            let p = core.pool.pkt_mut(buf);
+            p.seq = seq;
+            p.generation = generation;
+            if want_ack {
+                p.flags.set(PacketFlags::ACK_REQUEST);
+            }
+            if piggy {
+                p.flags.set(PacketFlags::PIGGY_ACK);
+                p.ack_seq = ack_seq;
+                p.ack_gen = ack_gen;
+            }
+        }
+
+        // The paper's error injector: suppress every Nth first transmission.
+        self.tx_counter += 1;
+        if let Some(n) = self.cfg.drop_interval {
+            if self.tx_counter.is_multiple_of(n) {
+                core.stats.injected_drops.hit();
+                core.pool.mark_tx(buf, now);
+                self.arm_pkt_timer(core, ctx, dst, seq);
+                return; // the packet sits in the retransmission queue only
+            }
+        }
+        core.stats.packets_tx.hit();
+        core.transmit_from(ctx, buf, fw_done);
+        self.arm_pkt_timer(core, ctx, dst, seq);
+    }
+
+    fn on_tx_injected(&mut self, _core: &mut NicCore, _ctx: &mut NicCtx, _buf: BufId) {
+        // The buffer stays in the retransmission queue until acknowledged.
+    }
+
+    fn on_rx(&mut self, core: &mut NicCore, ctx: &mut NicCtx, pkt: Packet) {
+        let fw_done = core.cpu.acquire(ctx.now(), core.timing.ft_rx_overhead);
+        match pkt.kind {
+            PacketKind::Ack => {
+                self.process_ack(core, ctx, pkt.src, pkt.ack_seq, pkt.ack_gen);
+            }
+            PacketKind::Data | PacketKind::Raw => {
+                if pkt.flags.has(PacketFlags::PIGGY_ACK) {
+                    self.process_ack(core, ctx, pkt.src, pkt.ack_seq, pkt.ack_gen);
+                }
+                let src = pkt.src;
+                let verdict = self.receivers[src.idx()].classify(pkt.seq, pkt.generation);
+                let ack_requested = pkt.flags.has(PacketFlags::ACK_REQUEST);
+                let reverse = pkt.reverse_route;
+                match verdict {
+                    RxVerdict::Accept => {
+                        core.stats.data_accepted.hit();
+                        let generation = pkt.generation;
+                        let deposited = core.deposit_from(ctx, pkt, fw_done);
+                        // Selective ablation: drain any buffered successors
+                        // that are now in order.
+                        if self.cfg.selective_retransmission {
+                            loop {
+                                let expected = self.receivers[src.idx()].expected;
+                                let Some(p) = self.rx_buffers[src.idx()].remove(&expected)
+                                else {
+                                    break;
+                                };
+                                if self.receivers[src.idx()].classify(p.seq, generation)
+                                    == RxVerdict::Accept
+                                {
+                                    core.stats.data_accepted.hit();
+                                    core.deposit_from(ctx, p, fw_done);
+                                }
+                            }
+                        }
+                        // Explicit ACK when requested, or when the group
+                        // threshold is reached with no reverse traffic to
+                        // piggy-back on.
+                        let group_due = self.receivers[src.idx()].accepted_since_ack
+                            >= self.cfg.receiver_ack_every;
+                        if ack_requested || group_due {
+                            // Reliable *reception* (VI's strongest level)
+                            // withholds the ACK until the host memory write
+                            // has completed; reliable *delivery* (the
+                            // paper's level) acknowledges from the NIC.
+                            let earliest = if self.cfg.reliable_reception {
+                                deposited
+                            } else {
+                                Time::ZERO
+                            };
+                            self.send_explicit_ack(core, ctx, src, reverse, earliest);
+                        }
+                    }
+                    RxVerdict::Duplicate => {
+                        core.stats.dup_drops.hit();
+                        // Re-ACK so the sender can free its window.
+                        if ack_requested {
+                            self.send_explicit_ack(core, ctx, src, reverse, Time::ZERO);
+                        }
+                    }
+                    RxVerdict::OutOfOrder => {
+                        if self.cfg.selective_retransmission {
+                            // Buffer within a bounded window instead of
+                            // dropping (the design the paper rejects).
+                            let expected = self.receivers[src.idx()].expected;
+                            if pkt.seq.wrapping_sub(expected) < RX_BUFFER_WINDOW {
+                                self.rx_buffers[src.idx()].insert(pkt.seq, pkt);
+                            } else {
+                                core.stats.ooo_drops.hit();
+                            }
+                        } else {
+                            core.stats.ooo_drops.hit();
+                            // Dropped with no buffering and no NACK (§4.1.1).
+                        }
+                    }
+                    RxVerdict::StaleGeneration => {
+                        core.stats.stale_gen_drops.hit();
+                    }
+                }
+            }
+            PacketKind::ProbeLoop | PacketKind::ProbeReply => {
+                let outcome = self.mapper.on_probe_result(core, ctx, &pkt);
+                self.apply_map_outcomes(core, ctx, outcome);
+            }
+            PacketKind::ProbeHost => {
+                // Handled by the core (identity reply) before we see it.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, core: &mut NicCore, ctx: &mut NicCtx, token: u64) {
+        if token >= TOKEN_PKT_BASE {
+            // Per-packet expiry (AM-II ablation): the check costs CPU even
+            // when the packet has long been acknowledged.
+            core.stats.timer_fires.hit();
+            core.cpu.acquire(ctx.now(), core.timing.timer_scan_base);
+            let dst = NodeId(((token >> 32) & 0xFFFF) as u16);
+            let seq = (token & 0xFFFF_FFFF) as u32;
+            let s = &self.senders[dst.idx()];
+            let unacked = s
+                .retrans_q
+                .iter()
+                .any(|&b| core.pool.pkt(b).seq == seq && core.pool.pkt(b).generation == s.generation);
+            if unacked {
+                let head_age =
+                    ctx.now().since(core.pool.last_tx(*s.retrans_q.front().unwrap()));
+                if head_age >= self.cfg.retx_timeout {
+                    if self.cfg.selective_retransmission {
+                        self.retransmit_aged(core, ctx, dst);
+                    } else {
+                        self.retransmit_queue(core, ctx, dst);
+                    }
+                } else {
+                    // Something ahead of this packet was (re)sent recently;
+                    // the expiry must re-arm or the packet is orphaned.
+                    self.arm_pkt_timer(core, ctx, dst, seq);
+                }
+            }
+            return;
+        }
+        if token >= TOKEN_MAPPER_BASE {
+            let outcome = self.mapper.on_timer(core, ctx, token);
+            self.apply_map_outcomes(core, ctx, outcome);
+            return;
+        }
+        debug_assert_eq!(token, TOKEN_RETX);
+        core.stats.timer_fires.hit();
+        let now = ctx.now();
+        // One scan of all retransmission queues (the paper's single timer).
+        let active: Vec<NodeId> = (0..self.n_nodes)
+            .filter(|&i| !self.senders[i].retrans_q.is_empty())
+            .map(|i| NodeId(i as u16))
+            .collect();
+        let scan_cost = core.timing.timer_scan_base
+            + core.timing.timer_scan_per_queue * active.len() as u64;
+        core.cpu.acquire(now, scan_cost);
+        for dst in active {
+            let s = &self.senders[dst.idx()];
+            let head = *s.retrans_q.front().unwrap();
+            let age = now.since(core.pool.last_tx(head));
+            if age >= self.cfg.retx_timeout {
+                // Permanent-failure check first (§4): no acknowledged
+                // progress for the whole threshold ⇒ remap.
+                if self.cfg.enable_mapping
+                    && !s.mapping
+                    && now.since(s.last_progress) >= self.cfg.perm_fail_threshold
+                {
+                    self.start_remap(core, ctx, dst);
+                } else if self.cfg.per_packet_timers {
+                    // Retransmission duty belongs to the per-packet expiries
+                    // in this ablation; the periodic scan only watches for
+                    // permanent failures.
+                } else if self.cfg.selective_retransmission {
+                    self.retransmit_aged(core, ctx, dst);
+                } else {
+                    self.retransmit_queue(core, ctx, dst);
+                }
+            }
+        }
+        self.arm_timer(core, ctx);
+    }
+
+    fn on_path_reset(&mut self, core: &mut NicCore, ctx: &mut NicCtx, pkt: Packet) {
+        // The fabric dropped a stuck packet of ours (deadlock recovery). The
+        // copy is still in the retransmission queue; retransmit immediately
+        // rather than waiting a full timer period.
+        if pkt.kind == PacketKind::Data || pkt.kind == PacketKind::Raw {
+            let dst = pkt.dst;
+            self.senders[dst.idx()].retx_busy_until = Time::ZERO;
+            self.retransmit_queue(core, ctx, dst);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_no_route(&mut self, core: &mut NicCore, ctx: &mut NicCtx, desc: SendDesc) {
+        if !self.cfg.enable_mapping {
+            core.stats.unroutable.hit();
+            return;
+        }
+        // Queue the descriptor and map on demand (§4.2: "When a NIC needs to
+        // communicate with another NIC ... it starts mapping the network").
+        let dst = desc.dst;
+        self.mapper.hold_descriptor(desc);
+        if !self.senders[dst.idx()].mapping {
+            self.senders[dst.idx()].mapping = true;
+            self.mapper.request(core, ctx, dst);
+        }
+    }
+}
+
+impl ReliableFirmware {
+    fn apply_map_outcomes(&mut self, core: &mut NicCore, ctx: &mut NicCtx, outcomes: Vec<MapOutcome>) {
+        for o in outcomes {
+            match o {
+                MapOutcome::RouteFound { dst, route } => {
+                    // Install side routes discovered along the way for free.
+                    if core.routes.get(dst).is_none() {
+                        core.routes.set(dst, route);
+                    }
+                }
+                MapOutcome::TargetResolved { dst, route } => {
+                    let descs = self.mapper.release_descriptors(dst);
+                    let reachable = route.is_some();
+                    self.finish_remap(core, ctx, dst, route);
+                    if reachable {
+                        for d in descs {
+                            core.pending.push_back(d);
+                        }
+                    } else {
+                        // Unreachable: the held descriptors are dropped with
+                        // the rest of the pending traffic (re-posting them
+                        // would re-trigger mapping forever).
+                        core.stats.unroutable.add(descs.len() as u64);
+                    }
+                    core.request_pump();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! On-demand network mapping (§4.2).
+//!
+//! A NIC that needs a route — because it never had one, or because a path
+//! stopped making progress for the permanent-failure threshold — explores
+//! the network *from itself, only as far as needed*, with two probe kinds:
+//!
+//! * **Host probes** (`ProbeHost`): source-routed out of a switch port; any
+//!   host at the end replies with its identity over the recorded reverse
+//!   route. Finding the target host ends the run immediately.
+//! * **Loop probes** (`ProbeLoop`): routes of the form
+//!   `route_to(S) + [p, q] + reverse_from(S)` that return to the prober iff
+//!   port `p` of `S` hides a switch whose port `q` leads back to `S`. A hit
+//!   simultaneously proves the switch exists and yields a usable
+//!   `reverse_from` for it — the inductive step that keeps the whole
+//!   exploration possible with pure source routing (after Mainwaring et
+//!   al.'s SAN mapping [22]). Because Myrinet switches carry no identity,
+//!   a hit is followed by a **signature scan** — host probes on every port of
+//!   the candidate. The per-port host population is the switch's identity:
+//!   anonymous switches are told apart by who hangs off them, which is
+//!   robust where pure loop-probe identity (`route_to(candidate) +
+//!   reverse_from(K)`) has false positives in cyclic fabrics. The loop
+//!   check remains as the fallback for host-less transit switches.
+//!
+//! Probes of a phase are pipelined and share one timeout window; silence is
+//! informative (an unwired port, a dead link, a missing switch all look the
+//! same: no reply). The discovered partial map is *not* required to be
+//! deadlock-free — recovery is the retransmission protocol's job.
+
+use std::collections::{HashMap, VecDeque};
+
+use san_fabric::route::MAX_HOPS;
+use san_fabric::{NodeId, Packet, PacketKind, Route};
+use san_nic::{ClusterEvent, NicCore, NicCtx, NicEvent, SendDesc};
+use san_sim::{Counter, Summary, Time};
+
+use crate::config::MapperConfig;
+use crate::firmware::TOKEN_MAPPER_BASE;
+
+/// What a finished (or progressing) mapping run tells the firmware.
+#[derive(Debug)]
+pub enum MapOutcome {
+    /// A host (not necessarily the target) was located; its route can be
+    /// cached for free.
+    RouteFound {
+        /// The host.
+        dst: NodeId,
+        /// Route from this NIC to it.
+        route: Route,
+    },
+    /// The mapping run for `dst` ended: `Some(route)` on success, `None`
+    /// when the destination is unreachable.
+    TargetResolved {
+        /// The requested destination.
+        dst: NodeId,
+        /// The discovered route, if any.
+        route: Option<Route>,
+    },
+}
+
+/// Mapping statistics (Table 3's columns).
+#[derive(Debug, Default, Clone)]
+pub struct MapStats {
+    /// Mapping runs started.
+    pub runs: Counter,
+    /// Runs that found the target.
+    pub resolved: Counter,
+    /// Runs that declared the target unreachable.
+    pub unreachable: Counter,
+    /// Host probes sent (all runs).
+    pub host_probes: Counter,
+    /// Switch (loop + identity) probes sent (all runs).
+    pub switch_probes: Counter,
+    /// Host probes in the most recent completed run.
+    pub last_host_probes: u64,
+    /// Switch probes in the most recent completed run.
+    pub last_switch_probes: u64,
+    /// Mapping time of the most recent completed run (ms).
+    pub last_time_ms: f64,
+    /// Distribution of mapping times (ms).
+    pub times_ms: Summary,
+}
+
+#[derive(Debug)]
+struct KnownSwitch {
+    route_to: Route,
+    reverse_from: Route,
+    explored_hosts: bool,
+    candidates: Vec<u8>,
+    /// Which host (if any) answered on each port — the switch's *identity
+    /// signature*. Myrinet switches are anonymous, but the hosts hanging off
+    /// them are not: two sightings with different host signatures are
+    /// provably different switches, which is what defeats the
+    /// reverse-route false positives cyclic fabrics can produce.
+    signature: Vec<Option<NodeId>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProbeTag {
+    HostAt { idx: usize, port: u8 },
+    /// Host probe through a switch candidate's port (signature scan).
+    SigAt { port: u8 },
+    LoopQ { q: u8 },
+    IdentityOf { k: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Hosts { idx: usize },
+    Expand { idx: usize, port: u8 },
+    /// Host-signature scan of a switch candidate found behind
+    /// `switches[parent]` port `port` (its own back-port is `back`).
+    Signature { parent: usize, port: u8, back: u8 },
+    /// Legacy loop-probe identity check, used only when the candidate's
+    /// signature is host-less and therefore non-discriminating.
+    Identity { parent: usize, port: u8, back: u8 },
+}
+
+#[derive(Debug)]
+struct MapRun {
+    target: NodeId,
+    started: Time,
+    host_probes: u64,
+    switch_probes: u64,
+    switches: Vec<KnownSwitch>,
+    phase: Phase,
+    batch: u64,
+    outstanding: HashMap<u64, ProbeTag>,
+    loop_hits: Vec<u8>,
+    identity_hits: Vec<usize>,
+    /// Per-port replies of the phase in progress (Hosts / Signature).
+    sig_scratch: Vec<Option<NodeId>>,
+    my_port: Option<u8>,
+}
+
+/// Exploration budget: more switch sightings than this aborts the run (only
+/// reachable if identity resolution keeps mis-classifying, e.g. under probe
+/// loss in a dense cyclic fabric).
+const MAX_SWITCH_SIGHTINGS: usize = 64;
+
+/// The on-demand mapper of one NIC.
+#[derive(Debug)]
+pub struct Mapper {
+    cfg: MapperConfig,
+    run: Option<MapRun>,
+    waiting: VecDeque<NodeId>,
+    held: HashMap<NodeId, Vec<SendDesc>>,
+    /// Host probes still in flight when their run ended early (target found
+    /// before the batch deadline): a late reply still names a host and its
+    /// route — free knowledge worth caching.
+    late_probes: HashMap<u64, Route>,
+    next_token: u64,
+    next_batch: u64,
+    stats: MapStats,
+}
+
+impl Mapper {
+    /// A mapper with no knowledge.
+    pub fn new(cfg: MapperConfig) -> Self {
+        Self {
+            cfg,
+            run: None,
+            waiting: VecDeque::new(),
+            held: HashMap::new(),
+            late_probes: HashMap::new(),
+            next_token: 1,
+            next_batch: 1,
+            stats: MapStats::default(),
+        }
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &MapStats {
+        &self.stats
+    }
+
+    /// Is a run in progress?
+    pub fn active(&self) -> bool {
+        self.run.is_some()
+    }
+
+    /// Park a descriptor until its destination's mapping resolves.
+    pub fn hold_descriptor(&mut self, desc: SendDesc) {
+        self.held.entry(desc.dst).or_default().push(desc);
+    }
+
+    /// Take back the descriptors parked for `dst`.
+    pub fn release_descriptors(&mut self, dst: NodeId) -> Vec<SendDesc> {
+        self.held.remove(&dst).unwrap_or_default()
+    }
+
+    /// Ask for a route to `dst`. Runs immediately if idle, else queues.
+    pub fn request(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) -> Vec<MapOutcome> {
+        if self.run.is_some() {
+            if !self.waiting.contains(&dst) {
+                self.waiting.push_back(dst);
+            }
+            return Vec::new();
+        }
+        self.begin_run(core, ctx, dst);
+        Vec::new()
+    }
+
+    fn begin_run(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+        self.stats.runs.hit();
+        self.run = Some(MapRun {
+            target: dst,
+            started: ctx.now(),
+            host_probes: 0,
+            switch_probes: 0,
+            switches: vec![KnownSwitch {
+                route_to: Route::empty(),
+                reverse_from: Route::empty(), // filled when we find ourselves
+                explored_hosts: false,
+                candidates: Vec::new(),
+                signature: Vec::new(),
+            }],
+            phase: Phase::Hosts { idx: 0 },
+            batch: 0,
+            outstanding: HashMap::new(),
+            loop_hits: Vec::new(),
+            identity_hits: Vec::new(),
+            sig_scratch: Vec::new(),
+            my_port: None,
+        });
+        self.start_hosts_phase(core, ctx, 0);
+    }
+
+    // -- probe emission -----------------------------------------------------
+
+    fn send_probe(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        kind: PacketKind,
+        route: Route,
+        tag: ProbeTag,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let run = self.run.as_mut().expect("probe outside a run");
+        run.outstanding.insert(token, tag);
+        match kind {
+            PacketKind::ProbeHost => {
+                run.host_probes += 1;
+                self.stats.host_probes.hit();
+            }
+            PacketKind::ProbeLoop => {
+                run.switch_probes += 1;
+                self.stats.switch_probes.hit();
+            }
+            _ => unreachable!("not a probe kind"),
+        }
+        let mut p = Packet::new(core.node, core.node, kind);
+        p.route = route;
+        p.msg_id = token;
+        p.payload_len = 8;
+        let t = core.cpu.acquire(ctx.now(), core.timing.probe_proc);
+        core.stats.probes_tx.hit();
+        core.transmit_unpooled_from(ctx, p, t);
+    }
+
+    fn arm_batch_deadline(&mut self, core: &NicCore, ctx: &mut NicCtx) {
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        self.run.as_mut().unwrap().batch = batch;
+        let node = core.node;
+        ctx.sim.schedule_in(
+            self.cfg.probe_timeout,
+            ClusterEvent::Nic(node, NicEvent::Timer { token: TOKEN_MAPPER_BASE + batch }),
+        );
+    }
+
+    fn start_hosts_phase(&mut self, core: &mut NicCore, ctx: &mut NicCtx, idx: usize) {
+        let (route_to, back) = {
+            let run = self.run.as_ref().unwrap();
+            let sw = &run.switches[idx];
+            let back = if idx == 0 { None } else { Some(sw.reverse_from.hop(0)) };
+            (sw.route_to, back)
+        };
+        {
+            let run = self.run.as_mut().unwrap();
+            run.phase = Phase::Hosts { idx };
+            run.sig_scratch = vec![None; self.cfg.max_ports as usize];
+        }
+        if route_to.len() < MAX_HOPS {
+            for p in 0..self.cfg.max_ports {
+                if back == Some(p) {
+                    continue; // the port we came in through leads backwards
+                }
+                let route = route_to.then(p);
+                self.send_probe(core, ctx, PacketKind::ProbeHost, route, ProbeTag::HostAt {
+                    idx,
+                    port: p,
+                });
+            }
+        }
+        self.arm_batch_deadline(core, ctx);
+    }
+
+    fn start_expand_phase(&mut self, core: &mut NicCore, ctx: &mut NicCtx, idx: usize, port: u8) {
+        let (route_to, reverse) = {
+            let run = self.run.as_ref().unwrap();
+            let sw = &run.switches[idx];
+            (sw.route_to, sw.reverse_from)
+        };
+        {
+            let run = self.run.as_mut().unwrap();
+            run.phase = Phase::Expand { idx, port };
+            run.loop_hits.clear();
+        }
+        // route_to + [port, q] + reverse_from must fit.
+        if route_to.len() + 2 + reverse.len() <= MAX_HOPS {
+            for q in 0..self.cfg.max_ports {
+                let route = route_to.then(port).then(q).join(&reverse);
+                self.send_probe(core, ctx, PacketKind::ProbeLoop, route, ProbeTag::LoopQ { q });
+            }
+        }
+        self.arm_batch_deadline(core, ctx);
+    }
+
+    /// Signature scan of a freshly discovered switch candidate: host-probe
+    /// every port. The result simultaneously (a) identifies the candidate
+    /// against previously seen switches, (b) is the Hosts exploration if it
+    /// turns out to be new, and (c) may find the target outright.
+    fn start_signature_phase(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        parent: usize,
+        port: u8,
+        back: u8,
+    ) {
+        let candidate_route = {
+            let run = self.run.as_ref().unwrap();
+            run.switches[parent].route_to.then(port)
+        };
+        {
+            let run = self.run.as_mut().unwrap();
+            run.phase = Phase::Signature { parent, port, back };
+            run.sig_scratch = vec![None; self.cfg.max_ports as usize];
+        }
+        if candidate_route.len() < MAX_HOPS {
+            for x in 0..self.cfg.max_ports {
+                let route = candidate_route.then(x);
+                self.send_probe(core, ctx, PacketKind::ProbeHost, route, ProbeTag::SigAt {
+                    port: x,
+                });
+            }
+        }
+        self.arm_batch_deadline(core, ctx);
+    }
+
+    fn start_identity_phase(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        parent: usize,
+        port: u8,
+        back: u8,
+    ) {
+        let candidate_route = {
+            let run = self.run.as_ref().unwrap();
+            run.switches[parent].route_to.then(port)
+        };
+        let probes: Vec<(usize, Route)> = {
+            let run = self.run.as_mut().unwrap();
+            run.phase = Phase::Identity { parent, port, back };
+            run.identity_hits.clear();
+            // Loop-probe identity is only meaningful against other
+            // host-less switches — a host-bearing switch would already have
+            // been distinguished by its signature.
+            run.switches
+                .iter()
+                .enumerate()
+                .filter(|(_, k)| k.signature.iter().all(|h| h.is_none()))
+                .filter(|(_, k)| candidate_route.len() + k.reverse_from.len() <= MAX_HOPS)
+                .map(|(ki, k)| (ki, candidate_route.join(&k.reverse_from)))
+                .collect()
+        };
+        for (ki, route) in probes {
+            self.send_probe(core, ctx, PacketKind::ProbeLoop, route, ProbeTag::IdentityOf { k: ki });
+        }
+        self.arm_batch_deadline(core, ctx);
+    }
+
+    // -- results ------------------------------------------------------------
+
+    /// A probe reply or a returned loop probe arrived.
+    pub fn on_probe_result(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        pkt: &Packet,
+    ) -> Vec<MapOutcome> {
+        let Some(run) = self.run.as_mut() else {
+            return self.late_probe_result(core, pkt);
+        };
+        let Some(tag) = run.outstanding.remove(&pkt.msg_id) else {
+            return self.late_probe_result(core, pkt);
+        };
+        match (pkt.kind, tag) {
+            (PacketKind::ProbeReply, ProbeTag::HostAt { idx, port }) => {
+                let who = pkt.src;
+                let route = run.switches[idx].route_to.then(port);
+                if let Some(slot) = run.sig_scratch.get_mut(port as usize) {
+                    *slot = Some(who);
+                }
+                if who == core.node {
+                    // Found ourselves: that port is our own attachment —
+                    // the base case of reverse_from (switch 0 → me).
+                    run.my_port = Some(port);
+                    if idx == 0 {
+                        run.switches[0].reverse_from = Route::from_ports(&[port]);
+                    }
+                    return Vec::new();
+                }
+                let mut outs = vec![MapOutcome::RouteFound { dst: who, route }];
+                if who == run.target {
+                    outs.extend(self.finish_run(core, ctx, Some(route)));
+                }
+                outs
+            }
+            (PacketKind::ProbeReply, ProbeTag::SigAt { port }) => {
+                let who = pkt.src;
+                if let Some(slot) = run.sig_scratch.get_mut(port as usize) {
+                    *slot = Some(who);
+                }
+                if who == core.node {
+                    return Vec::new();
+                }
+                let Phase::Signature { parent, port: cport, .. } = run.phase else {
+                    return Vec::new();
+                };
+                let route = run.switches[parent].route_to.then(cport).then(port);
+                let mut outs = vec![MapOutcome::RouteFound { dst: who, route }];
+                if who == run.target {
+                    outs.extend(self.finish_run(core, ctx, Some(route)));
+                }
+                outs
+            }
+            (PacketKind::ProbeLoop, ProbeTag::LoopQ { q }) => {
+                run.loop_hits.push(q);
+                Vec::new()
+            }
+            (PacketKind::ProbeLoop, ProbeTag::IdentityOf { k }) => {
+                run.identity_hits.push(k);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// A reply to a probe whose run already ended: cache the discovery.
+    fn late_probe_result(&mut self, core: &NicCore, pkt: &Packet) -> Vec<MapOutcome> {
+        if pkt.kind != PacketKind::ProbeReply {
+            return Vec::new();
+        }
+        let Some(route) = self.late_probes.remove(&pkt.msg_id) else { return Vec::new() };
+        if pkt.src == core.node {
+            return Vec::new(); // our own echo — not a route worth caching
+        }
+        vec![MapOutcome::RouteFound { dst: pkt.src, route }]
+    }
+
+    /// A mapper timer fired (batch deadline).
+    pub fn on_timer(&mut self, core: &mut NicCore, ctx: &mut NicCtx, token: u64) -> Vec<MapOutcome> {
+        let Some(run) = self.run.as_ref() else { return Vec::new() };
+        if token != TOKEN_MAPPER_BASE + run.batch {
+            return Vec::new(); // stale deadline from a superseded batch
+        }
+        self.finish_phase(core, ctx)
+    }
+
+    fn finish_phase(&mut self, core: &mut NicCore, ctx: &mut NicCtx) -> Vec<MapOutcome> {
+        let run = self.run.as_mut().unwrap();
+        // Anything still outstanding has timed out; silence is the signal
+        // (the scratch signature keeps `None` for unanswered ports).
+        run.outstanding.clear();
+        match run.phase {
+            Phase::Hosts { idx } => {
+                run.switches[idx].explored_hosts = true;
+                let sig = std::mem::take(&mut run.sig_scratch);
+                let back = if idx == 0 { None } else { Some(run.switches[idx].reverse_from.hop(0)) };
+                run.switches[idx].candidates = candidates_from(&sig, back);
+                run.switches[idx].signature = sig;
+                if idx == 0 && run.switches[0].reverse_from.is_empty() {
+                    // We never found ourselves: our own link must be dead.
+                    // Nothing beyond switch 0 can be explored.
+                    run.switches[0].candidates.clear();
+                }
+                self.advance(core, ctx)
+            }
+            Phase::Expand { idx, port } => {
+                if run.loop_hits.is_empty() {
+                    // Silence: empty port (or dead link / dead switch).
+                    self.advance(core, ctx)
+                } else {
+                    let back = *run.loop_hits.iter().min().unwrap();
+                    if self.cfg.identity_checks {
+                        self.start_signature_phase(core, ctx, idx, port, back);
+                        Vec::new()
+                    } else {
+                        // Trust every discovery to be new (risks re-mapping
+                        // a known switch through a redundant link).
+                        let route_to = run.switches[idx].route_to.then(port);
+                        let reverse_from =
+                            Route::from_ports(&[back]).join(&run.switches[idx].reverse_from);
+                        run.switches.push(KnownSwitch {
+                            route_to,
+                            reverse_from,
+                            explored_hosts: false,
+                            candidates: Vec::new(),
+                            signature: Vec::new(),
+                        });
+                        self.advance(core, ctx)
+                    }
+                }
+            }
+            Phase::Signature { parent, port, back } => {
+                let sig = std::mem::take(&mut run.sig_scratch);
+                let has_hosts = sig.iter().any(|h| h.is_some());
+                let known = run
+                    .switches
+                    .iter()
+                    .any(|k| k.explored_hosts && k.signature == sig && has_hosts);
+                if known {
+                    // Same host population on the same ports: a switch we
+                    // have already mapped, reached over a redundant link.
+                    self.advance(core, ctx)
+                } else if has_hosts {
+                    // Host-bearing and distinct: provably new. Its host
+                    // exploration is this very scan — no extra probes.
+                    let route_to = run.switches[parent].route_to.then(port);
+                    let reverse_from =
+                        Route::from_ports(&[back]).join(&run.switches[parent].reverse_from);
+                    let candidates = candidates_from(&sig, Some(back));
+                    run.switches.push(KnownSwitch {
+                        route_to,
+                        reverse_from,
+                        explored_hosts: true,
+                        candidates,
+                        signature: sig,
+                    });
+                    self.advance(core, ctx)
+                } else {
+                    // No hosts anywhere: signatures cannot discriminate.
+                    // Keep the scan and fall back to loop-probe identity
+                    // against the other host-less switches.
+                    run.sig_scratch = sig;
+                    self.start_identity_phase(core, ctx, parent, port, back);
+                    Vec::new()
+                }
+            }
+            Phase::Identity { parent, port, back } => {
+                if run.identity_hits.is_empty() {
+                    // Genuinely new switch: chain its reverse route. The
+                    // signature scan that preceded this phase serves as its
+                    // host exploration (all empty).
+                    let sig = std::mem::take(&mut run.sig_scratch);
+                    let route_to = run.switches[parent].route_to.then(port);
+                    let reverse_from =
+                        Route::from_ports(&[back]).join(&run.switches[parent].reverse_from);
+                    let candidates = candidates_from(&sig, Some(back));
+                    run.switches.push(KnownSwitch {
+                        route_to,
+                        reverse_from,
+                        explored_hosts: true,
+                        candidates,
+                        signature: sig,
+                    });
+                }
+                // else: a switch we already know (redundant link) — no new
+                // territory.
+                self.advance(core, ctx)
+            }
+        }
+    }
+
+    /// Pick the next piece of work in BFS order.
+    fn advance(&mut self, core: &mut NicCore, ctx: &mut NicCtx) -> Vec<MapOutcome> {
+        let run = self.run.as_mut().unwrap();
+        if run.switches.len() > MAX_SWITCH_SIGHTINGS {
+            return self.finish_run(core, ctx, None);
+        }
+        // 1. A switch whose ports haven't been host-probed yet?
+        if let Some(idx) = run.switches.iter().position(|s| !s.explored_hosts) {
+            self.start_hosts_phase(core, ctx, idx);
+            return Vec::new();
+        }
+        // 2. A switch with candidate ports to expand?
+        if let Some(idx) = run.switches.iter().position(|s| !s.candidates.is_empty()) {
+            let port = run.switches[idx].candidates.remove(0);
+            self.start_expand_phase(core, ctx, idx, port);
+            return Vec::new();
+        }
+        // 3. Exhausted: the target is unreachable.
+        self.finish_run(core, ctx, None)
+    }
+
+    fn finish_run(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        route: Option<Route>,
+    ) -> Vec<MapOutcome> {
+        let mut run = self.run.take().expect("finishing without a run");
+        // Keep the in-flight host probes answerable: late replies still
+        // carry cacheable routes. (Bounded: replaced wholesale per run.)
+        self.late_probes.clear();
+        for (token, tag) in run.outstanding.drain() {
+            match tag {
+                ProbeTag::HostAt { idx, port } => {
+                    self.late_probes.insert(token, run.switches[idx].route_to.then(port));
+                }
+                ProbeTag::SigAt { port } => {
+                    if let Phase::Signature { parent, port: cport, .. } = run.phase {
+                        let r = run.switches[parent].route_to.then(cport).then(port);
+                        self.late_probes.insert(token, r);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let elapsed = ctx.now().since(run.started);
+        self.stats.last_host_probes = run.host_probes;
+        self.stats.last_switch_probes = run.switch_probes;
+        self.stats.last_time_ms = elapsed.as_millis_f64();
+        self.stats.times_ms.record(elapsed.as_millis_f64());
+        if route.is_some() {
+            self.stats.resolved.hit();
+        } else {
+            self.stats.unreachable.hit();
+        }
+        let mut outs = vec![MapOutcome::TargetResolved { dst: run.target, route }];
+        // Serve the next queued request; a side-discovered route may already
+        // satisfy it.
+        while let Some(next) = self.waiting.pop_front() {
+            if let Some(r) = core.routes.get(next) {
+                outs.push(MapOutcome::TargetResolved { dst: next, route: Some(r) });
+            } else {
+                self.begin_run(core, ctx, next);
+                break;
+            }
+        }
+        outs
+    }
+}
+
+/// Ports worth expanding after a host scan: the silent ones, minus the port
+/// that leads back toward the prober.
+fn candidates_from(sig: &[Option<NodeId>], back: Option<u8>) -> Vec<u8> {
+    sig.iter()
+        .enumerate()
+        .filter(|(i, h)| h.is_none() && back != Some(*i as u8))
+        .map(|(i, _)| i as u8)
+        .collect()
+}

@@ -1,0 +1,79 @@
+//! Wrapping sequence-number and generation arithmetic.
+//!
+//! Sequence numbers are 32-bit and wrap; comparisons are made in the signed
+//! difference domain, valid as long as fewer than 2³¹ packets are
+//! outstanding (the send queue holds at most 128, so this is safe by nine
+//! orders of magnitude). Generations are 16-bit with the same scheme.
+
+/// `a <= b` in wrapping sequence space.
+#[inline]
+pub fn seq_leq(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) >= 0
+}
+
+/// `a < b` in wrapping sequence space.
+#[inline]
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+/// Is generation `g` strictly newer than `cur` (wrapping)?
+#[inline]
+pub fn gen_newer(g: u16, cur: u16) -> bool {
+    (g.wrapping_sub(cur) as i16) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_orderings() {
+        assert!(seq_leq(0, 0));
+        assert!(seq_leq(1, 2));
+        assert!(!seq_leq(2, 1));
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 2));
+    }
+
+    #[test]
+    fn wrapping_orderings() {
+        assert!(seq_lt(u32::MAX, 0), "wrap-around stays ordered");
+        assert!(seq_leq(u32::MAX - 5, 3));
+        assert!(!seq_leq(3, u32::MAX - 5));
+    }
+
+    #[test]
+    fn generation_newer() {
+        assert!(gen_newer(1, 0));
+        assert!(!gen_newer(0, 0));
+        assert!(!gen_newer(0, 1));
+        assert!(gen_newer(0, u16::MAX), "generation wrap");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Within a half-window, wrapping comparison agrees with adding a
+        /// common offset (shift invariance).
+        #[test]
+        fn shift_invariance(base in any::<u32>(), a in 0u32..1_000_000, b in 0u32..1_000_000) {
+            let (x, y) = (base.wrapping_add(a), base.wrapping_add(b));
+            prop_assert_eq!(seq_leq(x, y), a <= b);
+            prop_assert_eq!(seq_lt(x, y), a < b);
+        }
+
+        /// Antisymmetry: for distinct values within a half-window, exactly
+        /// one direction holds.
+        #[test]
+        fn antisymmetry(base in any::<u32>(), d in 1u32..(1 << 30)) {
+            let (x, y) = (base, base.wrapping_add(d));
+            prop_assert!(seq_lt(x, y));
+            prop_assert!(!seq_lt(y, x));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Regression: a triangle of switches defeats naive reverse-route identity
+//! checks (the return route of a known switch also works from the impostor,
+//! so the mapper merges two distinct switches and declares reachable nodes
+//! unreachable — then used to retry forever). The host-signature identity
+//! scan resolves it; this pins the exact failing topology from the property
+//! fuzzer.
+
+use san_fabric::{Endpoint, PortId, Topology};
+use san_ft::{MapperConfig, ProtocolConfig, ReliableFirmware};
+use san_nic::testkit::{inbox, Collector, StreamSender};
+use san_nic::{Cluster, ClusterConfig, HostAgent};
+use san_sim::{Duration, Time};
+
+#[test]
+fn triangle_fabric_identity_regression() {
+    let seed = 16596896588571538106u64;
+    let (n_switch, extra_links) = (3usize, 2usize);
+    let mut rng = san_sim::SimRng::seed_from(seed);
+    let mut topo = Topology::new();
+    let switches: Vec<_> = (0..n_switch).map(|_| topo.add_switch(8)).collect();
+    for i in 1..n_switch {
+        let j = rng.below(i as u64) as usize;
+        let pa = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[i], PortId(p))).is_none()).unwrap();
+        let pb = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[j], PortId(p))).is_none()).unwrap();
+        topo.connect_switches(switches[i], pa, switches[j], pb);
+    }
+    for _ in 0..extra_links {
+        let i = rng.below(n_switch as u64) as usize;
+        let j = rng.below(n_switch as u64) as usize;
+        if i == j { continue; }
+        let pa = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[i], PortId(p))).is_none());
+        let pb = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[j], PortId(p))).is_none());
+        if let (Some(pa), Some(pb)) = (pa, pb) {
+            topo.connect_switches(switches[i], pa, switches[j], pb);
+        }
+    }
+    let a = topo.add_host();
+    let b = topo.add_host();
+    let sa = switches[rng.below(n_switch as u64) as usize];
+    let sb = switches[rng.below(n_switch as u64) as usize];
+    let pa = (0..8).find(|&p| topo.link_at(Endpoint::Switch(sa, PortId(p))).is_none()).unwrap();
+    topo.connect_host(a, sa, pa);
+    let pb = (0..8).find(|&p| topo.link_at(Endpoint::Switch(sb, PortId(p))).is_none()).unwrap();
+    topo.connect_host(b, sb, pb);
+    eprintln!("topology: a={a} on {sa:?} b={b} on {sb:?}, links={}", topo.num_links());
+    for (id, l) in topo.links() { eprintln!("  {id:?}: {:?} <-> {:?}", l.a, l.b); }
+    let r = topo.shortest_route(a, b, |_| true);
+    eprintln!("shortest: {r:?}");
+    let ib = inbox();
+    let hosts: Vec<Box<dyn HostAgent>> = vec![
+        Box::new(StreamSender::new(b, 64, 3)),
+        Box::new(Collector(ib.clone())),
+    ];
+    let proto = ProtocolConfig::default().with_mapping();
+    let nn = topo.num_hosts();
+    let mut c = Cluster::new(topo, ClusterConfig::default(), move |_| {
+        Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), nn))
+    }, hosts);
+    let mut t = Time::from_millis(20);
+    while ib.borrow().len() < 3 && t < Time::from_secs(10) {
+        c.run_until(t);
+        t = t + Duration::from_millis(20);
+    }
+    let st = c.nics[0].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap().mapper_stats();
+    eprintln!("delivered {} runs={} resolved={} unreachable={} host={} switch={}",
+        ib.borrow().len(), st.runs, st.resolved, st.unreachable, st.host_probes, st.switch_probes);
+    assert_eq!(ib.borrow().len(), 3);
+}

@@ -1,0 +1,640 @@
+//! The cut-through traversal engine.
+//!
+//! A packet in flight (a [`Flight`]) acquires the *directed channels* along
+//! its source route one hop at a time. A channel belongs to at most one
+//! flight; a flight that finds its next channel busy waits in that channel's
+//! FIFO **while still holding everything it already acquired** — that is
+//! wormhole backpressure, and with cyclic route sets it produces genuine
+//! deadlock, which the paper's design intentionally permits and recovers from
+//! via the Myrinet path-reset timer plus retransmission (§4.2).
+//!
+//! Timing: the head moves one hop per `hop_latency`; serialization of the
+//! packet body is paid once, starting when the first channel is acquired;
+//! delivery (tail arrival) happens at
+//! `max(last_hop_head_arrival, first_acquire + serialization)`; all held
+//! channels release at delivery. A flight not delivered within
+//! `path_reset_timeout` of injection is killed and reported to the sender as
+//! a path reset — the hardware deadlock-recovery behaviour (§3.3).
+//!
+//! Fault hooks: wire loss and corruption probabilities (transient), and link
+//! / switch death (permanent), under which held flights are killed silently —
+//! exactly the failure the retransmission protocol must mask.
+
+use std::collections::VecDeque;
+
+use san_sim::{Duration, Sim, SimRng, Time};
+
+use crate::fault::TransientFaults;
+use crate::ids::{Endpoint, LinkId, NodeId, PortId, SwitchId};
+use crate::packet::Packet;
+use crate::route::Route;
+use crate::topology::Topology;
+
+/// Physical constants of the fabric.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Link bandwidth in bytes/second. Myrinet: 1.28 Gb/s = 160 MB/s.
+    pub link_bandwidth: u64,
+    /// Per-hop head latency (propagation + crossbar fall-through).
+    pub hop_latency: Duration,
+    /// Send-path reset (deadlock detection) timeout. Myrinet allows 62.5 ms
+    /// to 4 s; the paper's testbed uses the hardware default.
+    pub path_reset_timeout: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            link_bandwidth: 160_000_000,
+            hop_latency: Duration::from_nanos(300),
+            path_reset_timeout: Duration::from_millis(62), // ≈ Myrinet minimum 62.5ms
+        }
+    }
+}
+
+/// Events the engine schedules for itself. The cluster driver routes them
+/// back via [`Engine::handle`].
+#[derive(Debug, Clone, Copy)]
+pub enum FabricEvent {
+    /// The head of `flight` reached the far end of its last-acquired channel.
+    HeadAdvance { flight: u32, epoch: u32 },
+    /// The tail of `flight` reached the destination: delivery completes.
+    TailDone { flight: u32, epoch: u32 },
+    /// Path-reset timer check for `flight`.
+    ResetCheck { flight: u32, epoch: u32 },
+    /// Permanent fault: a link dies.
+    LinkDown { link: LinkId },
+    /// Repair / reconfiguration: a link comes (back) up.
+    LinkUp { link: LinkId },
+    /// Permanent fault: a whole switch dies.
+    SwitchDown { switch: SwitchId },
+}
+
+/// Why a packet vanished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Tried to cross a dead link.
+    DeadLink,
+    /// Entered a dead switch.
+    DeadSwitch,
+    /// Route exits an unwired/out-of-range port, or continues past a host.
+    InvalidRoute,
+    /// Route bytes ran out while still inside the network.
+    Absorbed,
+    /// Transient wire loss (fault injection).
+    WireLoss,
+    /// Killed because a link/switch it occupied died.
+    KilledByFault,
+}
+
+/// What the engine tells the outside world.
+#[derive(Debug)]
+pub enum FabricOut {
+    /// `pkt` arrived in full at `node` (its `reverse_route` is filled in).
+    Delivered {
+        /// Destination host.
+        node: NodeId,
+        /// The packet, with `reverse_route` populated.
+        pkt: Packet,
+    },
+    /// `pkt` disappeared inside the network; nobody is notified on real
+    /// hardware — the output exists for statistics and tests.
+    Dropped {
+        /// The lost packet.
+        pkt: Packet,
+        /// Why.
+        reason: DropReason,
+    },
+    /// The sender's path-reset timer fired: the packet was dropped and the
+    /// sending NIC is told its send path was reset (it will retransmit).
+    PathReset {
+        /// The sender whose path was reset.
+        src: NodeId,
+        /// The packet that was stuck.
+        pkt: Packet,
+    },
+}
+
+/// Cumulative fabric statistics.
+#[derive(Debug, Default, Clone)]
+pub struct EngineStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Drops by cause: dead link, dead switch, invalid route, absorbed,
+    /// wire loss, killed-by-fault (same order as [`DropReason`]).
+    pub dropped: [u64; 6],
+    /// Path resets (deadlock recoveries).
+    pub path_resets: u64,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl EngineStats {
+    fn count_drop(&mut self, r: DropReason) {
+        self.dropped[r as usize] += 1;
+    }
+    /// Total drops of all causes.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+}
+
+#[derive(Debug)]
+struct Channel {
+    owner: Option<u32>,
+    waiters: VecDeque<u32>,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct Flight {
+    pkt: Packet,
+    src: NodeId,
+    held: Vec<u32>,
+    hop_idx: usize,
+    reverse_in_ports: Vec<u8>,
+    ser_done: Time,
+    waiting_on: Option<u32>,
+    will_drop_on_wire: bool,
+}
+
+/// The traversal engine. Owns the topology, channel occupancy, and all
+/// flights.
+#[derive(Debug)]
+pub struct Engine {
+    topo: Topology,
+    cfg: EngineConfig,
+    channels: Vec<Channel>,
+    switch_alive: Vec<bool>,
+    flights: Vec<Option<Flight>>,
+    epochs: Vec<u32>,
+    free_slots: Vec<u32>,
+    faults: TransientFaults,
+    fault_rng: SimRng,
+    /// Gilbert–Elliott channel state (true = bad) when `faults.burst` is set.
+    burst_bad: bool,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Build an engine over `topo` with all links alive.
+    pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
+        let channels = (0..topo.num_links() * 2)
+            .map(|_| Channel { owner: None, waiters: VecDeque::new(), alive: true })
+            .collect();
+        let switch_alive = vec![true; topo.num_switches()];
+        Self {
+            topo,
+            cfg,
+            channels,
+            switch_alive,
+            flights: Vec::new(),
+            epochs: Vec::new(),
+            free_slots: Vec::new(),
+            faults: TransientFaults::none(),
+            fault_rng: SimRng::seed_from(0x00FA_B017),
+            burst_bad: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The wiring.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Physical constants.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Install transient wire-fault model (loss/corruption probabilities)
+    /// with a dedicated RNG seed.
+    pub fn set_transient_faults(&mut self, f: TransientFaults, seed: u64) {
+        self.faults = f;
+        self.fault_rng = SimRng::seed_from(seed);
+    }
+
+    /// Serialization time of `bytes` on a link.
+    #[inline]
+    pub fn serialization(&self, bytes: u32) -> Duration {
+        Duration::for_bytes(bytes as u64, self.cfg.link_bandwidth)
+    }
+
+    /// Is the given link currently alive?
+    pub fn link_alive(&self, l: LinkId) -> bool {
+        self.channels[l.idx() * 2].alive
+    }
+
+    /// Is the given switch currently alive?
+    pub fn switch_alive(&self, s: SwitchId) -> bool {
+        self.switch_alive[s.idx()]
+    }
+
+    /// Alive-filter closure for route oracles.
+    pub fn alive_filter(&self) -> impl Fn(LinkId) -> bool + '_ {
+        |l| self.link_alive(l) && {
+            let link = self.topo.link(l);
+            let sw_ok = |ep: Endpoint| ep.switch().is_none_or(|(s, _)| self.switch_alive(s));
+            sw_ok(link.a) && sw_ok(link.b)
+        }
+    }
+
+    /// Number of flights currently inside the network.
+    pub fn in_flight(&self) -> usize {
+        self.flights.iter().filter(|f| f.is_some()).count()
+    }
+
+    // -- channel helpers ----------------------------------------------------
+
+    /// Directed channel id for traversing `link` away from endpoint `from`.
+    fn channel_from(&self, link: LinkId, from: Endpoint) -> u32 {
+        let l = self.topo.link(link);
+        let dir = if l.a == from { 0 } else { 1 };
+        (link.idx() * 2 + dir) as u32
+    }
+
+    fn channel_link(&self, ch: u32) -> LinkId {
+        LinkId(ch / 2)
+    }
+
+    /// Far end of directed channel `ch`.
+    fn channel_dst(&self, ch: u32) -> Endpoint {
+        let link = self.topo.link(self.channel_link(ch));
+        if ch.is_multiple_of(2) {
+            link.b
+        } else {
+            link.a
+        }
+    }
+
+    // -- injection ----------------------------------------------------------
+
+    /// Inject `pkt` from its `src` host at the current time. The engine
+    /// draws transient wire faults, seals nothing (callers seal), and starts
+    /// the head moving. Events come back through [`Engine::handle`].
+    pub fn inject<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        mut pkt: Packet,
+        out: &mut Vec<FabricOut>,
+    ) {
+        self.stats.injected += 1;
+        pkt.stamps.injected = sim.now();
+        // Transient wire faults: independent per packet, or gated by the
+        // Gilbert–Elliott channel state when a burst model is configured.
+        let faults_active = match self.faults.burst {
+            None => true,
+            Some(b) => {
+                if self.burst_bad {
+                    if self.fault_rng.chance(b.p_leave) {
+                        self.burst_bad = false;
+                    }
+                } else if self.fault_rng.chance(b.p_enter) {
+                    self.burst_bad = true;
+                }
+                self.burst_bad
+            }
+        };
+        let mut will_drop = false;
+        if faults_active {
+            if self.faults.loss_prob > 0.0 && self.fault_rng.chance(self.faults.loss_prob) {
+                will_drop = true;
+            }
+            if self.faults.corrupt_prob > 0.0 && self.fault_rng.chance(self.faults.corrupt_prob)
+            {
+                pkt.corrupted = true;
+            }
+        }
+
+        let src = pkt.src;
+        let Some(first_link) = self.topo.link_at(Endpoint::Host(src)) else {
+            self.stats.count_drop(DropReason::InvalidRoute);
+            out.push(FabricOut::Dropped { pkt, reason: DropReason::InvalidRoute });
+            return;
+        };
+        let slot = self.alloc_slot();
+        let epoch = self.epochs[slot as usize];
+        let f = Flight {
+            pkt,
+            src,
+            held: Vec::with_capacity(4),
+            hop_idx: 0,
+            reverse_in_ports: Vec::with_capacity(4),
+            ser_done: Time::MAX, // set on first acquire
+            waiting_on: None,
+            will_drop_on_wire: will_drop,
+        };
+        self.flights[slot as usize] = Some(f);
+        // Arm the path-reset (deadlock) timer.
+        sim.schedule_in(
+            self.cfg.path_reset_timeout,
+            FabricEvent::ResetCheck { flight: slot, epoch }.into(),
+        );
+        let ch = self.channel_from(first_link, Endpoint::Host(src));
+        self.try_acquire(sim, slot, ch, out);
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(s) = self.free_slots.pop() {
+            s
+        } else {
+            self.flights.push(None);
+            self.epochs.push(0);
+            (self.flights.len() - 1) as u32
+        }
+    }
+
+    // -- event handling -----------------------------------------------------
+
+    /// Process one fabric event.
+    pub fn handle<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        ev: FabricEvent,
+        out: &mut Vec<FabricOut>,
+    ) {
+        match ev {
+            FabricEvent::HeadAdvance { flight, epoch } => {
+                if self.live(flight, epoch) {
+                    self.head_advance(sim, flight, out);
+                }
+            }
+            FabricEvent::TailDone { flight, epoch } => {
+                if self.live(flight, epoch) {
+                    self.finish_delivery(sim, flight, out);
+                }
+            }
+            FabricEvent::ResetCheck { flight, epoch } => {
+                if self.live(flight, epoch) {
+                    self.stats.path_resets += 1;
+                    let f = self.kill_flight(sim, flight, out);
+                    out.push(FabricOut::PathReset { src: f.src, pkt: f.pkt });
+                }
+            }
+            FabricEvent::LinkDown { link } => self.set_link_alive(sim, link, false, out),
+            FabricEvent::LinkUp { link } => self.set_link_alive(sim, link, true, out),
+            FabricEvent::SwitchDown { switch } => self.kill_switch(sim, switch, out),
+        }
+    }
+
+    fn live(&self, flight: u32, epoch: u32) -> bool {
+        self.flights.get(flight as usize).is_some_and(|f| f.is_some())
+            && self.epochs[flight as usize] == epoch
+    }
+
+    /// Try to take channel `ch` for `flight`; on success the head starts
+    /// crossing it, otherwise the flight queues on the channel.
+    fn try_acquire<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        flight: u32,
+        ch: u32,
+        out: &mut Vec<FabricOut>,
+    ) {
+        if !self.channels[ch as usize].alive {
+            let f = self.kill_flight(sim, flight, out);
+            self.stats.count_drop(DropReason::DeadLink);
+            out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::DeadLink });
+            return;
+        }
+        let c = &mut self.channels[ch as usize];
+        if c.owner.is_none() {
+            c.owner = Some(flight);
+            self.grant(sim, flight, ch);
+        } else {
+            c.waiters.push_back(flight);
+            self.flights[flight as usize].as_mut().unwrap().waiting_on = Some(ch);
+        }
+    }
+
+    /// `flight` now owns `ch`: start the head across it.
+    fn grant<E: From<FabricEvent>>(&mut self, sim: &mut Sim<E>, flight: u32, ch: u32) {
+        let epoch = self.epochs[flight as usize];
+        let hop = self.cfg.hop_latency;
+        let bw = self.cfg.link_bandwidth;
+        let now = sim.now();
+        let f = self.flights[flight as usize].as_mut().unwrap();
+        f.waiting_on = None;
+        f.held.push(ch);
+        if f.held.len() == 1 {
+            // First channel: the body starts streaming now.
+            f.ser_done = now + Duration::for_bytes(f.pkt.wire_bytes() as u64, bw);
+        }
+        sim.schedule_in(hop, FabricEvent::HeadAdvance { flight, epoch }.into());
+    }
+
+    /// The head arrived at the far end of its last-acquired channel.
+    fn head_advance<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        flight: u32,
+        out: &mut Vec<FabricOut>,
+    ) {
+        let last_ch = *self.flights[flight as usize].as_ref().unwrap().held.last().unwrap();
+        let at = self.channel_dst(last_ch);
+        match at {
+            Endpoint::Host(_h) => {
+                let f = self.flights[flight as usize].as_ref().unwrap();
+                if f.hop_idx < f.pkt.route.len() {
+                    // Route bytes left over after reaching a host: invalid.
+                    let f = self.kill_flight(sim, flight, out);
+                    self.stats.count_drop(DropReason::InvalidRoute);
+                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::InvalidRoute });
+                    return;
+                }
+                // Tail arrives when serialization completes (cut-through).
+                let epoch = self.epochs[flight as usize];
+                let t = sim.now().max(f.ser_done);
+                sim.schedule(t, FabricEvent::TailDone { flight, epoch }.into());
+            }
+            Endpoint::Switch(s, in_port) => {
+                if !self.switch_alive[s.idx()] {
+                    let f = self.kill_flight(sim, flight, out);
+                    self.stats.count_drop(DropReason::DeadSwitch);
+                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::DeadSwitch });
+                    return;
+                }
+                let (hop_idx, route_len) = {
+                    let f = self.flights[flight as usize].as_mut().unwrap();
+                    f.reverse_in_ports.push(in_port.0);
+                    (f.hop_idx, f.pkt.route.len())
+                };
+                if hop_idx >= route_len {
+                    // Route exhausted inside the network: absorbed.
+                    let f = self.kill_flight(sim, flight, out);
+                    self.stats.count_drop(DropReason::Absorbed);
+                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::Absorbed });
+                    return;
+                }
+                let port = self.flights[flight as usize].as_ref().unwrap().pkt.route.hop(hop_idx);
+                self.flights[flight as usize].as_mut().unwrap().hop_idx += 1;
+                if port >= self.topo.switch_ports(s) {
+                    let f = self.kill_flight(sim, flight, out);
+                    self.stats.count_drop(DropReason::InvalidRoute);
+                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::InvalidRoute });
+                    return;
+                }
+                let Some(link) = self.topo.link_at(Endpoint::Switch(s, PortId(port))) else {
+                    let f = self.kill_flight(sim, flight, out);
+                    self.stats.count_drop(DropReason::InvalidRoute);
+                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::InvalidRoute });
+                    return;
+                };
+                let ch = self.channel_from(link, Endpoint::Switch(s, PortId(port)));
+                self.try_acquire(sim, flight, ch, out);
+            }
+        }
+    }
+
+    /// Tail reached the destination: release everything and deliver.
+    fn finish_delivery<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        flight: u32,
+        out: &mut Vec<FabricOut>,
+    ) {
+        let last_ch = *self.flights[flight as usize].as_ref().unwrap().held.last().unwrap();
+        let dest = self.channel_dst(last_ch);
+        let mut f = self.take_flight(flight);
+        self.release_held(sim, &mut f, out);
+        let node = dest.host().expect("finish_delivery at a non-host");
+        // Build the usable return route: reversed input ports.
+        let mut rev = Route::empty();
+        for &p in f.reverse_in_ports.iter().rev() {
+            rev = rev.then(p);
+        }
+        f.pkt.reverse_route = rev;
+        f.pkt.stamps.delivered = sim.now();
+        if f.will_drop_on_wire {
+            self.stats.count_drop(DropReason::WireLoss);
+            out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::WireLoss });
+        } else {
+            self.stats.delivered += 1;
+            self.stats.bytes_delivered += f.pkt.payload_len as u64;
+            out.push(FabricOut::Delivered { node, pkt: f.pkt });
+        }
+    }
+
+    /// Remove a flight, releasing channels and wait-queue membership.
+    /// Returns the flight so callers can report its packet.
+    fn kill_flight<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        flight: u32,
+        out: &mut Vec<FabricOut>,
+    ) -> Flight {
+        let mut f = self.take_flight(flight);
+        if let Some(ch) = f.waiting_on.take() {
+            self.channels[ch as usize].waiters.retain(|&w| w != flight);
+        }
+        self.release_held(sim, &mut f, out);
+        f
+    }
+
+    fn take_flight(&mut self, flight: u32) -> Flight {
+        let f = self.flights[flight as usize].take().expect("flight gone");
+        self.epochs[flight as usize] = self.epochs[flight as usize].wrapping_add(1);
+        self.free_slots.push(flight);
+        f
+    }
+
+    /// Free all channels a flight holds, granting each to its next waiter.
+    fn release_held<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        f: &mut Flight,
+        _out: &mut Vec<FabricOut>,
+    ) {
+        let held = std::mem::take(&mut f.held);
+        for ch in held {
+            self.channels[ch as usize].owner = None;
+            // Grant to the next live waiter.
+            while let Some(w) = self.channels[ch as usize].waiters.pop_front() {
+                if self.flights[w as usize].is_some() {
+                    self.channels[ch as usize].owner = Some(w);
+                    self.grant(sim, w, ch);
+                    break;
+                }
+            }
+        }
+    }
+
+    // -- permanent faults ---------------------------------------------------
+
+    /// Change a link's liveness. Bringing a link down kills every flight
+    /// holding either of its channels (their data is lost on the wire).
+    pub fn set_link_alive<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        link: LinkId,
+        alive: bool,
+        out: &mut Vec<FabricOut>,
+    ) {
+        for dir in 0..2 {
+            self.channels[link.idx() * 2 + dir].alive = alive;
+        }
+        if !alive {
+            self.kill_flights_on(sim, |held_ch| LinkId(held_ch / 2) == link, out);
+        }
+    }
+
+    /// Kill a switch: all its links' channels die with it.
+    pub fn kill_switch<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        s: SwitchId,
+        out: &mut Vec<FabricOut>,
+    ) {
+        self.switch_alive[s.idx()] = false;
+        let dead_links: Vec<LinkId> = self
+            .topo
+            .links()
+            .filter(|(_, l)| {
+                [l.a, l.b].iter().any(|ep| ep.switch().is_some_and(|(sw, _)| sw == s))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        for l in &dead_links {
+            for dir in 0..2 {
+                self.channels[l.idx() * 2 + dir].alive = false;
+            }
+        }
+        self.kill_flights_on(sim, |ch| dead_links.contains(&LinkId(ch / 2)), out);
+    }
+
+    fn kill_flights_on<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        pred: impl Fn(u32) -> bool,
+        out: &mut Vec<FabricOut>,
+    ) {
+        let victims: Vec<u32> = self
+            .flights
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| {
+                f.as_ref().and_then(|fl| {
+                    let hit = fl.held.iter().any(|&ch| pred(ch))
+                        || fl.waiting_on.is_some_and(&pred);
+                    hit.then_some(i as u32)
+                })
+            })
+            .collect();
+        for v in victims {
+            if self.flights[v as usize].is_some() {
+                let f = self.kill_flight(sim, v, out);
+                self.stats.count_drop(DropReason::KilledByFault);
+                out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::KilledByFault });
+            }
+        }
+    }
+}
+

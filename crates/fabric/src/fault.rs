@@ -1,0 +1,231 @@
+//! Fault models.
+//!
+//! The paper distinguishes transient failures (packet corruption and loss,
+//! §3.3) from permanent ones (link/switch death, §4.2). Three injection
+//! mechanisms exist in this reproduction:
+//!
+//! 1. **Send-side deterministic drop** — the paper's own mechanism (§5.1.3):
+//!    at predefined packet counts the sending NIC puts the next packet in the
+//!    retransmission queue *without* transmitting it. That one lives in the
+//!    NIC firmware (`san_ft::ReliableFirmware`), not here, because that is
+//!    where the paper put it.
+//! 2. **Wire-level transient faults** ([`TransientFaults`]) — Bernoulli loss
+//!    and corruption per packet, drawn by the fabric engine at injection.
+//!    Used by robustness tests to check that the protocol's guarantees do not
+//!    depend on the *location* of the loss.
+//! 3. **Permanent faults** ([`FaultPlan`]) — scheduled link/switch deaths and
+//!    repairs, compiled into fabric events at simulation start.
+
+use san_sim::{Sim, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::FabricEvent;
+use crate::ids::{LinkId, SwitchId};
+
+/// Per-packet wire-fault model.
+///
+/// The independent (Bernoulli) mode is the paper's; the **bursty** mode is
+/// the extension the paper explicitly leaves untested (§5.1.3: "we do not
+/// experiment with bursty errors, since high, uniform error rates are a more
+/// stressful test") — a Gilbert–Elliott two-state channel that alternates
+/// between a good state (no faults) and a bad state where every packet is
+/// lost/corrupted with the given probabilities.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TransientFaults {
+    /// Probability a packet silently vanishes on the wire (in the bad state
+    /// when `burst` is set, else independently per packet).
+    pub loss_prob: f64,
+    /// Probability a packet is delivered with a failing CRC (ditto).
+    pub corrupt_prob: f64,
+    /// Optional Gilbert–Elliott burst structure.
+    pub burst: Option<BurstModel>,
+}
+
+/// Gilbert–Elliott channel parameters (per-packet state transitions).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BurstModel {
+    /// Probability of entering the bad state on each packet while good.
+    pub p_enter: f64,
+    /// Probability of leaving the bad state on each packet while bad.
+    pub p_leave: f64,
+}
+
+impl BurstModel {
+    /// Long-run fraction of packets spent in the bad state.
+    pub fn bad_fraction(&self) -> f64 {
+        self.p_enter / (self.p_enter + self.p_leave)
+    }
+    /// Mean burst length in packets.
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / self.p_leave
+    }
+}
+
+impl TransientFaults {
+    /// No wire faults.
+    pub fn none() -> Self {
+        Self { loss_prob: 0.0, corrupt_prob: 0.0, burst: None }
+    }
+    /// Independent loss only.
+    pub fn loss(p: f64) -> Self {
+        Self { loss_prob: p, corrupt_prob: 0.0, burst: None }
+    }
+    /// Independent corruption only.
+    pub fn corruption(p: f64) -> Self {
+        Self { loss_prob: 0.0, corrupt_prob: p, burst: None }
+    }
+    /// Bursty loss with the same *average* rate as independent loss of
+    /// `avg_rate`, in bursts of `mean_len` packets: while the channel is
+    /// bad, every packet is lost.
+    pub fn bursty_loss(avg_rate: f64, mean_len: f64) -> Self {
+        assert!(avg_rate > 0.0 && avg_rate < 1.0 && mean_len >= 1.0);
+        let p_leave = 1.0 / mean_len;
+        // bad_fraction = p_enter / (p_enter + p_leave) = avg_rate
+        let p_enter = avg_rate * p_leave / (1.0 - avg_rate);
+        Self {
+            loss_prob: 1.0,
+            corrupt_prob: 0.0,
+            burst: Some(BurstModel { p_enter, p_leave }),
+        }
+    }
+    /// True when no fault can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.loss_prob == 0.0 && self.corrupt_prob == 0.0
+    }
+}
+
+/// One scheduled permanent-fault action.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum PermanentFault {
+    /// Link dies at the given time.
+    LinkDown {
+        /// When.
+        at_nanos: u64,
+        /// Which link.
+        link: u32,
+    },
+    /// Link is repaired / connected at the given time.
+    LinkUp {
+        /// When.
+        at_nanos: u64,
+        /// Which link.
+        link: u32,
+    },
+    /// Whole switch dies at the given time.
+    SwitchDown {
+        /// When.
+        at_nanos: u64,
+        /// Which switch.
+        switch: u16,
+    },
+}
+
+impl PermanentFault {
+    /// When the fault fires.
+    pub fn at(&self) -> Time {
+        match *self {
+            PermanentFault::LinkDown { at_nanos, .. }
+            | PermanentFault::LinkUp { at_nanos, .. }
+            | PermanentFault::SwitchDown { at_nanos, .. } => Time::from_nanos(at_nanos),
+        }
+    }
+
+    /// The fabric event this fault compiles to.
+    pub fn event(&self) -> FabricEvent {
+        match *self {
+            PermanentFault::LinkDown { link, .. } => FabricEvent::LinkDown { link: LinkId(link) },
+            PermanentFault::LinkUp { link, .. } => FabricEvent::LinkUp { link: LinkId(link) },
+            PermanentFault::SwitchDown { switch, .. } => {
+                FabricEvent::SwitchDown { switch: SwitchId(switch) }
+            }
+        }
+    }
+}
+
+/// A schedule of permanent faults.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled actions (any order; scheduling sorts by time).
+    pub actions: Vec<PermanentFault>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kill `link` at `at`.
+    pub fn link_down(mut self, at: Time, link: LinkId) -> Self {
+        self.actions.push(PermanentFault::LinkDown { at_nanos: at.nanos(), link: link.0 });
+        self
+    }
+
+    /// Bring `link` up at `at` (reconfiguration: a node re-connected
+    /// elsewhere is modelled as old-link down + new-link up).
+    pub fn link_up(mut self, at: Time, link: LinkId) -> Self {
+        self.actions.push(PermanentFault::LinkUp { at_nanos: at.nanos(), link: link.0 });
+        self
+    }
+
+    /// Kill `switch` at `at`.
+    pub fn switch_down(mut self, at: Time, s: SwitchId) -> Self {
+        self.actions.push(PermanentFault::SwitchDown { at_nanos: at.nanos(), switch: s.0 });
+        self
+    }
+
+    /// Schedule every action into the simulation.
+    pub fn arm<E: From<FabricEvent>>(&self, sim: &mut Sim<E>) {
+        for a in &self.actions {
+            sim.schedule(a.at(), a.event().into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(TransientFaults::none().is_none());
+        assert!(!TransientFaults::loss(0.1).is_none());
+        assert_eq!(TransientFaults::corruption(0.2).corrupt_prob, 0.2);
+    }
+
+    #[test]
+    fn plan_compiles_to_events() {
+        let plan = FaultPlan::new()
+            .link_down(Time::from_millis(5), LinkId(3))
+            .link_up(Time::from_millis(7), LinkId(4))
+            .switch_down(Time::from_millis(9), SwitchId(1));
+        assert_eq!(plan.actions.len(), 3);
+        assert_eq!(plan.actions[0].at(), Time::from_millis(5));
+        let mut sim: Sim<FabricEvent> = Sim::new(0);
+        plan.arm(&mut sim);
+        assert_eq!(sim.pending(), 3);
+        let (t, ev) = sim.pop().unwrap();
+        assert_eq!(t, Time::from_millis(5));
+        assert!(matches!(ev, FabricEvent::LinkDown { link } if link == LinkId(3)));
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+
+    #[test]
+    fn burst_parameters_have_the_right_moments() {
+        let f = TransientFaults::bursty_loss(0.01, 10.0);
+        let b = f.burst.unwrap();
+        assert!((b.bad_fraction() - 0.01).abs() < 1e-12, "average rate preserved");
+        assert!((b.mean_burst_len() - 10.0).abs() < 1e-12);
+        assert_eq!(f.loss_prob, 1.0, "inside a burst every packet dies");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bursty_loss_rejects_bad_rates() {
+        let _ = TransientFaults::bursty_loss(1.5, 10.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Static network topology: hosts, crossbar switches, and the links between
+//! them.
+//!
+//! The topology is the *physical* wiring. Whether a link is currently alive
+//! is dynamic state owned by the traversal engine ([`crate::engine`]), so a
+//! reconfiguration experiment (Table 3: a node is re-connected elsewhere)
+//! wires both locations here and toggles liveness at run time.
+//!
+//! Also provided: BFS shortest-route search (the oracle used for initial
+//! route tables and as ground truth in mapper tests) and canonical builders
+//! for every topology the paper uses.
+
+use crate::ids::{Endpoint, LinkId, NodeId, PortId, SwitchId};
+use crate::route::Route;
+use std::collections::VecDeque;
+
+/// An undirected link between two endpoints.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// One side.
+    pub a: Endpoint,
+    /// The other side.
+    pub b: Endpoint,
+}
+
+impl Link {
+    /// The endpoint opposite to `ep`.
+    ///
+    /// # Panics
+    /// Panics if `ep` is neither side of the link.
+    pub fn other(&self, ep: Endpoint) -> Endpoint {
+        if self.a == ep {
+            self.b
+        } else if self.b == ep {
+            self.a
+        } else {
+            panic!("{ep:?} is not an endpoint of this link")
+        }
+    }
+}
+
+/// The wiring of a SAN.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    hosts: Vec<Option<LinkId>>,
+    switches: Vec<Vec<Option<LinkId>>>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a host (one network port).
+    pub fn add_host(&mut self) -> NodeId {
+        self.hosts.push(None);
+        NodeId((self.hosts.len() - 1) as u16)
+    }
+
+    /// Add `n` hosts, returning their IDs.
+    pub fn add_hosts(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_host()).collect()
+    }
+
+    /// Add a full-crossbar switch with `ports` ports.
+    pub fn add_switch(&mut self, ports: u8) -> SwitchId {
+        self.switches.push(vec![None; ports as usize]);
+        SwitchId((self.switches.len() - 1) as u16)
+    }
+
+    /// Wire two endpoints together.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or already wired.
+    pub fn connect(&mut self, a: Endpoint, b: Endpoint) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        for ep in [a, b] {
+            let slot = self.port_slot_mut(ep);
+            assert!(slot.is_none(), "endpoint {ep:?} already wired");
+            *slot = Some(id);
+        }
+        self.links.push(Link { a, b });
+        id
+    }
+
+    /// Convenience: wire host `h` to switch `s` port `p`.
+    pub fn connect_host(&mut self, h: NodeId, s: SwitchId, p: u8) -> LinkId {
+        self.connect(Endpoint::Host(h), Endpoint::Switch(s, PortId(p)))
+    }
+
+    /// Convenience: wire switch `sa` port `pa` to switch `sb` port `pb`.
+    pub fn connect_switches(&mut self, sa: SwitchId, pa: u8, sb: SwitchId, pb: u8) -> LinkId {
+        self.connect(Endpoint::Switch(sa, PortId(pa)), Endpoint::Switch(sb, PortId(pb)))
+    }
+
+    fn port_slot_mut(&mut self, ep: Endpoint) -> &mut Option<LinkId> {
+        match ep {
+            Endpoint::Host(h) => &mut self.hosts[h.idx()],
+            Endpoint::Switch(s, p) => &mut self.switches[s.idx()][p.idx()],
+        }
+    }
+
+    /// The link wired at `ep`, if any.
+    pub fn link_at(&self, ep: Endpoint) -> Option<LinkId> {
+        match ep {
+            Endpoint::Host(h) => self.hosts.get(h.idx()).copied().flatten(),
+            Endpoint::Switch(s, p) => {
+                self.switches.get(s.idx()).and_then(|ports| ports.get(p.idx())).copied().flatten()
+            }
+        }
+    }
+
+    /// Link record.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.idx()]
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+    /// Number of switches.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+    /// Port count of a switch.
+    pub fn switch_ports(&self, s: SwitchId) -> u8 {
+        self.switches[s.idx()].len() as u8
+    }
+
+    /// All links, with IDs.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// Follow a full source route from `src`; returns the endpoint reached
+    /// (`Endpoint::Host` on success) or `None` if the route exits an unwired
+    /// or out-of-range port or has hops left over after reaching a host.
+    /// `alive` filters dead links (pass `|_| true` for the physical wiring).
+    pub fn trace_route(
+        &self,
+        src: NodeId,
+        route: &Route,
+        alive: impl Fn(LinkId) -> bool,
+    ) -> Option<Endpoint> {
+        let first = self.link_at(Endpoint::Host(src))?;
+        if !alive(first) {
+            return None;
+        }
+        let mut at = self.link(first).other(Endpoint::Host(src));
+        for (i, &port) in route.ports().iter().enumerate() {
+            let (s, _) = at.switch()?; // a route hop while at a host is invalid
+            if port >= self.switch_ports(s) {
+                return None;
+            }
+            let link = self.link_at(Endpoint::Switch(s, PortId(port)))?;
+            if !alive(link) {
+                return None;
+            }
+            at = self.link(link).other(Endpoint::Switch(s, PortId(port)));
+            if at.host().is_some() && i + 1 < route.len() {
+                return None; // route continues past a host
+            }
+        }
+        Some(at)
+    }
+
+    /// BFS shortest route between two hosts over alive links. Ground-truth
+    /// oracle for tests and initial route tables; the on-demand mapper must
+    /// *not* use this (it probes instead).
+    pub fn shortest_route(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        alive: impl Fn(LinkId) -> bool,
+    ) -> Option<Route> {
+        if from == to {
+            return Some(Route::empty());
+        }
+        let first = self.link_at(Endpoint::Host(from))?;
+        if !alive(first) {
+            return None;
+        }
+        let start = self.link(first).other(Endpoint::Host(from));
+        let (s0, _) = match start {
+            Endpoint::Host(h) => return (h == to).then(Route::empty),
+            Endpoint::Switch(s, p) => (s, p),
+        };
+        // BFS over switches, remembering the route taken.
+        let mut seen = vec![false; self.num_switches()];
+        let mut queue = VecDeque::new();
+        seen[s0.idx()] = true;
+        queue.push_back((s0, Route::empty()));
+        while let Some((s, route)) = queue.pop_front() {
+            if route.len() == crate::route::MAX_HOPS {
+                continue;
+            }
+            for p in 0..self.switch_ports(s) {
+                let Some(link) = self.link_at(Endpoint::Switch(s, PortId(p))) else {
+                    continue;
+                };
+                if !alive(link) {
+                    continue;
+                }
+                match self.link(link).other(Endpoint::Switch(s, PortId(p))) {
+                    Endpoint::Host(h) if h == to => return Some(route.then(p)),
+                    Endpoint::Host(_) => {}
+                    Endpoint::Switch(s2, _) => {
+                        if !seen[s2.idx()] {
+                            seen[s2.idx()] = true;
+                            queue.push_back((s2, route.then(p)));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical builders for the paper's experiments.
+// ---------------------------------------------------------------------------
+
+/// Two hosts joined by one 8-port switch: the microbenchmark setup (§5.1.4,
+/// "a pair of nodes connected with a switch"). Hosts are on ports 0 and 1.
+pub fn pair_via_switch() -> (Topology, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let a = t.add_host();
+    let b = t.add_host();
+    let s = t.add_switch(8);
+    t.connect_host(a, s, 0);
+    t.connect_host(b, s, 1);
+    (t, a, b)
+}
+
+/// `n` hosts on a single 16-port switch.
+pub fn star(n: usize) -> (Topology, Vec<NodeId>) {
+    assert!(n <= 16);
+    let mut t = Topology::new();
+    let hosts = t.add_hosts(n);
+    let s = t.add_switch(16);
+    for (i, &h) in hosts.iter().enumerate() {
+        t.connect_host(h, s, i as u8);
+    }
+    (t, hosts)
+}
+
+/// The application testbed: 4 nodes on one switch (sub-cluster of §5.1.4).
+pub fn cluster4() -> (Topology, Vec<NodeId>) {
+    star(4)
+}
+
+/// A chain of `k` 8-port switches with one host at each end, giving a
+/// (k)-switch-hop host pair; used by the Table 3 hop sweep.
+/// Host ports: port 0 of the first and last switch; inter-switch links use
+/// ports 1 (toward the tail) and 2 (toward the head).
+pub fn chain(k: usize) -> (Topology, NodeId, NodeId) {
+    assert!(k >= 1);
+    let mut t = Topology::new();
+    let a = t.add_host();
+    let b = t.add_host();
+    let switches: Vec<_> = (0..k).map(|_| t.add_switch(8)).collect();
+    t.connect_host(a, switches[0], 0);
+    for w in switches.windows(2) {
+        t.connect_switches(w[0], 1, w[1], 2);
+    }
+    t.connect_host(b, switches[k - 1], if k == 1 { 1 } else { 0 });
+    (t, a, b)
+}
+
+/// Handle bundle for the Figure 2 mapping testbed.
+#[derive(Debug, Clone)]
+pub struct MappingTestbed {
+    /// The wiring.
+    pub topo: Topology,
+    /// All hosts, indexed by the switch they hang off: `hosts[i]` hangs off
+    /// `switches[i % 4]`.
+    pub hosts: Vec<NodeId>,
+    /// The four switches: two 16-port cores then two 8-port leaves.
+    pub switches: Vec<SwitchId>,
+    /// The redundant core-to-core link (killable to force re-routes).
+    pub redundant_links: Vec<LinkId>,
+}
+
+/// The Figure 2 dynamic-mapping testbed: two 16-port and two 8-port
+/// full-crossbar switches in a tree with redundant links so no single link is
+/// a point of failure, plus `hosts_per_switch` hosts on each switch.
+///
+/// Wiring (ports in parentheses):
+/// * core0 (16p) ⇄ core1 (16p) twice — ports 14/15 to 14/15,
+/// * leaf2 (8p) to core0 (p12) and core1 (p12) — ports 6,7,
+/// * leaf3 (8p) to core0 (p13) and core1 (p13) — ports 6,7,
+/// * hosts on ports 0.. of their switch.
+pub fn paper_mapping_testbed(hosts_per_switch: usize) -> MappingTestbed {
+    assert!((1..=6).contains(&hosts_per_switch));
+    let mut t = Topology::new();
+    let core0 = t.add_switch(16);
+    let core1 = t.add_switch(16);
+    let leaf2 = t.add_switch(8);
+    let leaf3 = t.add_switch(8);
+    let redundant = vec![
+        t.connect_switches(core0, 14, core1, 14),
+        t.connect_switches(core0, 15, core1, 15),
+        t.connect_switches(leaf2, 6, core0, 12),
+        t.connect_switches(leaf2, 7, core1, 12),
+        t.connect_switches(leaf3, 6, core0, 13),
+        t.connect_switches(leaf3, 7, core1, 13),
+    ];
+    let switches = vec![core0, core1, leaf2, leaf3];
+    let mut hosts = Vec::new();
+    for i in 0..hosts_per_switch {
+        for &s in &switches {
+            let h = t.add_host();
+            t.connect_host(h, s, i as u8);
+            hosts.push(h);
+        }
+    }
+    MappingTestbed { topo: t, hosts, switches, redundant_links: redundant }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::MAX_HOPS;
+
+    #[test]
+    fn connect_and_query() {
+        let (t, a, b) = pair_via_switch();
+        assert_eq!(t.num_hosts(), 2);
+        assert_eq!(t.num_switches(), 1);
+        assert_eq!(t.num_links(), 2);
+        let la = t.link_at(Endpoint::Host(a)).unwrap();
+        let other = t.link(la).other(Endpoint::Host(a));
+        assert_eq!(other, Endpoint::Switch(SwitchId(0), PortId(0)));
+        assert!(t.link_at(Endpoint::Switch(SwitchId(0), PortId(5))).is_none());
+        let _ = b;
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wire_panics() {
+        let mut t = Topology::new();
+        let h = t.add_host();
+        let s = t.add_switch(4);
+        t.connect_host(h, s, 0);
+        let h2 = t.add_host();
+        let _ = h2;
+        t.connect(Endpoint::Host(h), Endpoint::Switch(s, PortId(1)));
+    }
+
+    #[test]
+    fn trace_route_follows_wiring() {
+        let (t, a, b) = pair_via_switch();
+        // a → switch port 1 → b
+        let r = Route::from_ports(&[1]);
+        assert_eq!(t.trace_route(a, &r, |_| true), Some(Endpoint::Host(b)));
+        // Port 5 is unwired.
+        assert_eq!(t.trace_route(a, &Route::from_ports(&[5]), |_| true), None);
+        // Out-of-range port.
+        assert_eq!(t.trace_route(a, &Route::from_ports(&[200]), |_| true), None);
+        // Route continuing past a host is invalid.
+        assert_eq!(t.trace_route(a, &Route::from_ports(&[1, 0]), |_| true), None);
+        // Dead link filter.
+        let la = t.link_at(Endpoint::Host(a)).unwrap();
+        assert_eq!(t.trace_route(a, &r, |l| l != la), None);
+    }
+
+    #[test]
+    fn shortest_route_in_chain() {
+        for k in 1..=4 {
+            let (t, a, b) = chain(k);
+            let r = t.shortest_route(a, b, |_| true).expect("route exists");
+            assert_eq!(r.len(), k, "chain of {k} switches needs {k} hops");
+            assert_eq!(t.trace_route(a, &r, |_| true), Some(Endpoint::Host(b)));
+            // And back.
+            let rb = t.shortest_route(b, a, |_| true).unwrap();
+            assert_eq!(t.trace_route(b, &rb, |_| true), Some(Endpoint::Host(a)));
+        }
+    }
+
+    #[test]
+    fn shortest_route_respects_dead_links() {
+        let tb = paper_mapping_testbed(1);
+        let (a, b) = (tb.hosts[0], tb.hosts[1]); // on core0 and core1
+        let direct = tb.topo.shortest_route(a, b, |_| true).unwrap();
+        assert_eq!(direct.len(), 2, "one core-to-core hop");
+        // Kill both direct core links: route must detour via a leaf.
+        let dead = [tb.redundant_links[0], tb.redundant_links[1]];
+        let detour = tb.topo.shortest_route(a, b, |l| !dead.contains(&l)).unwrap();
+        assert_eq!(detour.len(), 3, "detour via a leaf switch");
+        assert_eq!(
+            tb.topo.trace_route(a, &detour, |l| !dead.contains(&l)),
+            Some(Endpoint::Host(b))
+        );
+    }
+
+    #[test]
+    fn no_route_when_partitioned() {
+        let mut t = Topology::new();
+        let a = t.add_host();
+        let b = t.add_host();
+        let s1 = t.add_switch(4);
+        let s2 = t.add_switch(4);
+        t.connect_host(a, s1, 0);
+        t.connect_host(b, s2, 0);
+        assert!(t.shortest_route(a, b, |_| true).is_none());
+    }
+
+    #[test]
+    fn mapping_testbed_shape() {
+        let tb = paper_mapping_testbed(2);
+        assert_eq!(tb.topo.num_switches(), 4);
+        assert_eq!(tb.hosts.len(), 8);
+        assert_eq!(tb.topo.switch_ports(tb.switches[0]), 16);
+        assert_eq!(tb.topo.switch_ports(tb.switches[2]), 8);
+        // Every host pair is connected.
+        for &x in &tb.hosts {
+            for &y in &tb.hosts {
+                if x != y {
+                    assert!(tb.topo.shortest_route(x, y, |_| true).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_longer_than_max_hops_is_not_found() {
+        // Chain longer than MAX_HOPS: BFS must terminate and return None.
+        let (t, a, b) = chain(MAX_HOPS + 2);
+        assert!(t.shortest_route(a, b, |_| true).is_none());
+    }
+}

@@ -1,0 +1,71 @@
+//! # san-microbench — the paper's microbenchmarks (§5.1.4)
+//!
+//! Three tests over a pair of nodes joined by one switch:
+//!
+//! * **one-way latency** with the Figure 3 stage breakdown (host send / NIC
+//!   send / wire / NIC receive / host receive),
+//! * **ping-pong bandwidth** (a full message each way per round),
+//! * **unidirectional bandwidth** (stream as fast as the NIC accepts).
+//!
+//! Each runs under either the baseline firmware ("No Fault Tolerance") or
+//! the reliable firmware with a full [`ProtocolConfig`], which is how the
+//! parameter sweeps of Figures 5–8 are produced. [`sweep`] fans independent
+//! configurations out across threads (each simulation is self-contained and
+//! deterministic, so parallelism cannot perturb results).
+
+pub mod agents;
+pub mod bandwidth;
+pub mod latency;
+pub mod sweep;
+
+pub use bandwidth::{pingpong_bandwidth, unidirectional_bandwidth, BwPoint};
+pub use latency::{one_way_latency, LatencyBreakdown};
+pub use sweep::{run_grid, GridPoint, GridSpec};
+
+use san_ft::{MapperConfig, ProtocolConfig, ReliableFirmware};
+use san_nic::{Cluster, ClusterConfig, Firmware, HostAgent, UnreliableFirmware};
+
+/// Which control program the NICs run.
+#[derive(Debug, Clone)]
+pub enum FwKind {
+    /// The baseline: no reliability at all.
+    NoFt,
+    /// The paper's reliable firmware with the given protocol parameters.
+    Ft(ProtocolConfig),
+}
+
+impl FwKind {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            FwKind::NoFt => "no-ft".into(),
+            FwKind::Ft(p) => format!(
+                "ft(r={}, err={})",
+                p.retx_timeout,
+                p.drop_interval.map_or("0".into(), |n| format!("1/{n}")),
+            ),
+        }
+    }
+}
+
+/// Build the standard two-node, one-switch cluster with the requested
+/// firmware and shortest routes installed.
+pub fn pair_cluster(fw: &FwKind, cfg: ClusterConfig, hosts: Vec<Box<dyn HostAgent>>) -> Cluster {
+    let (topo, _a, _b) = san_fabric::topology::pair_via_switch();
+    let fw = fw.clone();
+    let mut cluster = Cluster::new(
+        topo,
+        cfg,
+        move |_| -> Box<dyn Firmware> {
+            match &fw {
+                FwKind::NoFt => Box::new(UnreliableFirmware),
+                FwKind::Ft(p) => {
+                    Box::new(ReliableFirmware::new(p.clone(), MapperConfig::default(), 2))
+                }
+            }
+        },
+        hosts,
+    );
+    cluster.install_shortest_routes();
+    cluster
+}

@@ -1,0 +1,71 @@
+//! Regression: pathologically short retransmission timers (the paper's
+//! 10 µs extreme) cause bounded thrash — a retransmission storm throttled by
+//! the LANai's own speed and the finite receive ring — not an unbounded
+//! event-queue explosion. Each cell must complete, quickly, with the
+//! expected bandwidth collapse.
+
+use san_ft::ProtocolConfig;
+use san_microbench::{pingpong_bandwidth, unidirectional_bandwidth, FwKind};
+use san_nic::ClusterConfig;
+use san_sim::{Duration, Time};
+
+#[test]
+fn ten_microsecond_timer_storms_are_bounded() {
+    let deadline = Time::from_secs(20);
+    // 4-byte unidirectional: the worst case (per-packet costs dominate).
+    let storm = unidirectional_bandwidth(
+        &FwKind::Ft(ProtocolConfig::default().with_timeout(Duration::from_micros(10))),
+        4,
+        2048,
+        ClusterConfig::default(),
+        deadline,
+    );
+    assert!(storm.completed, "the storm must make progress, however slow");
+    assert!(storm.retransmits > 1000, "it IS a storm: {}", storm.retransmits);
+    let clean = unidirectional_bandwidth(
+        &FwKind::Ft(ProtocolConfig::default()),
+        4,
+        2048,
+        ClusterConfig::default(),
+        deadline,
+    );
+    assert!(clean.completed);
+    assert!(
+        storm.mbps < clean.mbps * 0.5,
+        "10 µs timer must collapse bandwidth: {:.2} vs {:.2}",
+        storm.mbps,
+        clean.mbps
+    );
+}
+
+#[test]
+fn pingpong_with_short_timer_still_completes() {
+    let bw = pingpong_bandwidth(
+        &FwKind::Ft(ProtocolConfig::default().with_timeout(Duration::from_micros(10))),
+        4,
+        200,
+        ClusterConfig::default(),
+        Time::from_secs(20),
+    );
+    assert!(bw.completed);
+}
+
+#[test]
+fn bulk_storm_recovers_at_1ms() {
+    // 64 KB messages, 10 µs vs 1 ms: the 1 ms run must stay near the PCI
+    // plateau while 10 µs loses most of it.
+    let run = |us: u64| {
+        unidirectional_bandwidth(
+            &FwKind::Ft(ProtocolConfig::default().with_timeout(Duration::from_micros(us))),
+            65536,
+            32,
+            ClusterConfig::default(),
+            Time::from_secs(20),
+        )
+    };
+    let fast = run(10);
+    let good = run(1000);
+    assert!(fast.completed && good.completed);
+    assert!(good.mbps > 100.0, "1 ms near plateau: {:.1}", good.mbps);
+    assert!(fast.mbps < good.mbps * 0.8, "10 µs collapses: {:.1}", fast.mbps);
+}

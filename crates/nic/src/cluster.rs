@@ -1,0 +1,366 @@
+//! The cluster world: hosts + NICs + fabric under one event loop.
+//!
+//! `Cluster` owns the simulation clock/queue, the fabric engine, one [`Nic`]
+//! per host and one [`HostAgent`] per host, and dispatches every event to the
+//! component it addresses. All cross-component interaction flows through the
+//! event queue or the explicit contexts ([`NicCtx`], [`HostCtx`]) — there is
+//! no shared mutable state, which is what keeps runs deterministic.
+
+use san_fabric::engine::{Engine, EngineConfig, FabricEvent, FabricOut};
+use san_fabric::{NodeId, Packet, Topology};
+use san_sim::{Duration, Sim, Time};
+
+use crate::buffer::BufId;
+use crate::nic::{Firmware, Nic, NicCore, NicCtx, SendDesc};
+use crate::timing::NicTiming;
+
+/// Events addressed to a NIC.
+#[derive(Debug)]
+pub enum NicEvent {
+    /// A send buffer's payload reached SRAM (PIO or DMA done); the LANai
+    /// still has to build the header.
+    TxData {
+        /// The buffer.
+        buf: BufId,
+    },
+    /// A send buffer's data is in SRAM and its header is built.
+    TxReady {
+        /// The buffer.
+        buf: BufId,
+    },
+    /// The network DMA starts reading this (already sealed) packet: inject.
+    Inject {
+        /// The wire copy.
+        pkt: Box<Packet>,
+    },
+    /// The network DMA finished reading `buf`.
+    TxInjected {
+        /// The buffer.
+        buf: BufId,
+    },
+    /// The LANai picked a received packet off the receive ring.
+    RxProcess {
+        /// The packet.
+        pkt: Box<Packet>,
+    },
+    /// A firmware timer fired.
+    Timer {
+        /// Firmware-defined meaning.
+        token: u64,
+    },
+}
+
+/// Events addressed to a host agent.
+#[derive(Debug)]
+pub enum HostEvent {
+    /// A scheduled wakeup.
+    Wake {
+        /// Agent-defined meaning.
+        token: u64,
+    },
+    /// A message segment was deposited into host memory.
+    Deliver {
+        /// The packet (stamps filled in).
+        pkt: Box<Packet>,
+    },
+    /// The NIC finished reading the send data out of host memory.
+    SendDone {
+        /// The message id from the descriptor.
+        msg_id: u64,
+    },
+}
+
+/// The cluster-wide event type.
+#[derive(Debug)]
+pub enum ClusterEvent {
+    /// Fabric-internal event.
+    Fabric(FabricEvent),
+    /// NIC event.
+    Nic(NodeId, NicEvent),
+    /// Host event.
+    Host(NodeId, HostEvent),
+}
+
+impl From<FabricEvent> for ClusterEvent {
+    fn from(e: FabricEvent) -> Self {
+        ClusterEvent::Fabric(e)
+    }
+}
+
+/// Context handed to host agents.
+pub struct HostCtx<'a> {
+    /// This host.
+    pub node: NodeId,
+    /// This host's NIC.
+    pub nic: &'a mut Nic,
+    /// Clock + queue.
+    pub sim: &'a mut Sim<ClusterEvent>,
+    /// The fabric.
+    pub engine: &'a mut Engine,
+}
+
+impl HostCtx<'_> {
+    /// Current time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Schedule a wakeup for this agent.
+    pub fn wake_in(&mut self, after: Duration, token: u64) {
+        let node = self.node;
+        self.sim.schedule_in(after, ClusterEvent::Host(node, HostEvent::Wake { token }));
+    }
+
+    /// Schedule a wakeup at an absolute time.
+    pub fn wake_at(&mut self, at: Time, token: u64) {
+        let node = self.node;
+        self.sim.schedule(at, ClusterEvent::Host(node, HostEvent::Wake { token }));
+    }
+
+    /// Post a send descriptor to the NIC.
+    pub fn post_send(&mut self, desc: SendDesc) {
+        let mut ctx = NicCtx { sim: self.sim, engine: self.engine };
+        self.nic.post_send(&mut ctx, desc);
+    }
+}
+
+/// A process (or driver state machine) running on a host.
+pub trait HostAgent {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut HostCtx);
+    /// A scheduled wakeup fired.
+    fn on_wake(&mut self, ctx: &mut HostCtx, token: u64);
+    /// A message segment arrived in host memory.
+    fn on_message(&mut self, ctx: &mut HostCtx, pkt: Packet);
+    /// A send's host buffer is reusable.
+    fn on_send_done(&mut self, ctx: &mut HostCtx, msg_id: u64);
+}
+
+/// A do-nothing agent for nodes that only react (e.g. pure receivers whose
+/// behaviour lives in the firmware).
+#[derive(Debug, Default)]
+pub struct IdleHost;
+
+impl HostAgent for IdleHost {
+    fn on_start(&mut self, _ctx: &mut HostCtx) {}
+    fn on_wake(&mut self, _ctx: &mut HostCtx, _token: u64) {}
+    fn on_message(&mut self, _ctx: &mut HostCtx, _pkt: Packet) {}
+    fn on_send_done(&mut self, _ctx: &mut HostCtx, _msg_id: u64) {}
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// NIC/host cost model.
+    pub timing: NicTiming,
+    /// Fabric constants.
+    pub engine: EngineConfig,
+    /// Send buffers per NIC (the paper's queue-size parameter, 2–128).
+    pub send_bufs: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            timing: NicTiming::default(),
+            engine: EngineConfig::default(),
+            send_bufs: 32,
+            seed: 1,
+        }
+    }
+}
+
+/// The assembled world.
+pub struct Cluster {
+    /// Clock and event queue.
+    pub sim: Sim<ClusterEvent>,
+    /// The fabric.
+    pub engine: Engine,
+    /// One NIC per host.
+    pub nics: Vec<Nic>,
+    /// One agent per host.
+    pub hosts: Vec<Box<dyn HostAgent>>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Cluster {
+    /// Build a cluster over `topo`. `make_fw` supplies each NIC's control
+    /// program; `hosts` must have one agent per host in the topology.
+    pub fn new(
+        topo: Topology,
+        cfg: ClusterConfig,
+        mut make_fw: impl FnMut(NodeId) -> Box<dyn Firmware>,
+        hosts: Vec<Box<dyn HostAgent>>,
+    ) -> Self {
+        let n = topo.num_hosts();
+        assert_eq!(hosts.len(), n, "one host agent per host");
+        let engine = Engine::new(topo, cfg.engine.clone());
+        let nics = (0..n)
+            .map(|i| {
+                let id = NodeId(i as u16);
+                let core = NicCore::new(id, cfg.timing.clone(), cfg.send_bufs, n);
+                Nic::new(core, make_fw(id))
+            })
+            .collect();
+        Self {
+            sim: Sim::new(cfg.seed),
+            engine,
+            nics,
+            hosts,
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Install shortest-path routes between every host pair (the state of a
+    /// freshly, correctly mapped network). Panics if any pair is
+    /// disconnected.
+    pub fn install_shortest_routes(&mut self) {
+        let n = self.nics.len();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (na, nb) = (NodeId(a as u16), NodeId(b as u16));
+                let r = self
+                    .engine
+                    .topology()
+                    .shortest_route(na, nb, |_| true)
+                    .unwrap_or_else(|| panic!("no route {na} -> {nb}"));
+                self.nics[a].core.routes.set(nb, r);
+            }
+        }
+    }
+
+    /// Install UP*/DOWN* (deadlock-free) routes for every host pair — the
+    /// full-map baseline.
+    pub fn install_updown_routes(&mut self) {
+        let topo = self.engine.topology().clone();
+        let map = san_fabric::updown::UpDownMap::build(&topo, |_| true)
+            .expect("topology has switches");
+        let table = map.full_table(&topo, |_| true);
+        for (a, row) in table.iter().enumerate() {
+            for (b, r) in row.iter().enumerate() {
+                if a != b {
+                    if let Some(r) = r {
+                        self.nics[a].core.routes.set(NodeId(b as u16), *r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nics.len() {
+            let mut ctx = NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+            self.nics[i].on_start(&mut ctx);
+        }
+        for i in 0..self.hosts.len() {
+            let mut ctx = HostCtx {
+                node: NodeId(i as u16),
+                nic: &mut self.nics[i],
+                sim: &mut self.sim,
+                engine: &mut self.engine,
+            };
+            self.hosts[i].on_start(&mut ctx);
+        }
+    }
+
+    /// Run until the queue drains or `deadline` passes. Returns the time of
+    /// the last processed event.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        self.start_if_needed();
+        let mut outs: Vec<FabricOut> = Vec::new();
+        while let Some(next) = self.peek_time() {
+            if next > deadline {
+                break;
+            }
+            let (_, ev) = self.sim.pop().expect("peeked");
+            self.events_processed += 1;
+            self.dispatch(ev, &mut outs);
+        }
+        self.sim.now()
+    }
+
+    /// Run until no events remain (requires all periodic timers to be
+    /// stopped, so mostly useful for unreliable-firmware tests).
+    pub fn run_until_idle(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.sim.peek_time()
+    }
+
+    fn dispatch(&mut self, ev: ClusterEvent, outs: &mut Vec<FabricOut>) {
+        match ev {
+            ClusterEvent::Fabric(fe) => {
+                outs.clear();
+                self.engine.handle(&mut self.sim, fe, outs);
+                let drained: Vec<FabricOut> = std::mem::take(outs);
+                for out in drained {
+                    match out {
+                        FabricOut::Delivered { node, pkt } => {
+                            let mut ctx =
+                                NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+                            self.nics[node.idx()].on_delivered(&mut ctx, pkt);
+                        }
+                        FabricOut::PathReset { src, pkt } => {
+                            let mut ctx =
+                                NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+                            self.nics[src.idx()].on_path_reset(&mut ctx, pkt);
+                        }
+                        FabricOut::Dropped { .. } => {
+                            // Silent on real hardware; engine stats keep it.
+                        }
+                    }
+                }
+            }
+            ClusterEvent::Nic(node, ne) => {
+                let mut ctx = NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+                self.nics[node.idx()].handle(&mut ctx, ne);
+            }
+            ClusterEvent::Host(node, he) => {
+                let mut ctx = HostCtx {
+                    node,
+                    nic: &mut self.nics[node.idx()],
+                    sim: &mut self.sim,
+                    engine: &mut self.engine,
+                };
+                match he {
+                    HostEvent::Wake { token } => self.hosts[node.idx()].on_wake(&mut ctx, token),
+                    HostEvent::Deliver { pkt } => {
+                        self.hosts[node.idx()].on_message(&mut ctx, *pkt)
+                    }
+                    HostEvent::SendDone { msg_id } => {
+                        self.hosts[node.idx()].on_send_done(&mut ctx, msg_id)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("hosts", &self.hosts.len())
+            .field("now", &self.sim.now())
+            .field("events", &self.events_processed)
+            .finish()
+    }
+}

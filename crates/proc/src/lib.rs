@@ -1,0 +1,274 @@
+//! # san-proc — deterministic thread-backed coroutines
+//!
+//! The SPLASH-2 kernels in `san-apps` are real algorithms with loops,
+//! branches and data; forcing them into hand-written event-machine form
+//! would make them unreadable and unfaithful. Instead, each simulated
+//! process runs on its own OS thread as a *coroutine*: it computes with real
+//! data, and whenever it touches simulated time — `compute(d)`, or a
+//! blocking protocol request — it parks on a rendezvous channel until the
+//! simulation scheduler resumes it.
+//!
+//! Determinism: the scheduler resumes exactly one coroutine at a time and
+//! blocks until that coroutine either finishes or parks again
+//! (`resume` is strictly synchronous), so execution is a deterministic
+//! interleaving fully controlled by the discrete-event simulation — OS
+//! scheduling cannot influence results.
+//!
+//! The request/response types are generic (`Q`/`R`): `san-svm` plugs in its
+//! shared-memory operations, tests plug in toy protocols.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use san_sim::{Duration, Time};
+
+/// What a coroutine does when it parks.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Step<Q> {
+    /// Burn CPU in the simulation for this long, then resume.
+    Compute(Duration),
+    /// A blocking protocol request; the scheduler decides when to resume
+    /// and with what response.
+    Request(Q),
+    /// The coroutine's body returned.
+    Done,
+}
+
+enum Resume<R> {
+    Go { now: Time, value: Option<R> },
+    Kill,
+}
+
+struct KillToken;
+
+/// The coroutine's side of the rendezvous: blocking calls into simulation
+/// time. Handed to the coroutine body on spawn.
+pub struct ProcIo<Q, R> {
+    tx: SyncSender<Step<Q>>,
+    rx: Receiver<Resume<R>>,
+    now: Time,
+}
+
+impl<Q, R> ProcIo<Q, R> {
+    /// Current simulated time (as of the last resume).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Spend `d` of simulated CPU time.
+    pub fn compute(&mut self, d: Duration) {
+        if d == Duration::ZERO {
+            return;
+        }
+        self.tx.send(Step::Compute(d)).expect("scheduler gone");
+        self.wait();
+    }
+
+    /// Issue a blocking request and wait for its response.
+    pub fn request(&mut self, q: Q) -> R {
+        self.tx.send(Step::Request(q)).expect("scheduler gone");
+        self.wait().expect("request resumed without a response value")
+    }
+
+    fn wait(&mut self) -> Option<R> {
+        match self.rx.recv() {
+            Ok(Resume::Go { now, value }) => {
+                self.now = now;
+                value
+            }
+            Ok(Resume::Kill) | Err(_) => std::panic::panic_any(KillToken),
+        }
+    }
+}
+
+/// Scheduler-side handle to one coroutine.
+pub struct Coroutine<Q, R> {
+    to_proc: SyncSender<Resume<R>>,
+    from_proc: Receiver<Step<Q>>,
+    thread: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl<Q: Send + 'static, R: Send + 'static> Coroutine<Q, R> {
+    /// Spawn `body` as a parked coroutine. Nothing runs until the first
+    /// [`Coroutine::resume`].
+    pub fn spawn<F>(name: String, body: F) -> Self
+    where
+        F: FnOnce(&mut ProcIo<Q, R>) + Send + 'static,
+    {
+        // Rendezvous channels (capacity 0): every send blocks until the
+        // other side is at its recv — strict alternation.
+        let (step_tx, step_rx) = std::sync::mpsc::sync_channel::<Step<Q>>(0);
+        let (resume_tx, resume_rx) = std::sync::mpsc::sync_channel::<Resume<R>>(0);
+        let thread = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                // Wait for the first resume before running the body.
+                let first = resume_rx.recv();
+                let now = match first {
+                    Ok(Resume::Go { now, .. }) => now,
+                    Ok(Resume::Kill) | Err(_) => return,
+                };
+                let mut io = ProcIo { tx: step_tx, rx: resume_rx, now };
+                let tx = io.tx.clone();
+                let result = catch_unwind(AssertUnwindSafe(move || body(&mut io)));
+                match result {
+                    Ok(()) => {
+                        let _ = tx.send(Step::Done);
+                    }
+                    Err(payload) if payload.is::<KillToken>() => {
+                        // Graceful teardown; the scheduler is not listening.
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            })
+            .expect("spawn coroutine thread");
+        Self { to_proc: resume_tx, from_proc: step_rx, thread: Some(thread), finished: false }
+    }
+
+    /// Resume the coroutine at simulated time `now`, delivering `value` as
+    /// the response to its pending request (use `None` after a `Compute`
+    /// park and for the first resume). Blocks until it parks again; returns
+    /// how it parked.
+    ///
+    /// # Panics
+    /// Panics if called after the coroutine finished.
+    pub fn resume(&mut self, now: Time, value: Option<R>) -> Step<Q> {
+        assert!(!self.finished, "resumed a finished coroutine");
+        self.to_proc.send(Resume::Go { now, value }).expect("coroutine thread died");
+        match self.from_proc.recv() {
+            Ok(Step::Done) | Err(_) => {
+                self.finished = true;
+                Step::Done
+            }
+            Ok(step) => step,
+        }
+    }
+
+    /// Has the body returned?
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl<Q, R> Drop for Coroutine<Q, R> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Unpark the thread with a kill so it can unwind and exit.
+            let _ = self.to_proc.send(Resume::Kill);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_parks_and_resumes() {
+        let mut co: Coroutine<(), ()> = Coroutine::spawn("t".into(), |io| {
+            io.compute(Duration::from_micros(5));
+            io.compute(Duration::from_micros(7));
+        });
+        assert_eq!(co.resume(Time::ZERO, None), Step::Compute(Duration::from_micros(5)));
+        assert_eq!(
+            co.resume(Time::from_micros(5), None),
+            Step::Compute(Duration::from_micros(7))
+        );
+        assert_eq!(co.resume(Time::from_micros(12), None), Step::Done);
+        assert!(co.finished());
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut co: Coroutine<u32, u32> = Coroutine::spawn("t".into(), |io| {
+            let a = io.request(10);
+            let b = io.request(a + 1);
+            assert_eq!(b, 42);
+        });
+        let s = co.resume(Time::ZERO, None);
+        assert_eq!(s, Step::Request(10));
+        let s = co.resume(Time::from_micros(1), Some(20));
+        assert_eq!(s, Step::Request(21));
+        let s = co.resume(Time::from_micros(2), Some(42));
+        assert_eq!(s, Step::Done);
+    }
+
+    #[test]
+    fn now_advances_with_resume() {
+        let mut co: Coroutine<(), ()> = Coroutine::spawn("t".into(), |io| {
+            assert_eq!(io.now(), Time::ZERO);
+            io.compute(Duration::from_micros(3));
+            assert_eq!(io.now(), Time::from_micros(3));
+        });
+        co.resume(Time::ZERO, None);
+        assert_eq!(co.resume(Time::from_micros(3), None), Step::Done);
+    }
+
+    #[test]
+    fn zero_compute_is_free() {
+        let mut co: Coroutine<(), ()> = Coroutine::spawn("t".into(), |io| {
+            io.compute(Duration::ZERO); // must not park
+        });
+        assert_eq!(co.resume(Time::ZERO, None), Step::Done);
+    }
+
+    #[test]
+    fn drop_unfinished_coroutine_is_clean() {
+        let mut co: Coroutine<u32, u32> = Coroutine::spawn("t".into(), |io| {
+            let _ = io.request(1);
+            unreachable!("killed before a response arrives");
+        });
+        let _ = co.resume(Time::ZERO, None); // park it at the request
+        drop(co); // must not hang or panic
+    }
+
+    #[test]
+    fn drop_never_started_coroutine_is_clean() {
+        let co: Coroutine<u32, u32> = Coroutine::spawn("t".into(), |io| {
+            let _ = io.request(1);
+        });
+        drop(co);
+    }
+
+    #[test]
+    fn many_coroutines_interleave_deterministically() {
+        let mut cos: Vec<Coroutine<u32, u32>> = (0..8)
+            .map(|i| {
+                Coroutine::spawn(format!("w{i}"), move |io| {
+                    let mut acc = i;
+                    for _ in 0..50 {
+                        acc = io.request(acc);
+                    }
+                    io.compute(Duration::from_micros(acc as u64 % 7 + 1));
+                })
+            })
+            .collect();
+        let mut t = Time::ZERO;
+        let mut pending: Vec<Step<u32>> =
+            cos.iter_mut().map(|co| co.resume(t, None)).collect();
+        let mut safety = 0;
+        while !cos.iter().all(|c| c.finished()) {
+            safety += 1;
+            assert!(safety < 10_000, "interleaving did not terminate");
+            for (i, co) in cos.iter_mut().enumerate() {
+                if co.finished() {
+                    continue;
+                }
+                t = t + Duration::from_nanos(10);
+                pending[i] = match &pending[i] {
+                    Step::Request(q) => co.resume(t, Some(q + 1)),
+                    Step::Compute(d) => {
+                        let d = *d;
+                        co.resume(t + d, None)
+                    }
+                    Step::Done => Step::Done,
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The pending-event set: a binary heap keyed on `(time, sequence)`.
+//!
+//! The sequence number makes simultaneous events pop in insertion order,
+//! which is what makes whole-system runs reproducible: without it, the heap's
+//! internal layout (and therefore pop order of ties) would depend on
+//! incidental history.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Deterministic priority queue of timestamped events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Time, u64)>,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::with_capacity(1024), seq: 0 }
+    }
+
+    /// Insert an event at absolute time `at`.
+    #[inline]
+    pub fn push(&mut self, at: Time, ev: E) {
+        let s = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { key: Reverse((at, s)), ev });
+    }
+
+    /// Remove and return the earliest event (FIFO among ties).
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.ev))
+    }
+
+    /// Timestamp of the next event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (diagnostic).
+    #[inline]
+    pub fn pushed_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(5), "b");
+        q.push(Time::from_nanos(1), "a");
+        q.push(Time::from_nanos(9), "c");
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(1)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(1), "a")));
+        assert_eq!(q.pop(), Some((Time::from_nanos(5), "b")));
+        assert_eq!(q.pop(), Some((Time::from_nanos(9), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(7);
+        for i in 0..1000u32 {
+            q.push(t, i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(10), 1u32);
+        q.push(Time::from_nanos(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(Time::from_nanos(15), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.is_empty());
+        assert_eq!(q.pushed_total(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping must yield a nondecreasing time sequence, and ties must
+        /// preserve insertion order, for any input schedule.
+        #[test]
+        fn pop_order_is_total(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time::from_nanos(t), i);
+            }
+            let mut last: Option<(Time, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li, "tie broke out of insertion order");
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+    }
+}

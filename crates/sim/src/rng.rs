@@ -1,0 +1,148 @@
+//! Deterministic simulation RNG.
+//!
+//! A thin wrapper around [`rand::rngs::SmallRng`] that (a) forces explicit
+//! seeding — there is no `from_entropy` path, so a run can never silently
+//! become irreproducible — and (b) provides the handful of draw shapes the
+//! simulator needs (uniform ranges, Bernoulli trials, exponential waits for
+//! bursty-fault modelling).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Explicitly seeded fast RNG for simulation decisions.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Seed from a single `u64`. Identical seeds give identical streams.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child stream; used to give each injected fault
+    /// source its own stream so adding one fault source does not shift the
+    /// draws seen by another.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from(s)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean (for inter-arrival
+    /// fault times in the random fault model).
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Raw `u64` draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Fisher–Yates shuffle (deterministic given the stream position).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(42);
+        let mut b = SimRng::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from(7);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut r = SimRng::seed_from(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(100.0)).sum();
+        let mean = sum / n as f64;
+        assert!((90.0..110.0).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn fork_gives_independent_streams() {
+        let mut root = SimRng::seed_from(3);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

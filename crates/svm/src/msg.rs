@@ -1,0 +1,281 @@
+//! SVM protocol wire messages and their compact byte codec.
+//!
+//! Control messages travel as real bytes inside VMMC deposits (so the codec
+//! is genuinely exercised end-to-end, CRC and all); bulk page payloads are
+//! carried as logical length on the same message (padding), which is what
+//! drives the simulated wire/DMA costs.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One SVM protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvmMsg {
+    /// Ask `page`'s home for its current contents.
+    PageReq {
+        /// The page.
+        page: u32,
+        /// Global id of the process stalled on it (echoed in the reply).
+        pid: u32,
+    },
+    /// Home's reply; carries a logical 4 KB payload.
+    PageReply {
+        /// The page.
+        page: u32,
+        /// Stalled process to resume.
+        pid: u32,
+    },
+    /// Write back a dirty page to its home; carries logical 4 KB.
+    Flush {
+        /// The page.
+        page: u32,
+        /// Flush sequence token for matching the ack.
+        token: u32,
+    },
+    /// Home confirms a flush landed.
+    FlushAck {
+        /// Echoed token.
+        token: u32,
+    },
+    /// Ask the lock's home for ownership.
+    LockReq {
+        /// The lock.
+        lock: u32,
+        /// Requesting process (global id).
+        pid: u32,
+    },
+    /// Ownership granted; invalidate these pages first (write notices of
+    /// the previous holder).
+    LockGrant {
+        /// The lock.
+        lock: u32,
+        /// Process to resume.
+        pid: u32,
+        /// Pages to invalidate.
+        invalidate: Vec<u32>,
+    },
+    /// Give the lock back to its home, with this interval's write notices.
+    LockRelease {
+        /// The lock.
+        lock: u32,
+        /// Pages dirtied under the lock.
+        dirty: Vec<u32>,
+    },
+    /// A process reached the barrier; carries its node's write notices.
+    BarrierArrive {
+        /// Barrier episode number.
+        episode: u32,
+        /// Arriving process (global id).
+        pid: u32,
+        /// Pages the arriving node dirtied this interval.
+        dirty: Vec<u32>,
+    },
+    /// The manager releases the barrier; invalidate these pages.
+    BarrierRelease {
+        /// Barrier episode number.
+        episode: u32,
+        /// Union of all write notices from other nodes.
+        invalidate: Vec<u32>,
+    },
+}
+
+const T_PAGE_REQ: u8 = 1;
+const T_PAGE_REPLY: u8 = 2;
+const T_FLUSH: u8 = 3;
+const T_FLUSH_ACK: u8 = 4;
+const T_LOCK_REQ: u8 = 5;
+const T_LOCK_GRANT: u8 = 6;
+const T_LOCK_RELEASE: u8 = 7;
+const T_BAR_ARRIVE: u8 = 8;
+const T_BAR_RELEASE: u8 = 9;
+
+fn put_list(b: &mut BytesMut, xs: &[u32]) {
+    b.put_u32_le(xs.len() as u32);
+    for &x in xs {
+        b.put_u32_le(x);
+    }
+}
+
+fn get_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let v = buf.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(v.try_into().unwrap()))
+}
+
+fn get_list(buf: &[u8], at: &mut usize) -> Option<Vec<u32>> {
+    let n = get_u32(buf, at)? as usize;
+    if n > 1_000_000 {
+        return None; // corrupt length
+    }
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        xs.push(get_u32(buf, at)?);
+    }
+    Some(xs)
+}
+
+impl SvmMsg {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            SvmMsg::PageReq { page, pid } => {
+                b.put_u8(T_PAGE_REQ);
+                b.put_u32_le(*page);
+                b.put_u32_le(*pid);
+            }
+            SvmMsg::PageReply { page, pid } => {
+                b.put_u8(T_PAGE_REPLY);
+                b.put_u32_le(*page);
+                b.put_u32_le(*pid);
+            }
+            SvmMsg::Flush { page, token } => {
+                b.put_u8(T_FLUSH);
+                b.put_u32_le(*page);
+                b.put_u32_le(*token);
+            }
+            SvmMsg::FlushAck { token } => {
+                b.put_u8(T_FLUSH_ACK);
+                b.put_u32_le(*token);
+            }
+            SvmMsg::LockReq { lock, pid } => {
+                b.put_u8(T_LOCK_REQ);
+                b.put_u32_le(*lock);
+                b.put_u32_le(*pid);
+            }
+            SvmMsg::LockGrant { lock, pid, invalidate } => {
+                b.put_u8(T_LOCK_GRANT);
+                b.put_u32_le(*lock);
+                b.put_u32_le(*pid);
+                put_list(&mut b, invalidate);
+            }
+            SvmMsg::LockRelease { lock, dirty } => {
+                b.put_u8(T_LOCK_RELEASE);
+                b.put_u32_le(*lock);
+                put_list(&mut b, dirty);
+            }
+            SvmMsg::BarrierArrive { episode, pid, dirty } => {
+                b.put_u8(T_BAR_ARRIVE);
+                b.put_u32_le(*episode);
+                b.put_u32_le(*pid);
+                put_list(&mut b, dirty);
+            }
+            SvmMsg::BarrierRelease { episode, invalidate } => {
+                b.put_u8(T_BAR_RELEASE);
+                b.put_u32_le(*episode);
+                put_list(&mut b, invalidate);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes. Returns `None` on any malformation.
+    pub fn decode(buf: &[u8]) -> Option<SvmMsg> {
+        let tag = *buf.first()?;
+        let mut at = 1usize;
+        let msg = match tag {
+            T_PAGE_REQ => SvmMsg::PageReq { page: get_u32(buf, &mut at)?, pid: get_u32(buf, &mut at)? },
+            T_PAGE_REPLY => {
+                SvmMsg::PageReply { page: get_u32(buf, &mut at)?, pid: get_u32(buf, &mut at)? }
+            }
+            T_FLUSH => SvmMsg::Flush { page: get_u32(buf, &mut at)?, token: get_u32(buf, &mut at)? },
+            T_FLUSH_ACK => SvmMsg::FlushAck { token: get_u32(buf, &mut at)? },
+            T_LOCK_REQ => SvmMsg::LockReq { lock: get_u32(buf, &mut at)?, pid: get_u32(buf, &mut at)? },
+            T_LOCK_GRANT => SvmMsg::LockGrant {
+                lock: get_u32(buf, &mut at)?,
+                pid: get_u32(buf, &mut at)?,
+                invalidate: get_list(buf, &mut at)?,
+            },
+            T_LOCK_RELEASE => SvmMsg::LockRelease {
+                lock: get_u32(buf, &mut at)?,
+                dirty: get_list(buf, &mut at)?,
+            },
+            T_BAR_ARRIVE => SvmMsg::BarrierArrive {
+                episode: get_u32(buf, &mut at)?,
+                pid: get_u32(buf, &mut at)?,
+                dirty: get_list(buf, &mut at)?,
+            },
+            T_BAR_RELEASE => SvmMsg::BarrierRelease {
+                episode: get_u32(buf, &mut at)?,
+                invalidate: get_list(buf, &mut at)?,
+            },
+            _ => return None,
+        };
+        Some(msg)
+    }
+
+    /// Logical payload bytes this message carries beyond its header (bulk
+    /// page data).
+    pub fn bulk_bytes(&self) -> u32 {
+        match self {
+            SvmMsg::PageReply { .. } | SvmMsg::Flush { .. } => crate::node::PAGE_BYTES,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: SvmMsg) {
+        let enc = m.encode();
+        let dec = SvmMsg::decode(&enc).expect("decodes");
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(SvmMsg::PageReq { page: 42, pid: 3 });
+        roundtrip(SvmMsg::PageReply { page: 42, pid: 3 });
+        roundtrip(SvmMsg::Flush { page: 7, token: 99 });
+        roundtrip(SvmMsg::FlushAck { token: 99 });
+        roundtrip(SvmMsg::LockReq { lock: 1, pid: 6 });
+        roundtrip(SvmMsg::LockGrant { lock: 1, pid: 6, invalidate: vec![1, 2, 3] });
+        roundtrip(SvmMsg::LockRelease { lock: 1, dirty: vec![] });
+        roundtrip(SvmMsg::BarrierArrive { episode: 5, pid: 0, dirty: vec![9, 10] });
+        roundtrip(SvmMsg::BarrierRelease { episode: 5, invalidate: (0..100).collect() });
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(SvmMsg::decode(&[]).is_none());
+        assert!(SvmMsg::decode(&[0xFF, 1, 2, 3]).is_none());
+        assert!(SvmMsg::decode(&[T_LOCK_GRANT, 1]).is_none(), "truncated");
+        // Absurd list length rejected rather than allocating.
+        let mut b = BytesMut::new();
+        b.put_u8(T_LOCK_RELEASE);
+        b.put_u32_le(1);
+        b.put_u32_le(u32::MAX);
+        assert!(SvmMsg::decode(&b).is_none());
+    }
+
+    #[test]
+    fn bulk_sizes() {
+        assert_eq!(SvmMsg::PageReply { page: 0, pid: 0 }.bulk_bytes(), 4096);
+        assert_eq!(SvmMsg::Flush { page: 0, token: 0 }.bulk_bytes(), 4096);
+        assert_eq!(SvmMsg::FlushAck { token: 0 }.bulk_bytes(), 0);
+        assert_eq!(SvmMsg::LockReq { lock: 0, pid: 0 }.bulk_bytes(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoding arbitrary bytes never panics (it may legitimately parse).
+        #[test]
+        fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = SvmMsg::decode(&data);
+        }
+
+        /// Round-trip for arbitrary barrier messages.
+        #[test]
+        fn barrier_roundtrip(episode in any::<u32>(), pid in any::<u32>(),
+                             dirty in proptest::collection::vec(any::<u32>(), 0..64)) {
+            let m = SvmMsg::BarrierArrive { episode, pid, dirty };
+            prop_assert_eq!(SvmMsg::decode(&m.encode()), Some(m));
+        }
+    }
+}

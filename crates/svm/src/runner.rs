@@ -1,0 +1,409 @@
+//! Build-and-run harness for SVM applications: assembles the cluster
+//! (star topology, reliable or baseline firmware), spawns the process
+//! coroutines, runs to completion, and reports the paper's execution-time
+//! breakdown.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use san_fabric::{topology, NodeId};
+use san_ft::{MapperConfig, ProtocolConfig, ReliableFirmware};
+use san_nic::{Cluster, ClusterConfig, HostAgent, UnreliableFirmware};
+use san_sim::{Duration, Time};
+
+use crate::node::{SvmNode, SvmShared};
+use crate::SvmIo;
+
+/// The four bars of Figure 9, per process.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Compute + handler time.
+    pub compute: Duration,
+    /// Data (page fetch) stall time.
+    pub data: Duration,
+    /// Lock stall time.
+    pub lock: Duration,
+    /// Barrier stall time.
+    pub barrier: Duration,
+}
+
+impl TimeBreakdown {
+    /// Sum of all buckets.
+    pub fn total(&self) -> Duration {
+        self.compute + self.data + self.lock + self.barrier
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &TimeBreakdown) {
+        self.compute += other.compute;
+        self.data += other.data;
+        self.lock += other.lock;
+        self.barrier += other.barrier;
+    }
+}
+
+/// One process's program.
+pub type ProcBody = Box<dyn FnOnce(&mut SvmIo) + Send>;
+
+/// SVM run configuration.
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Cluster nodes (the paper: 4).
+    pub nodes: usize,
+    /// Processes per node (the paper: 2).
+    pub procs_per_node: usize,
+    /// Shared pages.
+    pub pages: u32,
+    /// NIC/cluster parameters (send buffers, timing, seed).
+    pub cluster: ClusterConfig,
+    /// Reliability protocol; `None` runs the no-fault-tolerance firmware.
+    pub proto: Option<ProtocolConfig>,
+    /// Give up after this much simulated time.
+    pub deadline: Time,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            procs_per_node: 2,
+            pages: 1024,
+            cluster: ClusterConfig::default(),
+            proto: Some(ProtocolConfig::default()),
+            deadline: Time::from_secs(300),
+        }
+    }
+}
+
+/// What a finished run reports.
+#[derive(Debug, Clone)]
+pub struct SvmReport {
+    /// Per-process breakdowns (indexed by global pid).
+    pub breakdowns: Vec<TimeBreakdown>,
+    /// Wall (virtual) time until the last process finished.
+    pub wall: Duration,
+    /// All processes finished before the deadline.
+    pub completed: bool,
+    /// Total packets retransmitted across the cluster.
+    pub retransmits: u64,
+    /// Packets suppressed by the error injector.
+    pub injected_drops: u64,
+    /// Data packets put on the wire.
+    pub packets_tx: u64,
+}
+
+impl SvmReport {
+    /// Bucket sums over all processes (the figure's bar heights).
+    pub fn aggregate(&self) -> TimeBreakdown {
+        let mut t = TimeBreakdown::default();
+        for b in &self.breakdowns {
+            t.add(b);
+        }
+        t
+    }
+}
+
+/// Run `bodies` (one per process, grouped round-robin by node:
+/// pid = node * procs_per_node + local) on a simulated SVM cluster.
+///
+/// # Panics
+/// Panics if `bodies.len() != nodes * procs_per_node`.
+pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
+    let total = cfg.nodes * cfg.procs_per_node;
+    assert_eq!(bodies.len(), total, "one body per process");
+    let (topo, _hosts) = topology::star(cfg.nodes);
+    let shared = Rc::new(RefCell::new(SvmShared::default()));
+
+    let mut bodies: Vec<Option<ProcBody>> = bodies.into_iter().map(Some).collect();
+    let hosts: Vec<Box<dyn HostAgent>> = (0..cfg.nodes)
+        .map(|n| {
+            let node_bodies: Vec<ProcBody> = (0..cfg.procs_per_node)
+                .map(|i| bodies[n * cfg.procs_per_node + i].take().unwrap())
+                .collect();
+            Box::new(SvmNode::new(
+                NodeId(n as u16),
+                cfg.nodes,
+                cfg.procs_per_node,
+                cfg.pages,
+                node_bodies,
+                shared.clone(),
+            )) as Box<dyn HostAgent>
+        })
+        .collect();
+
+    let proto = cfg.proto.clone();
+    let nodes = cfg.nodes;
+    let mut cluster = Cluster::new(topo, cfg.cluster, |_| match &proto {
+        Some(p) => Box::new(ReliableFirmware::new(p.clone(), MapperConfig::default(), nodes)),
+        None => Box::new(UnreliableFirmware),
+    }, hosts);
+    cluster.install_shortest_routes();
+
+    // Run in slices until every process finished (the periodic retransmission
+    // timer keeps the queue non-empty forever, so we cannot run to idle).
+    let slice = Duration::from_millis(5);
+    let mut t = Time::ZERO + slice;
+    let completed = loop {
+        cluster.run_until(t);
+        if shared.borrow().finished == total {
+            break true;
+        }
+        if t > cfg.deadline {
+            break false;
+        }
+        if cluster.sim.is_idle() && shared.borrow().finished < total {
+            // No pending events and unfinished processes: deadlock (only
+            // possible with the unreliable firmware after a loss).
+            break false;
+        }
+        t = t + slice;
+    };
+
+    let sh = shared.borrow();
+    let wall = sh
+        .finish_times
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(Time::ZERO)
+        .since(Time::ZERO);
+    let breakdowns: Vec<TimeBreakdown> =
+        (0..total as u32).map(|pid| sh.breakdowns.get(&pid).copied().unwrap_or_default()).collect();
+    let retransmits = cluster.nics.iter().map(|n| n.core.stats.retransmits.get()).sum();
+    let injected_drops = cluster.nics.iter().map(|n| n.core.stats.injected_drops.get()).sum();
+    let packets_tx = cluster.nics.iter().map(|n| n.core.stats.packets_tx.get()).sum();
+    SvmReport { breakdowns, wall, completed, retransmits, injected_drops, packets_tx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Svm;
+
+    /// Two procs increment a shared counter under a lock; barrier at the end.
+    #[test]
+    fn lock_protected_counter_is_exact() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicU64::new(0));
+        let total = 8;
+        let bodies: Vec<ProcBody> = (0..total)
+            .map(|_| {
+                let c = counter.clone();
+                Box::new(move |io: &mut SvmIo| {
+                    let mut svm = Svm::new(io);
+                    for _ in 0..10 {
+                        svm.acquire(0);
+                        svm.write(0);
+                        // Critical section: read-modify-write on real data.
+                        let v = c.load(Ordering::Relaxed);
+                        svm.compute(Duration::from_micros(2));
+                        c.store(v + 1, Ordering::Relaxed);
+                        svm.release(0);
+                    }
+                    svm.barrier();
+                }) as ProcBody
+            })
+            .collect();
+        let report = run_svm(SvmConfig::default(), bodies);
+        assert!(report.completed, "all processes must finish");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 80, "mutual exclusion");
+        let agg = report.aggregate();
+        assert!(agg.lock > Duration::ZERO, "lock contention must show up in the lock bucket");
+        assert!(agg.compute >= Duration::from_micros(2 * 80));
+    }
+
+    /// Barrier actually synchronizes: nobody passes episode k before all
+    /// arrived.
+    #[test]
+    fn barrier_synchronizes_epochs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let phase_counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..5).map(|_| AtomicU64::new(0)).collect());
+        let total = 8usize;
+        let bodies: Vec<ProcBody> = (0..total)
+            .map(|pid| {
+                let pc = phase_counts.clone();
+                Box::new(move |io: &mut SvmIo| {
+                    let mut svm = Svm::new(io);
+                    for phase in 0..5 {
+                        // Unequal compute so arrival order varies.
+                        svm.compute(Duration::from_micros(3 + (pid as u64 * 7) % 20));
+                        let before = pc[phase].fetch_add(1, Ordering::Relaxed);
+                        assert!(before < total as u64, "phase overshoot");
+                        svm.barrier();
+                        // After the barrier, everyone must have counted.
+                        assert_eq!(
+                            pc[phase].load(Ordering::Relaxed),
+                            total as u64,
+                            "crossed barrier before all arrived"
+                        );
+                    }
+                }) as ProcBody
+            })
+            .collect();
+        let report = run_svm(SvmConfig::default(), bodies);
+        assert!(report.completed);
+        let agg = report.aggregate();
+        assert!(agg.barrier > Duration::ZERO);
+    }
+
+    /// Page fetches cost Data time and only on first touch / after
+    /// invalidation.
+    #[test]
+    fn page_fetch_accounting() {
+        let bodies: Vec<ProcBody> = (0..8)
+            .map(|pid| {
+                Box::new(move |io: &mut SvmIo| {
+                    let mut svm = Svm::new(io);
+                    // Pages 0,4,8,... are homed on node 0 (page % nodes).
+                    if pid == 0 {
+                        // Writer dirties 16 locally-homed pages: no fetches.
+                        for p in 0..16 {
+                            svm.write(p * 4);
+                        }
+                        svm.barrier();
+                        svm.barrier();
+                    } else {
+                        svm.barrier();
+                        // Everyone reads the writer's pages.
+                        for p in 0..16 {
+                            svm.read(p * 4);
+                        }
+                        // Re-reads are free (still valid).
+                        for p in 0..16 {
+                            svm.read(p * 4);
+                        }
+                        svm.barrier();
+                    }
+                }) as ProcBody
+            })
+            .collect();
+        let report = run_svm(SvmConfig::default(), bodies);
+        assert!(report.completed);
+        // Readers on nodes 1..3 must have paid data time; the writer none.
+        assert_eq!(report.breakdowns[0].data, Duration::ZERO, "writer never fetches");
+        let reader_data: Duration = report.breakdowns[2..].iter().map(|b| b.data).fold(
+            Duration::ZERO,
+            |a, d| a + d,
+        );
+        assert!(reader_data > Duration::ZERO, "remote readers fetch pages");
+    }
+
+    /// The same program with injected errors completes with identical
+    /// results, only slower — the fault-tolerance guarantee end to end.
+    #[test]
+    fn svm_survives_injected_errors() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let run = |error_rate: f64| -> (bool, u64, Duration) {
+            let counter = Arc::new(AtomicU64::new(0));
+            let bodies: Vec<ProcBody> = (0..8)
+                .map(|_| {
+                    let c = counter.clone();
+                    Box::new(move |io: &mut SvmIo| {
+                        let mut svm = Svm::new(io);
+                        for i in 0..6 {
+                            svm.acquire(1);
+                            svm.write(i % 8);
+                            let v = c.load(Ordering::Relaxed);
+                            svm.compute(Duration::from_micros(1));
+                            c.store(v + 1, Ordering::Relaxed);
+                            svm.release(1);
+                            svm.barrier();
+                        }
+                    }) as ProcBody
+                })
+                .collect();
+            let cfg = SvmConfig {
+                proto: Some(ProtocolConfig::default().with_error_rate(error_rate)),
+                ..SvmConfig::default()
+            };
+            let report = run_svm(cfg, bodies);
+            (report.completed, counter.load(Ordering::Relaxed), report.wall)
+        };
+        let (ok0, count0, wall0) = run(0.0);
+        let (ok1, count1, wall1) = run(1.0 / 50.0);
+        assert!(ok0 && ok1, "both runs complete");
+        assert_eq!(count0, 48);
+        assert_eq!(count1, 48, "errors must not change results");
+        assert!(wall1 > wall0, "errors cost time: {wall1} vs {wall0}");
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use crate::Svm;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// The home-based lock grants strictly in request-arrival order: with
+    /// well-separated staggered requests, the critical-section entry order
+    /// equals the request order (FIFO, no starvation or barging).
+    #[test]
+    fn locks_grant_in_request_order() {
+        let order = Arc::new(StdMutex::new(Vec::<u32>::new()));
+        let total = 8u32;
+        let bodies: Vec<ProcBody> = (0..total)
+            .map(|pid| {
+                let ord = order.clone();
+                Box::new(move |io: &mut crate::SvmIo| {
+                    let mut svm = Svm::new(io);
+                    // Stagger arrivals by well over the grant latency.
+                    svm.compute(Duration::from_micros(200 * (pid as u64 + 1)));
+                    svm.acquire(3);
+                    ord.lock().unwrap().push(pid);
+                    // Hold long enough that everyone queues behind.
+                    svm.compute(Duration::from_micros(400));
+                    svm.release(3);
+                }) as ProcBody
+            })
+            .collect();
+        let report = run_svm(SvmConfig::default(), bodies);
+        assert!(report.completed);
+        let got = order.lock().unwrap().clone();
+        assert_eq!(got, (0..total).collect::<Vec<_>>(), "FIFO grant order");
+    }
+
+    /// Two independent locks on different home nodes do not serialize each
+    /// other: disjoint critical sections overlap in virtual time.
+    #[test]
+    fn independent_locks_run_concurrently() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let span0 = Arc::new((AtomicU64::new(u64::MAX), AtomicU64::new(0)));
+        let span1 = Arc::new((AtomicU64::new(u64::MAX), AtomicU64::new(0)));
+        let bodies: Vec<ProcBody> = (0..8)
+            .map(|pid| {
+                let (s0, s1) = (span0.clone(), span1.clone());
+                Box::new(move |io: &mut crate::SvmIo| {
+                    let mut svm = Svm::new(io);
+                    let (lock, span) = if pid % 2 == 0 { (10u32, s0) } else { (11u32, s1) };
+                    for _ in 0..5 {
+                        svm.acquire(lock);
+                        let t0 = svm.now().nanos();
+                        svm.compute(Duration::from_micros(50));
+                        let t1 = svm.now().nanos();
+                        span.0.fetch_min(t0, Ordering::Relaxed);
+                        span.1.fetch_max(t1, Ordering::Relaxed);
+                        svm.release(lock);
+                    }
+                }) as ProcBody
+            })
+            .collect();
+        let report = run_svm(SvmConfig::default(), bodies);
+        assert!(report.completed);
+        // The two lock groups each spent 4 procs × 5 × 50 µs = 1 ms of
+        // critical-section time. If they serialized against each other the
+        // spans would not overlap; concurrent groups must overlap heavily.
+        let (a0, a1) = (span0.0.load(std::sync::atomic::Ordering::Relaxed),
+                        span0.1.load(std::sync::atomic::Ordering::Relaxed));
+        let (b0, b1) = (span1.0.load(std::sync::atomic::Ordering::Relaxed),
+                        span1.1.load(std::sync::atomic::Ordering::Relaxed));
+        let overlap = a1.min(b1).saturating_sub(a0.max(b0));
+        assert!(
+            overlap > 500_000,
+            "independent locks must overlap ≥0.5ms: [{a0},{a1}] vs [{b0},{b1}]"
+        );
+    }
+}

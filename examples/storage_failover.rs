@@ -1,0 +1,67 @@
+//! Storage-style failover: a client streams blocks to a storage server over
+//! a redundant two-switch fabric; mid-stream, the link in use dies
+//! permanently. The firmware detects the dead path, maps the network on
+//! demand, finds the spare link, starts a new packet generation and the
+//! stream completes — no application involvement whatsoever.
+//!
+//! (The paper motivates exactly this deployment: SANs moving into storage
+//! systems with availability requirements, §1/§7.)
+//!
+//! Run with: `cargo run --release --example storage_failover`
+
+use san_fabric::engine::FabricEvent;
+use san_fabric::Topology;
+use san_ft::{MapperConfig, ProtocolConfig, ReliableFirmware};
+use san_nic::testkit::{inbox, Collector, StreamSender};
+use san_nic::{Cluster, ClusterConfig, HostAgent};
+use san_sim::{Duration, Time};
+
+fn main() {
+    // client — s0 ══ s1 — server, with two parallel inter-switch links.
+    let mut topo = Topology::new();
+    let client = topo.add_host();
+    let server = topo.add_host();
+    let s0 = topo.add_switch(8);
+    let s1 = topo.add_switch(8);
+    topo.connect_host(client, s0, 0);
+    topo.connect_host(server, s1, 0);
+    let primary = topo.connect_switches(s0, 1, s1, 1);
+    let _spare = topo.connect_switches(s0, 2, s1, 2);
+
+    let blocks = 600u64;
+    let received = inbox();
+    let hosts: Vec<Box<dyn HostAgent>> = vec![
+        Box::new(StreamSender::new(server, 4096, blocks)),
+        Box::new(Collector(received.clone())),
+    ];
+    let proto = ProtocolConfig {
+        perm_fail_threshold: Duration::from_millis(10),
+        ..ProtocolConfig::default().with_mapping()
+    };
+    let mut cluster = Cluster::new(
+        topo,
+        ClusterConfig::default(),
+        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), 2)),
+        hosts,
+    );
+    cluster.install_shortest_routes();
+
+    // Pull the primary link at t = 3 ms, mid-stream.
+    cluster.sim.schedule(Time::from_millis(3), FabricEvent::LinkDown { link: primary }.into());
+
+    cluster.run_until(Time::from_secs(2));
+
+    let inbox = received.borrow();
+    let unique: std::collections::BTreeSet<u64> = inbox.iter().map(|p| p.msg_id).collect();
+    let stats = &cluster.nics[0].core.stats;
+    let fw = cluster.nics[0].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap();
+    let map = fw.mapper_stats();
+    println!("blocks delivered     : {} unique / {blocks} sent", unique.len());
+    println!("path resets observed : {}", stats.path_resets);
+    println!("mapping runs         : {}", map.runs);
+    println!("probes (host/switch) : {} / {}", map.last_host_probes, map.last_switch_probes);
+    println!("re-mapping time      : {:.3} ms", map.last_time_ms);
+    println!("retransmissions      : {}", stats.retransmits);
+    assert_eq!(unique.len() as u64, blocks, "failover must deliver every block");
+    println!("\nThe stream survived a permanent link failure transparently.");
+}
