@@ -37,17 +37,30 @@ pub struct FftConfig {
 impl FftConfig {
     /// A small configuration for tests: 4096 points, 1 iteration.
     pub fn small() -> Self {
-        Self { points_log2: 12, iterations: 1, svm: SvmConfig::default(), seed: 42 }
+        Self {
+            points_log2: 12,
+            iterations: 1,
+            svm: SvmConfig::default(),
+            seed: 42,
+        }
     }
 
     /// The paper's problem size: 1 M points, 18 iterations (Table 2).
     pub fn paper() -> Self {
-        Self { points_log2: 20, iterations: 18, svm: SvmConfig::default(), seed: 42 }
+        Self {
+            points_log2: 20,
+            iterations: 18,
+            svm: SvmConfig::default(),
+            seed: 42,
+        }
     }
 
     /// Matrix dimension m = √n.
     pub fn m(&self) -> usize {
-        assert!(self.points_log2 % 2 == 0, "six-step FFT needs an even log2 size");
+        assert!(
+            self.points_log2.is_multiple_of(2),
+            "six-step FFT needs an even log2 size"
+        );
         1usize << (self.points_log2 / 2)
     }
 
@@ -144,7 +157,9 @@ fn twiddle_row(row: &mut [C], r: usize, m: usize) {
 /// Generate the deterministic input.
 pub fn fft_input(cfg: &FftConfig) -> Vec<C> {
     let mut rng = InputRng::new(cfg.seed);
-    (0..cfg.n()).map(|_| (rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
+    (0..cfg.n())
+        .map(|_| (rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+        .collect()
 }
 
 struct FftShared {
@@ -166,10 +181,18 @@ fn transpose_phase(
     b_base: u32,
 ) {
     let chunk = m / procs;
-    let (src_base, dst_base) = if from_a { (a_base, b_base) } else { (b_base, a_base) };
+    let (src_base, dst_base) = if from_a {
+        (a_base, b_base)
+    } else {
+        (b_base, a_base)
+    };
     // Writes: my rows of dst, a contiguous page range.
     let first = page_of(dst_base, p * chunk * m, BYTES_PER_ELEM);
-    let last = page_of(dst_base, ((p + 1) * chunk * m - 1).max(p * chunk * m), BYTES_PER_ELEM);
+    let last = page_of(
+        dst_base,
+        ((p + 1) * chunk * m - 1).max(p * chunk * m),
+        BYTES_PER_ELEM,
+    );
     svm.write_range(first, last);
     // Reads: for every peer q, the block (rows q·chunk.., my column range).
     for q in 0..procs {
@@ -202,7 +225,10 @@ pub fn run_fft(cfg: FftConfig) -> AppRun {
     let m = cfg.m();
     let n = cfg.n();
     let procs = cfg.svm.nodes * cfg.svm.procs_per_node;
-    assert!(m % procs == 0, "m={m} must divide by {procs} processes");
+    assert!(
+        m.is_multiple_of(procs),
+        "m={m} must divide by {procs} processes"
+    );
     let input = fft_input(&cfg);
     let shared = Arc::new(FftShared {
         a: Mutex::new(input.clone()),
@@ -293,7 +319,9 @@ mod tests {
     fn fft_row_matches_dft() {
         let mut rng = InputRng::new(1);
         let m = 64;
-        let row: Vec<C> = (0..m).map(|_| (rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+        let row: Vec<C> = (0..m)
+            .map(|_| (rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+            .collect();
         let mut out = row.clone();
         fft_row(&mut out);
         // Direct DFT.
@@ -305,7 +333,10 @@ mod tests {
                 acc.0 += re * c - im * s;
                 acc.1 += re * s + im * c;
             }
-            assert!((acc.0 - got.0).abs() < 1e-9 && (acc.1 - got.1).abs() < 1e-9, "bin {k}");
+            assert!(
+                (acc.0 - got.0).abs() < 1e-9 && (acc.1 - got.1).abs() < 1e-9,
+                "bin {k}"
+            );
         }
     }
 
@@ -329,7 +360,10 @@ mod tests {
     fn parallel_fft_validates_and_communicates() {
         let run = run_fft(FftConfig::small());
         assert!(run.report.completed, "FFT must finish");
-        assert!(run.valid, "parallel result must equal the sequential reference");
+        assert!(
+            run.valid,
+            "parallel result must equal the sequential reference"
+        );
         let agg = run.report.aggregate();
         assert!(agg.data > Duration::ZERO, "transposes must move pages");
         assert!(agg.barrier > Duration::ZERO);

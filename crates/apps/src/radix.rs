@@ -70,8 +70,7 @@ impl RadixConfig {
     /// Shared pages: two key arrays + the histogram area.
     pub fn pages_needed(&self, procs: usize) -> u32 {
         let keys_pages = (self.keys * BYTES_PER_KEY).div_ceil(4096) as u32;
-        let hist_pages =
-            (procs * self.radix() * BYTES_PER_KEY).div_ceil(4096) as u32;
+        let hist_pages = (procs * self.radix() * BYTES_PER_KEY).div_ceil(4096) as u32;
         2 * keys_pages + hist_pages + 2
     }
 }
@@ -91,8 +90,10 @@ pub fn radix_input(cfg: &RadixConfig) -> Vec<u32> {
 /// Declare writes for a set of (possibly scattered) destination positions:
 /// one SVM write per distinct page touched.
 fn declare_write_pages(svm: &mut Svm, base: u32, positions: &[usize], bytes_per_elem: usize) {
-    let mut pages: Vec<u32> =
-        positions.iter().map(|&i| page_of(base, i, bytes_per_elem)).collect();
+    let mut pages: Vec<u32> = positions
+        .iter()
+        .map(|&i| page_of(base, i, bytes_per_elem))
+        .collect();
     pages.sort_unstable();
     pages.dedup();
     for p in pages {
@@ -104,7 +105,10 @@ fn declare_write_pages(svm: &mut Svm, base: u32, positions: &[usize], bytes_per_
 pub fn run_radix(cfg: RadixConfig) -> AppRun {
     let procs = cfg.svm.nodes * cfg.svm.procs_per_node;
     let n = cfg.keys;
-    assert!(n % procs == 0, "keys must divide evenly over processes");
+    assert!(
+        n.is_multiple_of(procs),
+        "keys must divide evenly over processes"
+    );
     let radix = cfg.radix();
     let chunk = n / procs;
     let input = radix_input(&cfg);

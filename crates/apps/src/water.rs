@@ -39,12 +39,22 @@ pub struct WaterConfig {
 impl WaterConfig {
     /// Small test configuration.
     pub fn small() -> Self {
-        Self { molecules: 256, steps: 2, svm: SvmConfig::default(), seed: 42 }
+        Self {
+            molecules: 256,
+            steps: 2,
+            svm: SvmConfig::default(),
+            seed: 42,
+        }
     }
 
     /// The paper's problem size: 4096 molecules, 15 steps (Table 2).
     pub fn paper() -> Self {
-        Self { molecules: 4096, steps: 15, svm: SvmConfig::default(), seed: 42 }
+        Self {
+            molecules: 4096,
+            steps: 15,
+            svm: SvmConfig::default(),
+            seed: 42,
+        }
     }
 
     /// Pages for positions + forces.
@@ -127,7 +137,7 @@ pub fn water_reference(cfg: &WaterConfig) -> (Vec<V3>, f64) {
 pub fn run_water(cfg: WaterConfig) -> AppRun {
     let procs = cfg.svm.nodes * cfg.svm.procs_per_node;
     let n = cfg.molecules;
-    assert!(n % procs == 0);
+    assert!(n.is_multiple_of(procs));
     let chunk = n / procs;
     let (pos0, vel0) = water_input(&cfg);
     let shared = Arc::new(WaterShared {
@@ -261,7 +271,10 @@ pub fn run_water(cfg: WaterConfig) -> AppRun {
     };
     let valid = report.completed
         && close(energy, ref_energy)
-        && pos.iter().zip(ref_pos.iter()).all(|(a, b)| (0..3).all(|k| close(a[k], b[k])));
+        && pos
+            .iter()
+            .zip(ref_pos.iter())
+            .all(|(a, b)| (0..3).all(|k| close(a[k], b[k])));
     AppRun { report, valid }
 }
 

@@ -33,7 +33,9 @@ fn bench_crc(c: &mut Criterion) {
     let data = vec![0xA5u8; 4096];
     let mut g = c.benchmark_group("crc32");
     g.throughput(Throughput::Bytes(4096));
-    g.bench_function("4k_packet", |b| b.iter(|| std::hint::black_box(crc32(&data))));
+    g.bench_function("4k_packet", |b| {
+        b.iter(|| std::hint::black_box(crc32(&data)))
+    });
     g.finish();
 }
 
@@ -105,5 +107,11 @@ fn bench_svm_app(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_crc, bench_bandwidth_run, bench_svm_app);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_crc,
+    bench_bandwidth_run,
+    bench_svm_app
+);
 criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Telemetry overhead: the same unidirectional FT run with the recorder
+//! off (the default), with metrics registered but no tracing, and with the
+//! full trace ring on. The disabled case must be free (the recorder is a
+//! single enum branch and the counters the layers bump exist either way);
+//! the enabled case must stay under 5% slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use san_ft::ProtocolConfig;
+use san_microbench::{unidirectional_bandwidth, FwKind};
+use san_nic::ClusterConfig;
+use san_sim::Time;
+use san_telemetry::Telemetry;
+
+fn run_once(tel: Telemetry) -> f64 {
+    let cfg = ClusterConfig {
+        telemetry: tel,
+        ..Default::default()
+    };
+    let bw = unidirectional_bandwidth(
+        &FwKind::Ft(ProtocolConfig::default()),
+        4096,
+        1024,
+        cfg,
+        Time::from_secs(10),
+    );
+    assert!(bw.completed);
+    bw.mbps
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(30);
+    g.bench_function("recorder_off", |b| {
+        let tel = Telemetry::new();
+        b.iter(|| std::hint::black_box(run_once(tel.clone())))
+    });
+    // One long-lived ring, cleared between runs: steady-state record cost,
+    // not first-touch page faults on a fresh 1.5 MB buffer every iteration.
+    g.bench_function("trace_ring_on", |b| {
+        let tel = Telemetry::with_trace(1 << 16);
+        b.iter(|| {
+            tel.clear_events();
+            std::hint::black_box(run_once(tel.clone()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

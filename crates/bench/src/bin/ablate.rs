@@ -19,7 +19,11 @@ fn main() {
     let msgs = volume / 4096;
     // Error cells need enough packets for the injector to fire repeatedly.
     let msgs_for = |err: f64| -> u64 {
-        if err > 0.0 { msgs.max((12.0 / err) as u64).min(30_000) } else { msgs }
+        if err > 0.0 {
+            msgs.max((12.0 / err) as u64).min(30_000)
+        } else {
+            msgs
+        }
     };
     let deadline = Time::from_secs(240);
 
@@ -41,7 +45,11 @@ fn main() {
                 ClusterConfig::default(),
                 deadline,
             );
-            let label = if per_pkt { "per-packet timers" } else { "single timer (paper)" };
+            let label = if per_pkt {
+                "per-packet timers"
+            } else {
+                "single timer (paper)"
+            };
             println!(
                 "{label:<26} {:>10} {:>10.1} {:>14} {:>12}",
                 format!("{err:.0e}"),
@@ -63,7 +71,10 @@ fn main() {
     // ---- 2. Go-back-N vs selective ----------------------------------------
     println!("Ablation 2: go-back-N (paper) vs selective retransmission + rx buffering");
     println!();
-    println!("{:<26} {:>10} {:>10} {:>12}", "config", "err", "MB/s", "retransmits");
+    println!(
+        "{:<26} {:>10} {:>10} {:>12}",
+        "config", "err", "MB/s", "retransmits"
+    );
     for &err in &[1e-3f64, 1e-2] {
         for &selective in &[false, true] {
             let mut p = ProtocolConfig::default().with_error_rate(err);
@@ -72,10 +83,17 @@ fn main() {
                 &FwKind::Ft(p),
                 4096,
                 msgs_for(err),
-                ClusterConfig { send_bufs: 128, ..Default::default() },
+                ClusterConfig {
+                    send_bufs: 128,
+                    ..Default::default()
+                },
                 deadline,
             );
-            let label = if selective { "selective + rx-buffer" } else { "go-back-N (paper)" };
+            let label = if selective {
+                "selective + rx-buffer"
+            } else {
+                "go-back-N (paper)"
+            };
             println!(
                 "{label:<26} {:>10} {:>10.1} {:>12}",
                 format!("{err:.0e}"),
@@ -99,7 +117,10 @@ fn main() {
     println!("{:<26} {:>10} {:>10}", "config", "err", "MB/s");
     for &err in &[0.0f64, 1e-2] {
         let feedbacks: Vec<(String, FeedbackPolicy)> = vec![
-            ("sender feedback (paper)".into(), FeedbackPolicy::SenderFeedback),
+            (
+                "sender feedback (paper)".into(),
+                FeedbackPolicy::SenderFeedback,
+            ),
             ("every-1".into(), FeedbackPolicy::EveryK(1)),
             ("every-8".into(), FeedbackPolicy::EveryK(8)),
             ("every-32".into(), FeedbackPolicy::EveryK(32)),
@@ -115,7 +136,12 @@ fn main() {
                 deadline,
             );
             println!("{label:<26} {:>10} {:>10.1}", format!("{err:.0e}"), bw.mbps);
-            tsv(&["feedback".into(), label, format!("{err:.0e}"), format!("{:.2}", bw.mbps)]);
+            tsv(&[
+                "feedback".into(),
+                label,
+                format!("{err:.0e}"),
+                format!("{:.2}", bw.mbps),
+            ]);
         }
     }
     println!();
@@ -132,13 +158,24 @@ fn main() {
                 &FwKind::Ft(p),
                 4096,
                 msgs_for(err),
-                ClusterConfig { send_bufs: 8, ..Default::default() },
+                ClusterConfig {
+                    send_bufs: 8,
+                    ..Default::default()
+                },
                 deadline,
             );
-            let label =
-                if reception { "reliable reception" } else { "reliable delivery (paper)" };
+            let label = if reception {
+                "reliable reception"
+            } else {
+                "reliable delivery (paper)"
+            };
             println!("{label:<30} {:>10} {:>10.1}", format!("{err:.0e}"), bw.mbps);
-            tsv(&["level".into(), label.into(), format!("{err:.0e}"), format!("{:.2}", bw.mbps)]);
+            tsv(&[
+                "level".into(),
+                label.into(),
+                format!("{err:.0e}"),
+                format!("{:.2}", bw.mbps),
+            ]);
         }
     }
     println!();
@@ -173,7 +210,7 @@ fn main() {
             let mut t = Time::ZERO + slice;
             while !stt.borrow().done && t < deadline {
                 cluster.run_until(t);
-                t = t + slice;
+                t += slice;
             }
             let done = stt.borrow().done;
             let last = stt.borrow().received.iter().map(|d| d.completed_at).max();
@@ -183,10 +220,22 @@ fn main() {
                 }
                 _ => 0.0,
             };
-            (mbps, cluster.nics.iter().map(|n| n.core.stats.retransmits.get()).sum::<u64>())
+            (
+                mbps,
+                cluster
+                    .nics
+                    .iter()
+                    .map(|n| n.core.stats.retransmits.get())
+                    .sum::<u64>(),
+            )
         };
         println!("{label:<30} {:>10.1} {:>12}", bw.0, bw.1);
-        tsv(&["burst".into(), label.into(), format!("{:.2}", bw.0), bw.1.to_string()]);
+        tsv(&[
+            "burst".into(),
+            label.into(),
+            format!("{:.2}", bw.0),
+            bw.1.to_string(),
+        ]);
     }
     println!();
 
@@ -197,10 +246,13 @@ fn main() {
     let n = tb.hosts.len();
     // (a) Map just one nearby destination (on-demand early exit).
     let near = run_mapping(&tb, tb.hosts[4], n); // same-switch neighbour
-    // (b) Map an absent destination: forces exploration of the entire
-    // network — the cost a full-map scheme pays up front.
+                                                 // (b) Map an absent destination: forces exploration of the entire
+                                                 // network — the cost a full-map scheme pays up front.
     let full = run_mapping_unreachable(&tb, n);
-    println!("{:<30} {:>12} {:>14} {:>12}", "scheme", "host probes", "switch probes", "time (ms)");
+    println!(
+        "{:<30} {:>12} {:>14} {:>12}",
+        "scheme", "host probes", "switch probes", "time (ms)"
+    );
     println!(
         "{:<30} {:>12} {:>14} {:>12.3}",
         "on-demand, nearby target", near.0, near.1, near.2
@@ -209,15 +261,30 @@ fn main() {
         "{:<30} {:>12} {:>14} {:>12.3}",
         "whole network (full map)", full.0, full.1, full.2
     );
-    tsv(&["mapping".into(), "on-demand".into(), near.0.to_string(), near.1.to_string(), format!("{:.3}", near.2)]);
-    tsv(&["mapping".into(), "full".into(), full.0.to_string(), full.1.to_string(), format!("{:.3}", full.2)]);
+    tsv(&[
+        "mapping".into(),
+        "on-demand".into(),
+        near.0.to_string(),
+        near.1.to_string(),
+        format!("{:.3}", near.2),
+    ]);
+    tsv(&[
+        "mapping".into(),
+        "full".into(),
+        full.0.to_string(),
+        full.1.to_string(),
+        format!("{:.3}", full.2),
+    ]);
+
+    if let Some(dir) = san_bench::telemetry_dir() {
+        // Representative point: per-packet timers at 1e-2 errors — the
+        // timer_fired events in the trace dwarf the single-timer scheme's.
+        let proto = ProtocolConfig::default().with_error_rate(1e-2);
+        san_bench::instrumented_stream(&dir, "ablate", &FwKind::Ft(proto), 4096, 128, 32);
+    }
 }
 
-fn run_mapping(
-    tb: &topology::MappingTestbed,
-    dst: NodeId,
-    n: usize,
-) -> (u64, u64, f64) {
+fn run_mapping(tb: &topology::MappingTestbed, dst: NodeId, n: usize) -> (u64, u64, f64) {
     let ib = inbox();
     let hosts: Vec<Box<dyn HostAgent>> = (0..n)
         .map(|h| -> Box<dyn HostAgent> {
@@ -234,13 +301,19 @@ fn run_mapping(
     let mut cluster = Cluster::new(
         tb.topo.clone(),
         ClusterConfig::default(),
-        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n)),
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n,
+            ))
+        },
         hosts,
     );
     let mut t = Time::from_millis(5);
     while ib.borrow().is_empty() && t < Time::from_secs(5) {
         cluster.run_until(t);
-        t = t + Duration::from_millis(5);
+        t += Duration::from_millis(5);
     }
     let st = cluster.nics[0]
         .fw
@@ -271,7 +344,13 @@ fn run_mapping_unreachable(tb: &topology::MappingTestbed, n: usize) -> (u64, u64
     let mut cluster = Cluster::new(
         topo,
         ClusterConfig::default(),
-        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n + 1)),
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n + 1,
+            ))
+        },
         hosts,
     );
     let mut t = Time::from_millis(5);
@@ -287,6 +366,6 @@ fn run_mapping_unreachable(tb: &topology::MappingTestbed, n: usize) -> (u64, u64
         if st.unreachable.get() > 0 || t > Time::from_secs(10) {
             return (st.last_host_probes, st.last_switch_probes, st.last_time_ms);
         }
-        t = t + Duration::from_millis(5);
+        t += Duration::from_millis(5);
     }
 }

@@ -13,7 +13,10 @@ fn main() {
 
     println!("Figure 3: latency breakdown for 4-byte messages (microseconds)");
     println!();
-    println!("{:<14} {:>18} {:>20}", "Stage", "No Fault Tolerance", "With Fault Tolerance");
+    println!(
+        "{:<14} {:>18} {:>20}",
+        "Stage", "No Fault Tolerance", "With Fault Tolerance"
+    );
     let rows = [
         ("Host Send", no_ft.host_send_us, ft.host_send_us),
         ("NIC Send", no_ft.nic_send_us, ft.nic_send_us),
@@ -25,7 +28,12 @@ fn main() {
         println!("{name:<14} {a:>18.2} {b:>20.2}");
         san_bench::tsv(&[name.into(), format!("{a:.3}"), format!("{b:.3}")]);
     }
-    println!("{:<14} {:>18.2} {:>20.2}", "TOTAL", no_ft.total_us(), ft.total_us());
+    println!(
+        "{:<14} {:>18.2} {:>20.2}",
+        "TOTAL",
+        no_ft.total_us(),
+        ft.total_us()
+    );
     println!();
     println!(
         "Paper: ~8 us -> ~10 us (+2 us, ~20%); measured: {:.2} -> {:.2} (+{:.2}, {:.0}%)",
@@ -34,4 +42,17 @@ fn main() {
         ft.total_us() - no_ft.total_us(),
         (ft.total_us() / no_ft.total_us() - 1.0) * 100.0
     );
+
+    if let Some(dir) = san_bench::telemetry_dir() {
+        // Instrumented re-run of the FT latency measurement: the trace
+        // shows the full per-packet path (enqueue, DMA, wire hops, deposit,
+        // ACK) behind each stage of the breakdown above.
+        let tel = san_telemetry::Telemetry::with_trace(1 << 16);
+        let cfg = ClusterConfig {
+            telemetry: tel.clone(),
+            ..Default::default()
+        };
+        one_way_latency(&FwKind::Ft(ProtocolConfig::default()), 4, reps, cfg);
+        san_bench::emit_telemetry(&dir, "fig3", &tel);
+    }
 }

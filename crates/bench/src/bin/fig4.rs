@@ -2,7 +2,7 @@
 //! unidirectional bandwidth across sizes (right), with and without the
 //! retransmission protocol (r = 1 ms, q = 32 — the best values).
 
-use san_bench::{parse_mode, size_series, tsv};
+use san_bench::{instrumented_stream, parse_mode, size_series, telemetry_dir, tsv};
 use san_ft::ProtocolConfig;
 use san_microbench::{one_way_latency, run_grid, FwKind, GridPoint, GridSpec};
 use san_nic::ClusterConfig;
@@ -13,7 +13,10 @@ fn main() {
 
     println!("Figure 4 (left): one-way latency for small messages (us)");
     println!();
-    println!("{:<10} {:>12} {:>12} {:>10}", "Bytes", "No FT", "With FT", "Overhead");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "Bytes", "No FT", "With FT", "Overhead"
+    );
     for bytes in [4u32, 8, 16, 32, 64] {
         let no_ft = one_way_latency(&FwKind::NoFt, bytes, 10, ClusterConfig::default());
         let ft = one_way_latency(
@@ -58,7 +61,13 @@ fn main() {
             }
         }
     }
-    let results = run_grid(points, GridSpec { volume: mode.volume(), ..Default::default() });
+    let results = run_grid(
+        points,
+        GridSpec {
+            volume: mode.volume(),
+            ..Default::default()
+        },
+    );
     let k = sizes.len();
     for (i, &bytes) in sizes.iter().enumerate() {
         let pp_noft = &results[i].bw;
@@ -81,4 +90,11 @@ fn main() {
     println!();
     println!("Paper: FT latency overhead <= 2.1us up to 64B; bandwidth overhead < 4% above 4KB;");
     println!("plateau ~120 MB/s (32-bit PCI bound).");
+
+    if let Some(dir) = telemetry_dir() {
+        // Representative point: 16 KiB unidirectional under the best
+        // parameters (r = 1 ms, q = 32).
+        let fw = FwKind::Ft(ProtocolConfig::default());
+        instrumented_stream(&dir, "fig4", &fw, 16384, 64, 32);
+    }
 }

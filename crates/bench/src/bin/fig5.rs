@@ -1,8 +1,9 @@
 //! Figure 5: effect of the retransmission interval on bandwidth with no
 //! errors (queue size 32).
 
-use san_bench::{parse_mode, size_series, tsv};
-use san_microbench::{run_grid, GridPoint, GridSpec};
+use san_bench::{instrumented_stream, parse_mode, size_series, telemetry_dir, tsv};
+use san_ft::ProtocolConfig;
+use san_microbench::{run_grid, FwKind, GridPoint, GridSpec};
 use san_sim::Duration;
 
 fn main() {
@@ -13,7 +14,11 @@ fn main() {
         .collect();
 
     for &bidi in &[true, false] {
-        let title = if bidi { "Bidirectional" } else { "Unidirectional" };
+        let title = if bidi {
+            "Bidirectional"
+        } else {
+            "Unidirectional"
+        };
         println!("Figure 5: {title} bandwidth (MB/s), no errors, q=32");
         println!();
         print!("{:<10}", "Bytes");
@@ -33,8 +38,13 @@ fn main() {
                 });
             }
         }
-        let results =
-            run_grid(points, GridSpec { volume: mode.volume(), ..Default::default() });
+        let results = run_grid(
+            points,
+            GridSpec {
+                volume: mode.volume(),
+                ..Default::default()
+            },
+        );
         let k = sizes.len();
         for (i, &bytes) in sizes.iter().enumerate() {
             print!("{bytes:<10}");
@@ -51,4 +61,29 @@ fn main() {
     }
     println!("Paper: intervals <= 100us lose >17% bandwidth (false retransmissions);");
     println!("1ms and longer are near the no-FT curve.");
+
+    if let Some(dir) = telemetry_dir() {
+        // Instrumented run at the knee: a 100 us timer against 64 KiB
+        // messages (~410 us of serialization) guarantees the timer beats
+        // the cumulative ACK, so every stream shows spurious resends.
+        let proto = ProtocolConfig {
+            retx_timeout: Duration::from_micros(100),
+            ..ProtocolConfig::default()
+        };
+        let (tel, point) = instrumented_stream(&dir, "fig5", &FwKind::Ft(proto), 65536, 32, 32);
+        let events = tel.events();
+        let spurious = san_telemetry::lifecycle::false_retransmits(&events);
+        println!();
+        println!(
+            "telemetry: {} of {} reconstructed packets were retransmitted after \
+             delivery ({} retransmits total at the 100us timer)",
+            spurious.len(),
+            san_telemetry::lifecycle::reconstruct(&events).len(),
+            point.retransmits,
+        );
+        if let Some(tl) = spurious.first() {
+            println!("example false-retransmission timeline:");
+            print!("{}", tl.render());
+        }
+    }
 }

@@ -1,9 +1,9 @@
 //! Figure 7: effect of the NIC send queue size on bandwidth with no errors
 //! (retransmission interval 1 ms).
 
-use san_bench::{parse_mode, size_series, tsv};
+use san_bench::{instrumented_stream, parse_mode, size_series, telemetry_dir, tsv};
 use san_ft::ProtocolConfig;
-use san_microbench::{run_grid, GridPoint, GridSpec};
+use san_microbench::{run_grid, FwKind, GridPoint, GridSpec};
 use san_sim::Duration;
 
 fn main() {
@@ -12,7 +12,11 @@ fn main() {
     let queues = ProtocolConfig::queue_sweep();
 
     for &bidi in &[true, false] {
-        let title = if bidi { "Bidirectional" } else { "Unidirectional" };
+        let title = if bidi {
+            "Bidirectional"
+        } else {
+            "Unidirectional"
+        };
         println!("Figure 7: {title} bandwidth (MB/s), no errors, r=1ms");
         println!();
         print!("{:<10} {:>12}", "Bytes", "No FT(q32)");
@@ -42,13 +46,21 @@ fn main() {
                 });
             }
         }
-        let results =
-            run_grid(points, GridSpec { volume: mode.volume(), ..Default::default() });
+        let results = run_grid(
+            points,
+            GridSpec {
+                volume: mode.volume(),
+                ..Default::default()
+            },
+        );
         let k = sizes.len();
         for (i, &bytes) in sizes.iter().enumerate() {
             print!("{bytes:<10} {:>12.1}", results[i].bw.mbps);
-            let mut fields =
-                vec![title.to_string(), bytes.to_string(), format!("{:.2}", results[i].bw.mbps)];
+            let mut fields = vec![
+                title.to_string(),
+                bytes.to_string(),
+                format!("{:.2}", results[i].bw.mbps),
+            ];
             for (qi, _) in queues.iter().enumerate() {
                 let bw = &results[(qi + 1) * k + i].bw;
                 print!(" {:>12.1}", bw.mbps);
@@ -60,4 +72,11 @@ fn main() {
         println!();
     }
     println!("Paper: only very small queues hurt; q>=8 reaches near-maximum bandwidth.");
+
+    if let Some(dir) = telemetry_dir() {
+        // Representative point: q=2 starves the sender — blocked_no_buffer
+        // dominates the NIC metric family.
+        let fw = FwKind::Ft(ProtocolConfig::default());
+        instrumented_stream(&dir, "fig7", &fw, 65536, 32, 2);
+    }
 }

@@ -1,9 +1,9 @@
 //! Figure 8: effect of the NIC send queue size on bandwidth with injected
 //! errors (rates 1e-2, 1e-3, 1e-4; retransmission interval 1 ms).
 
-use san_bench::{parse_mode, size_series, tsv};
+use san_bench::{instrumented_stream, parse_mode, size_series, telemetry_dir, tsv};
 use san_ft::ProtocolConfig;
-use san_microbench::{run_grid, GridPoint, GridSpec};
+use san_microbench::{run_grid, FwKind, GridPoint, GridSpec};
 use san_sim::Duration;
 
 fn main() {
@@ -13,7 +13,11 @@ fn main() {
     let errors = [1e-2f64, 1e-3, 1e-4];
 
     for &bidi in &[true, false] {
-        let title = if bidi { "Bidirectional" } else { "Unidirectional" };
+        let title = if bidi {
+            "Bidirectional"
+        } else {
+            "Unidirectional"
+        };
         println!("Figure 8: {title} bandwidth (MB/s) with errors, r=1ms");
         println!();
         print!("{:<10} {:>8}", "Bytes", "err");
@@ -35,8 +39,13 @@ fn main() {
                 }
             }
         }
-        let results =
-            run_grid(points, GridSpec { volume: mode.volume(), ..Default::default() });
+        let results = run_grid(
+            points,
+            GridSpec {
+                volume: mode.volume(),
+                ..Default::default()
+            },
+        );
         let k = sizes.len();
         for (ei, &err) in errors.iter().enumerate() {
             for (i, &bytes) in sizes.iter().enumerate() {
@@ -44,8 +53,7 @@ fn main() {
                 let mut fields = vec![title.to_string(), format!("{err:.0e}"), bytes.to_string()];
                 for (qi, _) in queues.iter().enumerate() {
                     let bw = &results[(ei * queues.len() + qi) * k + i].bw;
-                    let cell =
-                        format!("{:.1}{}", bw.mbps, if bw.completed { "" } else { "*" });
+                    let cell = format!("{:.1}{}", bw.mbps, if bw.completed { "" } else { "*" });
                     print!(" {cell:>12}");
                     fields.push(cell);
                 }
@@ -58,4 +66,11 @@ fn main() {
     println!("Paper: q>=8 is near-best at 1e-4 and below; at 1e-2 a q=128 sender degrades");
     println!(">30% (unidirectional) — sender feedback defers ACKs and go-back-N resends");
     println!("large windows.");
+
+    if let Some(dir) = telemetry_dir() {
+        // Representative point: q=128 at 1e-2 — go-back-N resends large
+        // windows, so retransmits dwarf injected drops in the trace.
+        let proto = ProtocolConfig::default().with_error_rate(1e-2);
+        instrumented_stream(&dir, "fig8", &FwKind::Ft(proto), 16384, 64, 128);
+    }
 }

@@ -19,8 +19,15 @@ use san_svm::{SvmConfig, SvmReport, TimeBreakdown};
 
 fn svm_cfg(timer: Duration, queue: u16, err: f64) -> SvmConfig {
     SvmConfig {
-        cluster: ClusterConfig { send_bufs: queue, ..Default::default() },
-        proto: Some(ProtocolConfig::default().with_timeout(timer).with_error_rate(err)),
+        cluster: ClusterConfig {
+            send_bufs: queue,
+            ..Default::default()
+        },
+        proto: Some(
+            ProtocolConfig::default()
+                .with_timeout(timer)
+                .with_error_rate(err),
+        ),
         ..SvmConfig::default()
     }
 }
@@ -31,7 +38,10 @@ fn run_app(app: &str, mode: RunMode, svm: SvmConfig, mult: u32) -> (SvmReport, b
     match app {
         "FFT" => {
             let mut cfg = if mode == RunMode::Full {
-                FftConfig { points_log2: 16, ..FftConfig::small() }
+                FftConfig {
+                    points_log2: 16,
+                    ..FftConfig::small()
+                }
             } else {
                 FftConfig::small()
             };
@@ -42,7 +52,10 @@ fn run_app(app: &str, mode: RunMode, svm: SvmConfig, mult: u32) -> (SvmReport, b
         }
         "RadixLocal" => {
             let mut cfg = if mode == RunMode::Full {
-                RadixConfig { keys: 128 * 1024, ..RadixConfig::small() }
+                RadixConfig {
+                    keys: 128 * 1024,
+                    ..RadixConfig::small()
+                }
             } else {
                 RadixConfig::small()
             };
@@ -53,7 +66,10 @@ fn run_app(app: &str, mode: RunMode, svm: SvmConfig, mult: u32) -> (SvmReport, b
         }
         "WaterNSquared" => {
             let mut cfg = if mode == RunMode::Full {
-                WaterConfig { molecules: 512, ..WaterConfig::small() }
+                WaterConfig {
+                    molecules: 512,
+                    ..WaterConfig::small()
+                }
             } else {
                 WaterConfig::small()
             };
@@ -77,8 +93,11 @@ fn scale(bd: &TimeBreakdown, mult: u32) -> TimeBreakdown {
 
 fn main() {
     let mode = parse_mode();
-    let errors: [f64; 3] =
-        if mode == RunMode::Full { [0.0, 1e-4, 1e-3] } else { [0.0, 1e-3, 1e-2] };
+    let errors: [f64; 3] = if mode == RunMode::Full {
+        [0.0, 1e-4, 1e-3]
+    } else {
+        [0.0, 1e-3, 1e-2]
+    };
     let params: [(&str, Duration, u16); 4] = [
         ("r100us-q2", Duration::from_micros(100), 2),
         ("r100us-q32", Duration::from_micros(100), 32),
@@ -87,9 +106,7 @@ fn main() {
     ];
 
     for app in ["FFT", "RadixLocal", "WaterNSquared"] {
-        println!(
-            "Figure 9: {app} execution-time breakdown (ms per base run, summed over procs)"
-        );
+        println!("Figure 9: {app} execution-time breakdown (ms per base run, summed over procs)");
         println!();
         println!(
             "{:<8} {:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6}",
@@ -114,7 +131,11 @@ fn main() {
                 let wall = report.wall / mult as u64;
                 println!(
                     "{:<8} {:<12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>6} {:>6}",
-                    if err == 0.0 { "0".into() } else { format!("{err:.0e}") },
+                    if err == 0.0 {
+                        "0".into()
+                    } else {
+                        format!("{err:.0e}")
+                    },
                     label,
                     bd.compute.as_millis_f64(),
                     bd.data.as_millis_f64(),
@@ -142,4 +163,15 @@ fn main() {
     }
     println!("Paper: Water nearly flat everywhere; FFT/Radix flat up to 1e-4, degrading");
     println!(">20% at 1e-3; parameter choice shifts results up to ~19% within a rate.");
+
+    if let Some(dir) = san_bench::telemetry_dir() {
+        // Instrumented run: a small error-free FFT under the best
+        // parameters — the export shows the svm.node.* wait histograms and
+        // vmmc.node.* message counters on top of the fabric/NIC families.
+        let tel = san_telemetry::Telemetry::with_trace(1 << 16);
+        let mut svm = svm_cfg(Duration::from_millis(1), 32, 0.0);
+        svm.cluster.telemetry = tel.clone();
+        run_app("FFT", RunMode::Quick, svm, 1);
+        san_bench::emit_telemetry(&dir, "fig9", &tel);
+    }
 }

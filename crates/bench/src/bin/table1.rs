@@ -6,13 +6,23 @@ use san_ft::ProtocolConfig;
 fn main() {
     println!("Table 1: Range of system parameters studied (from ProtocolConfig)");
     println!();
-    let queues: Vec<String> =
-        ProtocolConfig::queue_sweep().iter().map(|q| q.to_string()).collect();
-    let timers: Vec<String> =
-        ProtocolConfig::timer_sweep().iter().map(|t| t.to_string()).collect();
+    let queues: Vec<String> = ProtocolConfig::queue_sweep()
+        .iter()
+        .map(|q| q.to_string())
+        .collect();
+    let timers: Vec<String> = ProtocolConfig::timer_sweep()
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
     let errors: Vec<String> = ProtocolConfig::error_sweep()
         .iter()
-        .map(|e| if *e == 0.0 { "0".into() } else { format!("{e:.0e}") })
+        .map(|e| {
+            if *e == 0.0 {
+                "0".into()
+            } else {
+                format!("{e:.0e}")
+            }
+        })
         .collect();
     println!("{:<22} {}", "# NIC Send Buffers", queues.join("  "));
     println!("{:<22} {}", "Timeout Interval", timers.join("  "));

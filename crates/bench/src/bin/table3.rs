@@ -44,16 +44,26 @@ fn main() {
         let mut cluster = Cluster::new(
             topo,
             ClusterConfig::default(),
-            |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), 2)),
+            |_| {
+                Box::new(ReliableFirmware::new(
+                    proto.clone(),
+                    MapperConfig::default(),
+                    2,
+                ))
+            },
             hosts,
         );
         // No routes installed: the first send must map.
         let mut t = Time::from_millis(5);
         while ib.borrow().is_empty() && t < Time::from_secs(5) {
             cluster.run_until(t);
-            t = t + Duration::from_millis(5);
+            t += Duration::from_millis(5);
         }
-        assert_eq!(ib.borrow().len(), 1, "hop {hops}: message must arrive after mapping");
+        assert_eq!(
+            ib.borrow().len(),
+            1,
+            "hop {hops}: message must arrive after mapping"
+        );
         let st = mapper_stats(&cluster, 0);
         println!(
             "{hops:<8} {:>12} {:>14} {:>10} {:>13.3} ms",
@@ -96,30 +106,59 @@ fn main() {
         perm_fail_threshold: Duration::from_millis(10),
         ..ProtocolConfig::default().with_mapping()
     };
+    // With --telemetry, trace the failover run itself: the export shows the
+    // probe storm, the generation bump and the ft.node.*.map.* counters.
+    let tel_dir = san_bench::telemetry_dir();
+    let tel = match &tel_dir {
+        Some(_) => san_telemetry::Telemetry::with_trace(1 << 16),
+        None => san_telemetry::Telemetry::new(),
+    };
     let mut cluster = Cluster::new(
         tb.topo,
-        ClusterConfig::default(),
-        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n_hosts)),
+        ClusterConfig {
+            telemetry: tel.clone(),
+            ..Default::default()
+        },
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n_hosts,
+            ))
+        },
         hosts,
     );
     cluster.install_shortest_routes();
     // Kill both direct core-to-core links mid-stream: the sender must
     // discover the detour through a leaf switch.
     let kill_at = Time::from_millis(2);
-    cluster
-        .sim
-        .schedule(kill_at, FabricEvent::LinkDown { link: tb.redundant_links[0] }.into());
-    cluster
-        .sim
-        .schedule(kill_at, FabricEvent::LinkDown { link: tb.redundant_links[1] }.into());
+    cluster.sim.schedule(
+        kill_at,
+        FabricEvent::LinkDown {
+            link: tb.redundant_links[0],
+        }
+        .into(),
+    );
+    cluster.sim.schedule(
+        kill_at,
+        FabricEvent::LinkDown {
+            link: tb.redundant_links[1],
+        }
+        .into(),
+    );
     let mut t = Time::from_millis(5);
     while ib.borrow().len() < 400 && t < Time::from_secs(10) {
         cluster.run_until(t);
-        t = t + Duration::from_millis(5);
+        t += Duration::from_millis(5);
     }
     let delivered = ib.borrow().len();
     let st = mapper_stats(&cluster, src.idx());
-    let last_arrival = ib.borrow().iter().map(|p| p.stamps.host_seen).max().unwrap();
+    let last_arrival = ib
+        .borrow()
+        .iter()
+        .map(|p| p.stamps.host_seen)
+        .max()
+        .unwrap();
     println!("messages delivered        {delivered} / 400 (duplicates possible at the reset)");
     println!("mapping runs              {}", st.runs);
     println!("host probes               {}", st.last_host_probes);
@@ -138,4 +177,8 @@ fn main() {
         format!("{:.3}", st.last_time_ms),
     ]);
     assert!(delivered >= 400, "failover must complete the stream");
+
+    if let Some(dir) = tel_dir {
+        san_bench::emit_telemetry(&dir, "table3", &tel);
+    }
 }

@@ -20,8 +20,18 @@
 //! Every binary accepts `--quick` (reduced volume; the default) or `--full`
 //! (paper-scale volumes — minutes of CPU). Output is aligned text plus
 //! machine-readable TSV lines prefixed with `#tsv`.
+//!
+//! Every binary also accepts `--telemetry <dir>`: after the sweep it re-runs
+//! one representative configuration with the trace recorder on and dumps the
+//! full export set (`<id>.metrics.json`, `.metrics.csv`, `.trace.csv`,
+//! `.summary.txt`) under `<dir>`.
 
-use san_sim::Duration;
+use std::path::{Path, PathBuf};
+
+use san_microbench::{unidirectional_bandwidth, BwPoint, FwKind};
+use san_nic::ClusterConfig;
+use san_sim::{Duration, Time};
+use san_telemetry::Telemetry;
 
 /// Parse the common CLI flags.
 pub fn parse_mode() -> RunMode {
@@ -70,4 +80,62 @@ pub fn us(d: Duration) -> String {
 /// Emit one TSV record (machine-readable mirror of the human tables).
 pub fn tsv(fields: &[String]) {
     println!("#tsv\t{}", fields.join("\t"));
+}
+
+/// Parse `--telemetry <dir>` from argv. A bare `--telemetry` with no
+/// following path defaults to `results/telemetry`.
+pub fn telemetry_dir() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            let dir = match args.next() {
+                Some(d) if !d.starts_with("--") => d,
+                _ => "results/telemetry".into(),
+            };
+            return Some(PathBuf::from(dir));
+        }
+    }
+    None
+}
+
+/// Re-run one representative configuration with the trace recorder on —
+/// a unidirectional stream of `count` messages of `bytes` each over a
+/// send queue of `queue` descriptors — then write the export set under
+/// `dir` as `<name>.*`. Returns the telemetry handle (for further
+/// inspection, e.g. fig5's false-retransmission timelines) and the
+/// measured point.
+pub fn instrumented_stream(
+    dir: &Path,
+    name: &str,
+    fw: &FwKind,
+    bytes: u32,
+    count: u64,
+    queue: u16,
+) -> (Telemetry, BwPoint) {
+    let tel = Telemetry::with_trace(1 << 16);
+    let cfg = ClusterConfig {
+        telemetry: tel.clone(),
+        send_bufs: queue,
+        ..Default::default()
+    };
+    let point = unidirectional_bandwidth(fw, bytes, count, cfg, Time(30_000_000_000));
+    emit_telemetry(dir, name, &tel);
+    (tel, point)
+}
+
+/// Write the export set for `tel` under `dir` and say what was written.
+pub fn emit_telemetry(dir: &Path, name: &str, tel: &Telemetry) {
+    match san_telemetry::export::write_dir(dir, name, tel) {
+        Ok(paths) => {
+            println!();
+            println!(
+                "telemetry: instrumented run ({} events captured) exported to",
+                tel.events().len()
+            );
+            for p in paths {
+                println!("  {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("telemetry: export to {} failed: {e}", dir.display()),
+    }
 }

@@ -108,7 +108,11 @@ impl ProtocolConfig {
     /// Set the error rate as the paper states it (10^-k per packet):
     /// `rate = 1e-3` → drop one packet in every 1000.
     pub fn with_error_rate(mut self, rate: f64) -> Self {
-        self.drop_interval = if rate <= 0.0 { None } else { Some((1.0 / rate).round() as u64) };
+        self.drop_interval = if rate <= 0.0 {
+            None
+        } else {
+            Some((1.0 / rate).round() as u64)
+        };
         self
     }
 
@@ -185,14 +189,22 @@ mod tests {
     #[test]
     fn feedback_intervals_scale_with_pressure() {
         let f = FeedbackPolicy::SenderFeedback;
-        assert_eq!(f.interval(0.1, 32), 8, "scarce buffers → timely batched ACKs");
+        assert_eq!(
+            f.interval(0.1, 32),
+            8,
+            "scarce buffers → timely batched ACKs"
+        );
         assert_eq!(f.interval(0.3, 32), 8);
         assert_eq!(f.interval(0.9, 32), 8, "clamped at 8");
         assert_eq!(f.interval(0.9, 128), 32, "large pool → rare requests");
         assert_eq!(f.interval(0.1, 2), 1, "never more than half the pool");
         assert_eq!(f.interval(0.9, 8), 4, "half-pool bound: 8/2");
         assert_eq!(FeedbackPolicy::EveryK(7).interval(0.9, 128), 7);
-        assert_eq!(FeedbackPolicy::EveryK(0).interval(0.9, 128), 1, "k=0 clamps to 1");
+        assert_eq!(
+            FeedbackPolicy::EveryK(0).interval(0.9, 128),
+            1,
+            "k=0 clamps to 1"
+        );
     }
 
     #[test]

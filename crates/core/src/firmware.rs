@@ -23,8 +23,10 @@
 use san_fabric::{NodeId, Packet, PacketFlags, PacketKind, Route};
 use san_nic::{BufId, Firmware, NicCore, NicCtx, SendDesc};
 use san_sim::Time;
+use san_telemetry::TraceKind;
 
 use crate::config::{MapperConfig, ProtocolConfig};
+use crate::ft_trace;
 use crate::mapper::{MapOutcome, Mapper};
 use crate::proto::{ReceiverState, RxVerdict, SenderState};
 
@@ -116,7 +118,14 @@ impl ReliableFirmware {
     }
 
     /// Process a cumulative acknowledgment from `peer`.
-    fn process_ack(&mut self, core: &mut NicCore, ctx: &mut NicCtx, peer: NodeId, ack_seq: u32, ack_gen: u16) {
+    fn process_ack(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        peer: NodeId,
+        ack_seq: u32,
+        ack_gen: u16,
+    ) {
         core.stats.acks_rx.hit();
         core.cpu.acquire(ctx.now(), core.timing.ack_proc);
         let s = &mut self.senders[peer.idx()];
@@ -127,6 +136,7 @@ impl ReliableFirmware {
                 (p.seq, p.generation)
             })
         };
+        let n_freed = freed.len();
         if !freed.is_empty() {
             s.last_progress = ctx.now();
             for b in freed {
@@ -134,6 +144,15 @@ impl ReliableFirmware {
             }
             core.request_pump();
         }
+        ft_trace(
+            core,
+            ctx.now(),
+            TraceKind::AckProcessed,
+            peer,
+            ack_gen,
+            ack_seq,
+            n_freed as u64,
+        );
     }
 
     /// Send an explicit cumulative ACK to `to`, routed along the reverse of
@@ -151,15 +170,30 @@ impl ReliableFirmware {
         earliest: Time,
     ) {
         let r = self.receivers[to.idx()].clone();
-        let route =
-            if reverse.is_empty() { core.routes.get(to).unwrap_or(reverse) } else { reverse };
+        let route = if reverse.is_empty() {
+            core.routes.get(to).unwrap_or(reverse)
+        } else {
+            reverse
+        };
         let mut ack = Packet::new(core.node, to, PacketKind::Ack);
         ack.route = route;
         ack.ack_seq = r.cumulative_ack();
         ack.ack_gen = r.generation;
         ack.flags.set(PacketFlags::PIGGY_ACK);
-        let t = core.cpu.acquire(ctx.now(), core.timing.ack_build).max(earliest);
+        let t = core
+            .cpu
+            .acquire(ctx.now(), core.timing.ack_build)
+            .max(earliest);
         core.stats.acks_tx.hit();
+        ft_trace(
+            core,
+            ctx.now(),
+            TraceKind::AckSent,
+            to,
+            ack.ack_gen,
+            ack.ack_seq,
+            0,
+        );
         core.transmit_unpooled_from(ctx, ack, t);
         self.receivers[to.idx()].note_ack_sent();
     }
@@ -206,7 +240,19 @@ impl ReliableFirmware {
                 core.pool.pkt_mut(*b).flags.set(PacketFlags::ACK_REQUEST);
             }
             core.stats.retransmits.hit();
-            let seq = core.pool.pkt(*b).seq;
+            let (seq, generation) = {
+                let p = core.pool.pkt(*b);
+                (p.seq, p.generation)
+            };
+            ft_trace(
+                core,
+                now,
+                TraceKind::Retransmit,
+                dst,
+                generation,
+                seq,
+                i as u64,
+            );
             core.transmit_from(ctx, *b, t);
             self.arm_pkt_timer(core, ctx, dst, seq);
         }
@@ -237,7 +283,19 @@ impl ReliableFirmware {
                 core.pool.pkt_mut(*b).flags.set(PacketFlags::ACK_REQUEST);
             }
             core.stats.retransmits.hit();
-            let seq = core.pool.pkt(*b).seq;
+            let (seq, generation) = {
+                let p = core.pool.pkt(*b);
+                (p.seq, p.generation)
+            };
+            ft_trace(
+                core,
+                now,
+                TraceKind::Retransmit,
+                dst,
+                generation,
+                seq,
+                i as u64,
+            );
             core.transmit_from(ctx, *b, t);
             self.arm_pkt_timer(core, ctx, dst, seq);
         }
@@ -253,7 +311,13 @@ impl ReliableFirmware {
 
     /// Mapping finished for `dst`: either re-route + new generation, or give
     /// up and drop everything queued toward it (§4.2).
-    fn finish_remap(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId, route: Option<Route>) {
+    fn finish_remap(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        dst: NodeId,
+        route: Option<Route>,
+    ) {
         let s = &mut self.senders[dst.idx()];
         s.mapping = false;
         match route {
@@ -273,6 +337,15 @@ impl ReliableFirmware {
                 }
                 s.last_progress = ctx.now();
                 s.retx_busy_until = Time::ZERO;
+                ft_trace(
+                    core,
+                    ctx.now(),
+                    TraceKind::GenerationBump,
+                    dst,
+                    generation,
+                    0,
+                    bufs.len() as u64,
+                );
                 self.retransmit_queue(core, ctx, dst);
                 core.request_pump();
             }
@@ -300,6 +373,9 @@ impl Firmware for ReliableFirmware {
 
     fn on_start(&mut self, core: &mut NicCore, ctx: &mut NicCtx) {
         debug_assert_eq!(self.n_nodes, self.senders.len());
+        // The mapper is built before the NIC exists; re-home its stats onto
+        // the simulation's registry now that the telemetry handle is known.
+        self.mapper.register_metrics(&core.telemetry, core.node);
         self.arm_timer(core, ctx);
     }
 
@@ -332,8 +408,11 @@ impl Firmware for ReliableFirmware {
 
         // Piggy-back any owed ACK for this destination on the data packet.
         let r = &mut self.receivers[dst.idx()];
-        let (piggy, ack_seq, ack_gen) =
-            if r.ack_owed { (true, r.cumulative_ack(), r.generation) } else { (false, 0, 0) };
+        let (piggy, ack_seq, ack_gen) = if r.ack_owed {
+            (true, r.cumulative_ack(), r.generation)
+        } else {
+            (false, 0, 0)
+        };
         if piggy {
             r.note_ack_sent();
         }
@@ -351,12 +430,16 @@ impl Firmware for ReliableFirmware {
                 p.ack_gen = ack_gen;
             }
         }
+        if piggy {
+            ft_trace(core, now, TraceKind::AckSent, dst, ack_gen, ack_seq, 1);
+        }
 
         // The paper's error injector: suppress every Nth first transmission.
         self.tx_counter += 1;
         if let Some(n) = self.cfg.drop_interval {
             if self.tx_counter.is_multiple_of(n) {
                 core.stats.injected_drops.hit();
+                ft_trace(core, now, TraceKind::PacketDropped, dst, generation, seq, 0);
                 core.pool.mark_tx(buf, now);
                 self.arm_pkt_timer(core, ctx, dst, seq);
                 return; // the packet sits in the retransmission queue only
@@ -395,8 +478,7 @@ impl Firmware for ReliableFirmware {
                         if self.cfg.selective_retransmission {
                             loop {
                                 let expected = self.receivers[src.idx()].expected;
-                                let Some(p) = self.rx_buffers[src.idx()].remove(&expected)
-                                else {
+                                let Some(p) = self.rx_buffers[src.idx()].remove(&expected) else {
                                     break;
                                 };
                                 if self.receivers[src.idx()].classify(p.seq, generation)
@@ -467,17 +549,26 @@ impl Firmware for ReliableFirmware {
             // Per-packet expiry (AM-II ablation): the check costs CPU even
             // when the packet has long been acknowledged.
             core.stats.timer_fires.hit();
+            ft_trace(
+                core,
+                ctx.now(),
+                TraceKind::TimerFired,
+                core.node,
+                0,
+                0,
+                token,
+            );
             core.cpu.acquire(ctx.now(), core.timing.timer_scan_base);
             let dst = NodeId(((token >> 32) & 0xFFFF) as u16);
             let seq = (token & 0xFFFF_FFFF) as u32;
             let s = &self.senders[dst.idx()];
-            let unacked = s
-                .retrans_q
-                .iter()
-                .any(|&b| core.pool.pkt(b).seq == seq && core.pool.pkt(b).generation == s.generation);
+            let unacked = s.retrans_q.iter().any(|&b| {
+                core.pool.pkt(b).seq == seq && core.pool.pkt(b).generation == s.generation
+            });
             if unacked {
-                let head_age =
-                    ctx.now().since(core.pool.last_tx(*s.retrans_q.front().unwrap()));
+                let head_age = ctx
+                    .now()
+                    .since(core.pool.last_tx(*s.retrans_q.front().unwrap()));
                 if head_age >= self.cfg.retx_timeout {
                     if self.cfg.selective_retransmission {
                         self.retransmit_aged(core, ctx, dst);
@@ -499,14 +590,23 @@ impl Firmware for ReliableFirmware {
         }
         debug_assert_eq!(token, TOKEN_RETX);
         core.stats.timer_fires.hit();
+        ft_trace(
+            core,
+            ctx.now(),
+            TraceKind::TimerFired,
+            core.node,
+            0,
+            0,
+            token,
+        );
         let now = ctx.now();
         // One scan of all retransmission queues (the paper's single timer).
         let active: Vec<NodeId> = (0..self.n_nodes)
             .filter(|&i| !self.senders[i].retrans_q.is_empty())
             .map(|i| NodeId(i as u16))
             .collect();
-        let scan_cost = core.timing.timer_scan_base
-            + core.timing.timer_scan_per_queue * active.len() as u64;
+        let scan_cost =
+            core.timing.timer_scan_base + core.timing.timer_scan_per_queue * active.len() as u64;
         core.cpu.acquire(now, scan_cost);
         for dst in active {
             let s = &self.senders[dst.idx()];
@@ -566,7 +666,12 @@ impl Firmware for ReliableFirmware {
 }
 
 impl ReliableFirmware {
-    fn apply_map_outcomes(&mut self, core: &mut NicCore, ctx: &mut NicCtx, outcomes: Vec<MapOutcome>) {
+    fn apply_map_outcomes(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        outcomes: Vec<MapOutcome>,
+    ) {
         for o in outcomes {
             match o {
                 MapOutcome::RouteFound { dst, route } => {

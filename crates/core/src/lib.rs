@@ -35,6 +35,31 @@ pub mod mapper;
 pub mod proto;
 pub mod seq;
 
+/// Record a protocol-layer trace event observed by `core`'s node. `dst`
+/// is the conversation partner; `generation`/`seq` identify the packet
+/// for packet-scoped kinds and carry protocol state otherwise.
+pub(crate) fn ft_trace(
+    core: &san_nic::NicCore,
+    at: san_sim::Time,
+    kind: san_telemetry::TraceKind,
+    dst: san_fabric::NodeId,
+    generation: u16,
+    seq: u32,
+    aux: u64,
+) {
+    core.telemetry.record(san_telemetry::TraceEvent {
+        at_ns: at.nanos(),
+        layer: san_telemetry::Layer::Ft,
+        kind,
+        node: core.node.0,
+        src: core.node.0,
+        dst: dst.0,
+        generation,
+        seq,
+        aux,
+    });
+}
+
 pub use config::{FeedbackPolicy, MapperConfig, ProtocolConfig};
 pub use firmware::ReliableFirmware;
 pub use mapper::{MapStats, Mapper};

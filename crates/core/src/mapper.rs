@@ -31,10 +31,12 @@ use std::collections::{HashMap, VecDeque};
 use san_fabric::route::MAX_HOPS;
 use san_fabric::{NodeId, Packet, PacketKind, Route};
 use san_nic::{ClusterEvent, NicCore, NicCtx, NicEvent, SendDesc};
-use san_sim::{Counter, Summary, Time};
+use san_sim::Time;
+use san_telemetry::{Counter, SummaryHandle, Telemetry, TraceKind};
 
 use crate::config::MapperConfig;
 use crate::firmware::TOKEN_MAPPER_BASE;
+use crate::ft_trace;
 
 /// What a finished (or progressing) mapping run tells the firmware.
 #[derive(Debug)]
@@ -77,7 +79,27 @@ pub struct MapStats {
     /// Mapping time of the most recent completed run (ms).
     pub last_time_ms: f64,
     /// Distribution of mapping times (ms).
-    pub times_ms: Summary,
+    pub times_ms: SummaryHandle,
+}
+
+impl MapStats {
+    /// Stats whose cells are registered in `tel` under
+    /// `ft.node.<n>.map.*`. Scalar "most recent run" fields are not
+    /// registry material and stay local.
+    pub fn registered(tel: &Telemetry, node: NodeId) -> Self {
+        let m = |leaf: &str| format!("ft.node.{}.map.{leaf}", node.0);
+        Self {
+            runs: tel.counter(&m("runs")),
+            resolved: tel.counter(&m("resolved")),
+            unreachable: tel.counter(&m("unreachable")),
+            host_probes: tel.counter(&m("host_probes")),
+            switch_probes: tel.counter(&m("switch_probes")),
+            last_host_probes: 0,
+            last_switch_probes: 0,
+            last_time_ms: 0.0,
+            times_ms: tel.summary(&m("times_ms")),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -96,23 +118,45 @@ struct KnownSwitch {
 
 #[derive(Debug, Clone, Copy)]
 enum ProbeTag {
-    HostAt { idx: usize, port: u8 },
+    HostAt {
+        idx: usize,
+        port: u8,
+    },
     /// Host probe through a switch candidate's port (signature scan).
-    SigAt { port: u8 },
-    LoopQ { q: u8 },
-    IdentityOf { k: usize },
+    SigAt {
+        port: u8,
+    },
+    LoopQ {
+        q: u8,
+    },
+    IdentityOf {
+        k: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Phase {
-    Hosts { idx: usize },
-    Expand { idx: usize, port: u8 },
+    Hosts {
+        idx: usize,
+    },
+    Expand {
+        idx: usize,
+        port: u8,
+    },
     /// Host-signature scan of a switch candidate found behind
     /// `switches[parent]` port `port` (its own back-port is `back`).
-    Signature { parent: usize, port: u8, back: u8 },
+    Signature {
+        parent: usize,
+        port: u8,
+        back: u8,
+    },
     /// Legacy loop-probe identity check, used only when the candidate's
     /// signature is host-less and therefore non-discriminating.
-    Identity { parent: usize, port: u8, back: u8 },
+    Identity {
+        parent: usize,
+        port: u8,
+        back: u8,
+    },
 }
 
 #[derive(Debug)]
@@ -173,6 +217,13 @@ impl Mapper {
         &self.stats
     }
 
+    /// Re-home this mapper's stats onto cells registered in `tel` under
+    /// `ft.node.<n>.map.*`. Called by the firmware at cluster start,
+    /// before any mapping run, so no counts are lost in the swap.
+    pub fn register_metrics(&mut self, tel: &Telemetry, node: NodeId) {
+        self.stats = MapStats::registered(tel, node);
+    }
+
     /// Is a run in progress?
     pub fn active(&self) -> bool {
         self.run.is_some()
@@ -189,7 +240,12 @@ impl Mapper {
     }
 
     /// Ask for a route to `dst`. Runs immediately if idle, else queues.
-    pub fn request(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) -> Vec<MapOutcome> {
+    pub fn request(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        dst: NodeId,
+    ) -> Vec<MapOutcome> {
         if self.run.is_some() {
             if !self.waiting.contains(&dst) {
                 self.waiting.push_back(dst);
@@ -256,6 +312,8 @@ impl Mapper {
         p.payload_len = 8;
         let t = core.cpu.acquire(ctx.now(), core.timing.probe_proc);
         core.stats.probes_tx.hit();
+        let target = self.run.as_ref().map(|r| r.target).unwrap_or(core.node);
+        ft_trace(core, ctx.now(), TraceKind::ProbeSent, target, 0, 0, token);
         core.transmit_unpooled_from(ctx, p, t);
     }
 
@@ -266,7 +324,12 @@ impl Mapper {
         let node = core.node;
         ctx.sim.schedule_in(
             self.cfg.probe_timeout,
-            ClusterEvent::Nic(node, NicEvent::Timer { token: TOKEN_MAPPER_BASE + batch }),
+            ClusterEvent::Nic(
+                node,
+                NicEvent::Timer {
+                    token: TOKEN_MAPPER_BASE + batch,
+                },
+            ),
         );
     }
 
@@ -274,7 +337,11 @@ impl Mapper {
         let (route_to, back) = {
             let run = self.run.as_ref().unwrap();
             let sw = &run.switches[idx];
-            let back = if idx == 0 { None } else { Some(sw.reverse_from.hop(0)) };
+            let back = if idx == 0 {
+                None
+            } else {
+                Some(sw.reverse_from.hop(0))
+            };
             (sw.route_to, back)
         };
         {
@@ -288,10 +355,13 @@ impl Mapper {
                     continue; // the port we came in through leads backwards
                 }
                 let route = route_to.then(p);
-                self.send_probe(core, ctx, PacketKind::ProbeHost, route, ProbeTag::HostAt {
-                    idx,
-                    port: p,
-                });
+                self.send_probe(
+                    core,
+                    ctx,
+                    PacketKind::ProbeHost,
+                    route,
+                    ProbeTag::HostAt { idx, port: p },
+                );
             }
         }
         self.arm_batch_deadline(core, ctx);
@@ -312,7 +382,13 @@ impl Mapper {
         if route_to.len() + 2 + reverse.len() <= MAX_HOPS {
             for q in 0..self.cfg.max_ports {
                 let route = route_to.then(port).then(q).join(&reverse);
-                self.send_probe(core, ctx, PacketKind::ProbeLoop, route, ProbeTag::LoopQ { q });
+                self.send_probe(
+                    core,
+                    ctx,
+                    PacketKind::ProbeLoop,
+                    route,
+                    ProbeTag::LoopQ { q },
+                );
             }
         }
         self.arm_batch_deadline(core, ctx);
@@ -342,9 +418,13 @@ impl Mapper {
         if candidate_route.len() < MAX_HOPS {
             for x in 0..self.cfg.max_ports {
                 let route = candidate_route.then(x);
-                self.send_probe(core, ctx, PacketKind::ProbeHost, route, ProbeTag::SigAt {
-                    port: x,
-                });
+                self.send_probe(
+                    core,
+                    ctx,
+                    PacketKind::ProbeHost,
+                    route,
+                    ProbeTag::SigAt { port: x },
+                );
             }
         }
         self.arm_batch_deadline(core, ctx);
@@ -378,7 +458,13 @@ impl Mapper {
                 .collect()
         };
         for (ki, route) in probes {
-            self.send_probe(core, ctx, PacketKind::ProbeLoop, route, ProbeTag::IdentityOf { k: ki });
+            self.send_probe(
+                core,
+                ctx,
+                PacketKind::ProbeLoop,
+                route,
+                ProbeTag::IdentityOf { k: ki },
+            );
         }
         self.arm_batch_deadline(core, ctx);
     }
@@ -428,7 +514,12 @@ impl Mapper {
                 if who == core.node {
                     return Vec::new();
                 }
-                let Phase::Signature { parent, port: cport, .. } = run.phase else {
+                let Phase::Signature {
+                    parent,
+                    port: cport,
+                    ..
+                } = run.phase
+                else {
                     return Vec::new();
                 };
                 let route = run.switches[parent].route_to.then(cport).then(port);
@@ -455,16 +546,28 @@ impl Mapper {
         if pkt.kind != PacketKind::ProbeReply {
             return Vec::new();
         }
-        let Some(route) = self.late_probes.remove(&pkt.msg_id) else { return Vec::new() };
+        let Some(route) = self.late_probes.remove(&pkt.msg_id) else {
+            return Vec::new();
+        };
         if pkt.src == core.node {
             return Vec::new(); // our own echo — not a route worth caching
         }
-        vec![MapOutcome::RouteFound { dst: pkt.src, route }]
+        vec![MapOutcome::RouteFound {
+            dst: pkt.src,
+            route,
+        }]
     }
 
     /// A mapper timer fired (batch deadline).
-    pub fn on_timer(&mut self, core: &mut NicCore, ctx: &mut NicCtx, token: u64) -> Vec<MapOutcome> {
-        let Some(run) = self.run.as_ref() else { return Vec::new() };
+    pub fn on_timer(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        token: u64,
+    ) -> Vec<MapOutcome> {
+        let Some(run) = self.run.as_ref() else {
+            return Vec::new();
+        };
         if token != TOKEN_MAPPER_BASE + run.batch {
             return Vec::new(); // stale deadline from a superseded batch
         }
@@ -480,7 +583,11 @@ impl Mapper {
             Phase::Hosts { idx } => {
                 run.switches[idx].explored_hosts = true;
                 let sig = std::mem::take(&mut run.sig_scratch);
-                let back = if idx == 0 { None } else { Some(run.switches[idx].reverse_from.hop(0)) };
+                let back = if idx == 0 {
+                    None
+                } else {
+                    Some(run.switches[idx].reverse_from.hop(0))
+                };
                 run.switches[idx].candidates = candidates_from(&sig, back);
                 run.switches[idx].signature = sig;
                 if idx == 0 && run.switches[0].reverse_from.is_empty() {
@@ -610,10 +717,16 @@ impl Mapper {
         for (token, tag) in run.outstanding.drain() {
             match tag {
                 ProbeTag::HostAt { idx, port } => {
-                    self.late_probes.insert(token, run.switches[idx].route_to.then(port));
+                    self.late_probes
+                        .insert(token, run.switches[idx].route_to.then(port));
                 }
                 ProbeTag::SigAt { port } => {
-                    if let Phase::Signature { parent, port: cport, .. } = run.phase {
+                    if let Phase::Signature {
+                        parent,
+                        port: cport,
+                        ..
+                    } = run.phase
+                    {
                         let r = run.switches[parent].route_to.then(cport).then(port);
                         self.late_probes.insert(token, r);
                     }
@@ -631,12 +744,18 @@ impl Mapper {
         } else {
             self.stats.unreachable.hit();
         }
-        let mut outs = vec![MapOutcome::TargetResolved { dst: run.target, route }];
+        let mut outs = vec![MapOutcome::TargetResolved {
+            dst: run.target,
+            route,
+        }];
         // Serve the next queued request; a side-discovered route may already
         // satisfy it.
         while let Some(next) = self.waiting.pop_front() {
             if let Some(r) = core.routes.get(next) {
-                outs.push(MapOutcome::TargetResolved { dst: next, route: Some(r) });
+                outs.push(MapOutcome::TargetResolved {
+                    dst: next,
+                    route: Some(r),
+                });
             } else {
                 self.begin_run(core, ctx, next);
                 break;

@@ -92,8 +92,7 @@ impl SenderState {
 }
 
 /// Receive-side state from one source node.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReceiverState {
     /// Sequence number expected next.
     pub expected: u32,
@@ -106,7 +105,6 @@ pub struct ReceiverState {
     /// drives the receiver-side group-ACK threshold.
     pub accepted_since_ack: u32,
 }
-
 
 /// What the receiver decides to do with an arriving data packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,17 +165,21 @@ mod tests {
 
     #[test]
     fn sender_seq_assignment_and_wrap() {
-        let mut s = SenderState::default();
-        s.next_seq = u32::MAX;
+        let mut s = SenderState {
+            next_seq: u32::MAX,
+            ..Default::default()
+        };
         assert_eq!(s.take_seq(), u32::MAX);
         assert_eq!(s.take_seq(), 0);
     }
 
     #[test]
     fn new_generation_resets() {
-        let mut s = SenderState::default();
-        s.next_seq = 55;
-        s.since_ack_req = 3;
+        let mut s = SenderState {
+            next_seq: 55,
+            since_ack_req: 3,
+            ..Default::default()
+        };
         s.new_generation();
         assert_eq!(s.generation, 1);
         assert_eq!(s.next_seq, 0);

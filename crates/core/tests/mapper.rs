@@ -8,7 +8,11 @@ use san_nic::{Cluster, ClusterConfig, HostAgent, HostCtx, IdleHost};
 use san_sim::{Duration, Time};
 
 fn fw_of(c: &Cluster, node: usize) -> &ReliableFirmware {
-    c.nics[node].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap()
+    c.nics[node]
+        .fw
+        .as_any()
+        .downcast_ref::<ReliableFirmware>()
+        .unwrap()
 }
 
 fn cold_cluster(topo: san_fabric::Topology, hosts: Vec<Box<dyn HostAgent>>) -> Cluster {
@@ -17,7 +21,13 @@ fn cold_cluster(topo: san_fabric::Topology, hosts: Vec<Box<dyn HostAgent>>) -> C
     Cluster::new(
         topo,
         ClusterConfig::default(),
-        move |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n)),
+        move |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n,
+            ))
+        },
         hosts,
     )
     // deliberately no install_shortest_routes(): cold start
@@ -30,7 +40,7 @@ fn run_until_count(c: &mut Cluster, ib: &Inbox, n: usize, deadline: Time) -> boo
             return false;
         }
         c.run_until(t);
-        t = t + Duration::from_millis(2);
+        t += Duration::from_millis(2);
     }
     true
 }
@@ -50,18 +60,27 @@ fn probe_counts_grow_with_hops() {
             Box::new(Collector(ib.clone())),
         ];
         let mut c = cold_cluster(topo, hosts);
-        assert!(run_until_count(&mut c, &ib, 1, Time::from_secs(5)), "hop {hops} mapped");
+        assert!(
+            run_until_count(&mut c, &ib, 1, Time::from_secs(5)),
+            "hop {hops} mapped"
+        );
         let st = fw_of(&c, 0).mapper_stats();
         host_probes.push(st.last_host_probes);
         switch_probes.push(st.last_switch_probes);
         times.push(st.last_time_ms);
     }
-    assert_eq!(switch_probes[0], 0, "hop 1 needs no switch probes (paper Table 3)");
+    assert_eq!(
+        switch_probes[0], 0,
+        "hop 1 needs no switch probes (paper Table 3)"
+    );
     for w in host_probes.windows(2) {
         assert!(w[1] > w[0], "host probes grow with hops: {host_probes:?}");
     }
     for w in switch_probes[1..].windows(2) {
-        assert!(w[1] > w[0], "switch probes grow with hops: {switch_probes:?}");
+        assert!(
+            w[1] > w[0],
+            "switch probes grow with hops: {switch_probes:?}"
+        );
     }
     for w in times.windows(2) {
         assert!(w[1] > w[0], "mapping time grows with hops: {times:?}");
@@ -143,7 +162,11 @@ fn side_discoveries_are_cached() {
     let hosts: Vec<Box<dyn HostAgent>> = (0..6)
         .map(|h| -> Box<dyn HostAgent> {
             if h == 0 {
-                Box::new(TwoTargets { first: hosts_ids[3], second: hosts_ids[5], step: 0 })
+                Box::new(TwoTargets {
+                    first: hosts_ids[3],
+                    second: hosts_ids[5],
+                    step: 0,
+                })
             } else if h == 3 {
                 Box::new(Collector(ib1.clone()))
             } else if h == 5 {
@@ -158,7 +181,11 @@ fn side_discoveries_are_cached() {
     assert_eq!(ib1.borrow().len(), 1);
     assert_eq!(ib2.borrow().len(), 1, "second target reached");
     let st = fw_of(&c, 0).mapper_stats();
-    assert_eq!(st.runs.get(), 1, "the second send must reuse the cached side discovery");
+    assert_eq!(
+        st.runs.get(),
+        1,
+        "the second send must reuse the cached side discovery"
+    );
     assert!(c.nics[0].core.routes.known() >= 2);
 }
 
@@ -196,7 +223,9 @@ fn queued_mapping_requests_serialize() {
     let ib_near = inbox();
     let ib_far = inbox();
     let hosts: Vec<Box<dyn HostAgent>> = vec![
-        Box::new(Burst { targets: vec![far, near] }),
+        Box::new(Burst {
+            targets: vec![far, near],
+        }),
         Box::new(Collector(ib_near.clone())),
         Box::new(Collector(ib_far.clone())),
     ];
@@ -207,7 +236,11 @@ fn queued_mapping_requests_serialize() {
     let st = fw_of(&c, 0).mapper_stats();
     // Mapping toward `far` explores s0 first and finds `near` on the way,
     // so the queued request for `near` resolves from cache: one run total.
-    assert_eq!(st.runs.get(), 1, "queued request satisfied by side discovery");
+    assert_eq!(
+        st.runs.get(),
+        1,
+        "queued request satisfied by side discovery"
+    );
 }
 
 /// Identity resolution pays for itself on redundant fabrics: exploring for
@@ -232,7 +265,10 @@ fn identity_checks_cost_probes() {
             })
             .collect();
         let proto = ProtocolConfig::default().with_mapping();
-        let mcfg = MapperConfig { identity_checks: checks, ..Default::default() };
+        let mcfg = MapperConfig {
+            identity_checks: checks,
+            ..Default::default()
+        };
         let mut c = Cluster::new(
             topo,
             ClusterConfig::default(),
@@ -249,13 +285,19 @@ fn identity_checks_cost_probes() {
                     st.unreachable.get(),
                 );
             }
-            t = t + Duration::from_millis(5);
+            t += Duration::from_millis(5);
         }
     };
     let (with, term_with) = run(true);
     let (without, term_without) = run(false);
-    assert_eq!(term_with, 1, "checked mapper concludes unreachable exactly once");
-    assert_eq!(term_without, 1, "unchecked mapper is saved by the sighting budget");
+    assert_eq!(
+        term_with, 1,
+        "checked mapper concludes unreachable exactly once"
+    );
+    assert_eq!(
+        term_without, 1,
+        "unchecked mapper is saved by the sighting budget"
+    );
     // The unchecked run re-scans every redundant sighting; the exact ratio
     // depends on where the sighting budget cuts it off, but the checked run
     // must be strictly cheaper.

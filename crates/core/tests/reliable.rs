@@ -19,7 +19,13 @@ fn ft_cluster(
     Cluster::new(
         topo,
         cluster_cfg,
-        move |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n)),
+        move |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n,
+            ))
+        },
         hosts,
     )
 }
@@ -41,7 +47,7 @@ fn run_until_quiet(cluster: &mut Cluster, inbox: &Inbox, expect: usize, deadline
         if t > deadline {
             return false;
         }
-        t = t + slice;
+        t += slice;
     }
 }
 
@@ -53,12 +59,24 @@ fn ft_four_byte_latency_is_about_10us() {
         Box::new(StreamSender::new(NodeId(1), 4, 1)),
         Box::new(Collector(ib.clone())),
     ];
-    let mut c = ft_cluster(topo, ClusterConfig::default(), ProtocolConfig::default(), hosts);
+    let mut c = ft_cluster(
+        topo,
+        ClusterConfig::default(),
+        ProtocolConfig::default(),
+        hosts,
+    );
     c.install_shortest_routes();
     assert!(run_until_quiet(&mut c, &ib, 1, Time::from_millis(50)));
     let pkt = &ib.borrow()[0];
-    let us = pkt.stamps.host_seen.since(pkt.stamps.host_post).as_micros_f64();
-    assert!((9.0..11.0).contains(&us), "FT 4-byte latency ≈ 10 µs, got {us:.2}");
+    let us = pkt
+        .stamps
+        .host_seen
+        .since(pkt.stamps.host_post)
+        .as_micros_f64();
+    assert!(
+        (9.0..11.0).contains(&us),
+        "FT 4-byte latency ≈ 10 µs, got {us:.2}"
+    );
 }
 
 #[test]
@@ -73,9 +91,19 @@ fn ft_latency_overhead_small_messages_under_2_1us() {
                 Box::new(Collector(ib.clone())),
             ];
             let mut c = if ft {
-                ft_cluster(topo, ClusterConfig::default(), ProtocolConfig::default(), hosts)
+                ft_cluster(
+                    topo,
+                    ClusterConfig::default(),
+                    ProtocolConfig::default(),
+                    hosts,
+                )
             } else {
-                Cluster::new(topo, ClusterConfig::default(), |_| Box::new(UnreliableFirmware), hosts)
+                Cluster::new(
+                    topo,
+                    ClusterConfig::default(),
+                    |_| Box::new(UnreliableFirmware),
+                    hosts,
+                )
             };
             c.install_shortest_routes();
             assert!(run_until_quiet(&mut c, &ib, 1, Time::from_millis(50)));
@@ -103,12 +131,27 @@ fn ft_bandwidth_overhead_under_4_percent() {
             Box::new(Collector(ib.clone())),
         ];
         let mut c = if ft {
-            ft_cluster(topo, ClusterConfig::default(), ProtocolConfig::default(), hosts)
+            ft_cluster(
+                topo,
+                ClusterConfig::default(),
+                ProtocolConfig::default(),
+                hosts,
+            )
         } else {
-            Cluster::new(topo, ClusterConfig::default(), |_| Box::new(UnreliableFirmware), hosts)
+            Cluster::new(
+                topo,
+                ClusterConfig::default(),
+                |_| Box::new(UnreliableFirmware),
+                hosts,
+            )
         };
         c.install_shortest_routes();
-        assert!(run_until_quiet(&mut c, &ib, n as usize, Time::from_millis(500)));
+        assert!(run_until_quiet(
+            &mut c,
+            &ib,
+            n as usize,
+            Time::from_millis(500)
+        ));
         let ibb = ib.borrow();
         let first = ibb[0].stamps.host_post;
         let last = ibb.last().unwrap().stamps.deposited;
@@ -137,11 +180,18 @@ fn injected_drops_recovered_exactly_once_in_order() {
     let proto = ProtocolConfig::default().with_error_rate(1.0 / 20.0);
     let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
     c.install_shortest_routes();
-    assert!(run_until_quiet(&mut c, &ib, n as usize, Time::from_secs(2)), "did not recover");
+    assert!(
+        run_until_quiet(&mut c, &ib, n as usize, Time::from_secs(2)),
+        "did not recover"
+    );
     let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
     assert_eq!(ids, (0..n).collect::<Vec<_>>(), "exactly once, in order");
     let s = &c.nics[0].core.stats;
-    assert!(s.injected_drops.get() >= n / 20, "injector ran: {:?}", s.injected_drops);
+    assert!(
+        s.injected_drops.get() >= n / 20,
+        "injector ran: {:?}",
+        s.injected_drops
+    );
     assert!(s.retransmits.get() > 0, "recovery used retransmission");
     // Go-back-N: the receiver must have dropped out-of-order successors.
     assert!(c.nics[1].core.stats.ooo_drops.get() > 0);
@@ -156,8 +206,14 @@ fn wire_corruption_recovered_by_crc_plus_retransmission() {
         Box::new(StreamSender::new(NodeId(1), 256, n)),
         Box::new(Collector(ib.clone())),
     ];
-    let mut c = ft_cluster(topo, ClusterConfig::default(), ProtocolConfig::default(), hosts);
-    c.engine.set_transient_faults(TransientFaults::corruption(0.05), 99);
+    let mut c = ft_cluster(
+        topo,
+        ClusterConfig::default(),
+        ProtocolConfig::default(),
+        hosts,
+    );
+    c.engine
+        .set_transient_faults(TransientFaults::corruption(0.05), 99);
     c.install_shortest_routes();
     assert!(run_until_quiet(&mut c, &ib, n as usize, Time::from_secs(2)));
     let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
@@ -178,8 +234,14 @@ fn random_wire_loss_recovered() {
         Box::new(StreamSender::new(NodeId(1), 512, n)),
         Box::new(Collector(ib.clone())),
     ];
-    let mut c = ft_cluster(topo, ClusterConfig::default(), ProtocolConfig::default(), hosts);
-    c.engine.set_transient_faults(TransientFaults::loss(0.03), 1234);
+    let mut c = ft_cluster(
+        topo,
+        ClusterConfig::default(),
+        ProtocolConfig::default(),
+        hosts,
+    );
+    c.engine
+        .set_transient_faults(TransientFaults::loss(0.03), 1234);
     c.install_shortest_routes();
     assert!(run_until_quiet(&mut c, &ib, n as usize, Time::from_secs(3)));
     let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
@@ -217,7 +279,10 @@ fn small_queue_with_errors_still_completes() {
         Box::new(Collector(ib.clone())),
     ];
     let proto = ProtocolConfig::default().with_error_rate(0.05);
-    let cfg = ClusterConfig { send_bufs: 2, ..Default::default() };
+    let cfg = ClusterConfig {
+        send_bufs: 2,
+        ..Default::default()
+    };
     let mut c = ft_cluster(topo, cfg, proto, hosts);
     c.install_shortest_routes();
     assert!(run_until_quiet(&mut c, &ib, n as usize, Time::from_secs(3)));
@@ -237,11 +302,17 @@ fn on_demand_mapping_cold_start() {
     let proto = ProtocolConfig::default().with_mapping();
     let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
     // NOTE: no install_shortest_routes().
-    assert!(run_until_quiet(&mut c, &ib, 5, Time::from_secs(1)), "mapping never resolved");
+    assert!(
+        run_until_quiet(&mut c, &ib, 5, Time::from_secs(1)),
+        "mapping never resolved"
+    );
     let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
     assert_eq!(ids, vec![0, 1, 2, 3, 4]);
     assert!(c.nics[0].core.stats.probes_tx.get() > 0, "no probes sent");
-    assert!(c.nics[0].core.routes.get(NodeId(1)).is_some(), "route cached");
+    assert!(
+        c.nics[0].core.routes.get(NodeId(1)).is_some(),
+        "route cached"
+    );
 }
 
 #[test]
@@ -273,7 +344,10 @@ fn permanent_link_failure_recovered_via_remap() {
     let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
     c.install_shortest_routes();
     // The shortest route uses port 1 (link l_a). Kill it mid-stream.
-    c.sim.schedule(Time::from_millis(2), FabricEvent::LinkDown { link: l_a }.into());
+    c.sim.schedule(
+        Time::from_millis(2),
+        FabricEvent::LinkDown { link: l_a }.into(),
+    );
     assert!(
         run_until_quiet(&mut c, &ib, n as usize, Time::from_secs(5)),
         "stream never completed after permanent failure (got {}/{n})",
@@ -292,7 +366,11 @@ fn permanent_link_failure_recovered_via_remap() {
             uniques.push(id);
         }
     }
-    assert_eq!(uniques, (0..n).collect::<Vec<_>>(), "every id delivered, first time in order");
+    assert_eq!(
+        uniques,
+        (0..n).collect::<Vec<_>>(),
+        "every id delivered, first time in order"
+    );
     let dups = ids.len() - uniques.len();
     assert!(
         dups <= 32,
@@ -332,7 +410,10 @@ fn unreachable_destination_drops_cleanly() {
     let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
     c.run_until(Time::from_millis(200));
     assert!(ib.borrow().is_empty());
-    assert!(c.nics[0].core.stats.unroutable.get() > 0, "unreachable accounted");
+    assert!(
+        c.nics[0].core.stats.unroutable.get() > 0,
+        "unreachable accounted"
+    );
     // The pool must be fully free (nothing leaked into limbo).
     let pool = &c.nics[0].core.pool;
     assert_eq!(pool.free_count(), pool.capacity());
@@ -346,10 +427,25 @@ fn piggybacked_acks_reduce_explicit_acks_in_bidirectional_traffic() {
     let ib1 = inbox();
     let n = 150u64;
     let hosts: Vec<Box<dyn HostAgent>> = vec![
-        Box::new(BidirAgent { peer: NodeId(1), inbox: ib0.clone(), to_send: n, sent: 0 }),
-        Box::new(BidirAgent { peer: NodeId(0), inbox: ib1.clone(), to_send: n, sent: 0 }),
+        Box::new(BidirAgent {
+            peer: NodeId(1),
+            inbox: ib0.clone(),
+            to_send: n,
+            sent: 0,
+        }),
+        Box::new(BidirAgent {
+            peer: NodeId(0),
+            inbox: ib1.clone(),
+            to_send: n,
+            sent: 0,
+        }),
     ];
-    let mut c = ft_cluster(topo, ClusterConfig::default(), ProtocolConfig::default(), hosts);
+    let mut c = ft_cluster(
+        topo,
+        ClusterConfig::default(),
+        ProtocolConfig::default(),
+        hosts,
+    );
     c.install_shortest_routes();
     c.run_until(Time::from_millis(100));
     assert_eq!(ib0.borrow().len(), n as usize);

@@ -20,16 +20,34 @@ fn triangle_fabric_identity_regression() {
     let switches: Vec<_> = (0..n_switch).map(|_| topo.add_switch(8)).collect();
     for i in 1..n_switch {
         let j = rng.below(i as u64) as usize;
-        let pa = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[i], PortId(p))).is_none()).unwrap();
-        let pb = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[j], PortId(p))).is_none()).unwrap();
+        let pa = (0..8)
+            .find(|&p| {
+                topo.link_at(Endpoint::Switch(switches[i], PortId(p)))
+                    .is_none()
+            })
+            .unwrap();
+        let pb = (0..8)
+            .find(|&p| {
+                topo.link_at(Endpoint::Switch(switches[j], PortId(p)))
+                    .is_none()
+            })
+            .unwrap();
         topo.connect_switches(switches[i], pa, switches[j], pb);
     }
     for _ in 0..extra_links {
         let i = rng.below(n_switch as u64) as usize;
         let j = rng.below(n_switch as u64) as usize;
-        if i == j { continue; }
-        let pa = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[i], PortId(p))).is_none());
-        let pb = (0..8).find(|&p| topo.link_at(Endpoint::Switch(switches[j], PortId(p))).is_none());
+        if i == j {
+            continue;
+        }
+        let pa = (0..8).find(|&p| {
+            topo.link_at(Endpoint::Switch(switches[i], PortId(p)))
+                .is_none()
+        });
+        let pb = (0..8).find(|&p| {
+            topo.link_at(Endpoint::Switch(switches[j], PortId(p)))
+                .is_none()
+        });
         if let (Some(pa), Some(pb)) = (pa, pb) {
             topo.connect_switches(switches[i], pa, switches[j], pb);
         }
@@ -38,12 +56,21 @@ fn triangle_fabric_identity_regression() {
     let b = topo.add_host();
     let sa = switches[rng.below(n_switch as u64) as usize];
     let sb = switches[rng.below(n_switch as u64) as usize];
-    let pa = (0..8).find(|&p| topo.link_at(Endpoint::Switch(sa, PortId(p))).is_none()).unwrap();
+    let pa = (0..8)
+        .find(|&p| topo.link_at(Endpoint::Switch(sa, PortId(p))).is_none())
+        .unwrap();
     topo.connect_host(a, sa, pa);
-    let pb = (0..8).find(|&p| topo.link_at(Endpoint::Switch(sb, PortId(p))).is_none()).unwrap();
+    let pb = (0..8)
+        .find(|&p| topo.link_at(Endpoint::Switch(sb, PortId(p))).is_none())
+        .unwrap();
     topo.connect_host(b, sb, pb);
-    eprintln!("topology: a={a} on {sa:?} b={b} on {sb:?}, links={}", topo.num_links());
-    for (id, l) in topo.links() { eprintln!("  {id:?}: {:?} <-> {:?}", l.a, l.b); }
+    eprintln!(
+        "topology: a={a} on {sa:?} b={b} on {sb:?}, links={}",
+        topo.num_links()
+    );
+    for (id, l) in topo.links() {
+        eprintln!("  {id:?}: {:?} <-> {:?}", l.a, l.b);
+    }
     let r = topo.shortest_route(a, b, |_| true);
     eprintln!("shortest: {r:?}");
     let ib = inbox();
@@ -53,16 +80,37 @@ fn triangle_fabric_identity_regression() {
     ];
     let proto = ProtocolConfig::default().with_mapping();
     let nn = topo.num_hosts();
-    let mut c = Cluster::new(topo, ClusterConfig::default(), move |_| {
-        Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), nn))
-    }, hosts);
+    let mut c = Cluster::new(
+        topo,
+        ClusterConfig::default(),
+        move |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                nn,
+            ))
+        },
+        hosts,
+    );
     let mut t = Time::from_millis(20);
     while ib.borrow().len() < 3 && t < Time::from_secs(10) {
         c.run_until(t);
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
     }
-    let st = c.nics[0].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap().mapper_stats();
-    eprintln!("delivered {} runs={} resolved={} unreachable={} host={} switch={}",
-        ib.borrow().len(), st.runs, st.resolved, st.unreachable, st.host_probes, st.switch_probes);
+    let st = c.nics[0]
+        .fw
+        .as_any()
+        .downcast_ref::<ReliableFirmware>()
+        .unwrap()
+        .mapper_stats();
+    eprintln!(
+        "delivered {} runs={} resolved={} unreachable={} host={} switch={}",
+        ib.borrow().len(),
+        st.runs,
+        st.resolved,
+        st.unreachable,
+        st.host_probes,
+        st.switch_probes
+    );
     assert_eq!(ib.borrow().len(), 3);
 }

@@ -35,7 +35,7 @@ fn run_near(start_seq: u32, n: u64, error_rate: f64) -> Vec<u64> {
     let mut t = Time::from_millis(20);
     while (ib.borrow().len() as u64) < n && t < Time::from_secs(10) {
         c.run_until(t);
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
     }
     let ids = ib.borrow().iter().map(|p| p.msg_id).collect();
     ids
@@ -54,7 +54,11 @@ fn lossy_stream_across_the_wrap() {
     // cumulative ACKs must stay coherent through it.
     let n = 300u64;
     let ids = run_near(u32::MAX - 100, n, 1.0 / 25.0);
-    assert_eq!(ids, (0..n).collect::<Vec<_>>(), "exactly once in order across the wrap");
+    assert_eq!(
+        ids,
+        (0..n).collect::<Vec<_>>(),
+        "exactly once in order across the wrap"
+    );
 }
 
 #[test]
@@ -69,7 +73,10 @@ fn wrap_with_small_queue() {
     let proto = ProtocolConfig::default().with_error_rate(1.0 / 30.0);
     let mut c = Cluster::new(
         topo,
-        ClusterConfig { send_bufs: 2, ..Default::default() },
+        ClusterConfig {
+            send_bufs: 2,
+            ..Default::default()
+        },
         move |node| {
             let mut fw = ReliableFirmware::new(proto.clone(), MapperConfig::default(), 2);
             if node == NodeId(0) {
@@ -85,7 +92,7 @@ fn wrap_with_small_queue() {
     let mut t = Time::from_millis(20);
     while (ib.borrow().len() as u64) < n && t < Time::from_secs(10) {
         c.run_until(t);
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
     }
     let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
     assert_eq!(ids, (0..n).collect::<Vec<_>>());

@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 
 use san_sim::{Duration, Sim, SimRng, Time};
+use san_telemetry::{Layer, Telemetry, TraceEvent, TraceKind};
 
 use crate::fault::TransientFaults;
 use crate::ids::{Endpoint, LinkId, NodeId, PortId, SwitchId};
@@ -115,7 +116,8 @@ pub enum FabricOut {
     },
 }
 
-/// Cumulative fabric statistics.
+/// Point-in-time fabric statistics (a snapshot of the registered
+/// `fabric.*` telemetry counters; see [`Engine::stats`]).
 #[derive(Debug, Default, Clone)]
 pub struct EngineStats {
     /// Packets injected.
@@ -132,12 +134,63 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    fn count_drop(&mut self, r: DropReason) {
-        self.dropped[r as usize] += 1;
-    }
     /// Total drops of all causes.
     pub fn dropped_total(&self) -> u64 {
         self.dropped.iter().sum()
+    }
+}
+
+impl DropReason {
+    /// Metric-path leaf for this cause (`fabric.dropped.<name>`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DropReason::DeadLink => "dead_link",
+            DropReason::DeadSwitch => "dead_switch",
+            DropReason::InvalidRoute => "invalid_route",
+            DropReason::Absorbed => "absorbed",
+            DropReason::WireLoss => "wire_loss",
+            DropReason::KilledByFault => "killed_by_fault",
+        }
+    }
+}
+
+/// The engine's registered metric cells (`fabric.*` family).
+#[derive(Debug)]
+struct FabricMetrics {
+    injected: san_telemetry::Counter,
+    delivered: san_telemetry::Counter,
+    dropped: [san_telemetry::Counter; 6],
+    path_resets: san_telemetry::Counter,
+    bytes_delivered: san_telemetry::Counter,
+    /// Cumulative occupied time per link (`fabric.link.<n>.busy_ns`),
+    /// summed over both directed channels.
+    link_busy: Vec<san_telemetry::Counter>,
+}
+
+impl FabricMetrics {
+    fn register(tel: &Telemetry, num_links: usize) -> Self {
+        const REASONS: [DropReason; 6] = [
+            DropReason::DeadLink,
+            DropReason::DeadSwitch,
+            DropReason::InvalidRoute,
+            DropReason::Absorbed,
+            DropReason::WireLoss,
+            DropReason::KilledByFault,
+        ];
+        Self {
+            injected: tel.counter("fabric.injected"),
+            delivered: tel.counter("fabric.delivered"),
+            dropped: REASONS.map(|r| tel.counter(&format!("fabric.dropped.{}", r.name()))),
+            path_resets: tel.counter("fabric.path_resets"),
+            bytes_delivered: tel.counter("fabric.bytes_delivered"),
+            link_busy: (0..num_links)
+                .map(|l| tel.counter(&format!("fabric.link.{l}.busy_ns")))
+                .collect(),
+        }
+    }
+
+    fn count_drop(&self, r: DropReason) {
+        self.dropped[r as usize].hit();
     }
 }
 
@@ -146,6 +199,8 @@ struct Channel {
     owner: Option<u32>,
     waiters: VecDeque<u32>,
     alive: bool,
+    /// When the current owner acquired the channel (for busy accounting).
+    acquired_at: Time,
 }
 
 #[derive(Debug)]
@@ -175,16 +230,32 @@ pub struct Engine {
     fault_rng: SimRng,
     /// Gilbert–Elliott channel state (true = bad) when `faults.burst` is set.
     burst_bad: bool,
-    stats: EngineStats,
+    metrics: FabricMetrics,
+    tel: Telemetry,
 }
 
 impl Engine {
-    /// Build an engine over `topo` with all links alive.
+    /// Build an engine over `topo` with all links alive, registering its
+    /// metrics into a private (unexported) telemetry handle. Simulations
+    /// that want the `fabric.*` family visible pass their own handle via
+    /// [`Engine::with_telemetry`] (the cluster layer does this).
     pub fn new(topo: Topology, cfg: EngineConfig) -> Self {
+        Self::with_telemetry(topo, cfg, Telemetry::new())
+    }
+
+    /// Build an engine registering `fabric.*` metrics into `tel` and
+    /// recording trace events through it.
+    pub fn with_telemetry(topo: Topology, cfg: EngineConfig, tel: Telemetry) -> Self {
         let channels = (0..topo.num_links() * 2)
-            .map(|_| Channel { owner: None, waiters: VecDeque::new(), alive: true })
+            .map(|_| Channel {
+                owner: None,
+                waiters: VecDeque::new(),
+                alive: true,
+                acquired_at: Time::ZERO,
+            })
             .collect();
         let switch_alive = vec![true; topo.num_switches()];
+        let metrics = FabricMetrics::register(&tel, topo.num_links());
         Self {
             topo,
             cfg,
@@ -196,8 +267,48 @@ impl Engine {
             faults: TransientFaults::none(),
             fault_rng: SimRng::seed_from(0x00FA_B017),
             burst_bad: false,
-            stats: EngineStats::default(),
+            metrics,
+            tel,
         }
+    }
+
+    /// The telemetry handle this engine records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Build a packet-scoped trace event at `now`; `node` is the observer.
+    fn pkt_event(now: Time, kind: TraceKind, node: NodeId, pkt: &Packet, aux: u64) -> TraceEvent {
+        TraceEvent {
+            at_ns: now.nanos(),
+            layer: Layer::Fabric,
+            kind,
+            node: node.0,
+            src: pkt.src.0,
+            dst: pkt.dst.0,
+            generation: pkt.generation,
+            seq: pkt.seq,
+            aux,
+        }
+    }
+
+    /// Count + trace + report a drop (every loss funnels through here).
+    fn report_drop(
+        &mut self,
+        now: Time,
+        pkt: Packet,
+        reason: DropReason,
+        out: &mut Vec<FabricOut>,
+    ) {
+        self.metrics.count_drop(reason);
+        self.tel.record(Self::pkt_event(
+            now,
+            TraceKind::PacketDropped,
+            pkt.src,
+            &pkt,
+            reason as u64,
+        ));
+        out.push(FabricOut::Dropped { pkt, reason });
     }
 
     /// The wiring.
@@ -210,9 +321,21 @@ impl Engine {
         &self.cfg
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Statistics so far: a by-value snapshot of the registered `fabric.*`
+    /// counters (the legacy accessor API, kept as a thin view).
+    pub fn stats(&self) -> EngineStats {
+        let m = &self.metrics;
+        let mut dropped = [0u64; 6];
+        for (slot, c) in dropped.iter_mut().zip(&m.dropped) {
+            *slot = c.get();
+        }
+        EngineStats {
+            injected: m.injected.get(),
+            delivered: m.delivered.get(),
+            dropped,
+            path_resets: m.path_resets.get(),
+            bytes_delivered: m.bytes_delivered.get(),
+        }
     }
 
     /// Install transient wire-fault model (loss/corruption probabilities)
@@ -240,10 +363,12 @@ impl Engine {
 
     /// Alive-filter closure for route oracles.
     pub fn alive_filter(&self) -> impl Fn(LinkId) -> bool + '_ {
-        |l| self.link_alive(l) && {
-            let link = self.topo.link(l);
-            let sw_ok = |ep: Endpoint| ep.switch().is_none_or(|(s, _)| self.switch_alive(s));
-            sw_ok(link.a) && sw_ok(link.b)
+        |l| {
+            self.link_alive(l) && {
+                let link = self.topo.link(l);
+                let sw_ok = |ep: Endpoint| ep.switch().is_none_or(|(s, _)| self.switch_alive(s));
+                sw_ok(link.a) && sw_ok(link.b)
+            }
         }
     }
 
@@ -286,8 +411,15 @@ impl Engine {
         mut pkt: Packet,
         out: &mut Vec<FabricOut>,
     ) {
-        self.stats.injected += 1;
+        self.metrics.injected.hit();
         pkt.stamps.injected = sim.now();
+        self.tel.record(Self::pkt_event(
+            sim.now(),
+            TraceKind::PacketInjected,
+            pkt.src,
+            &pkt,
+            pkt.wire_bytes() as u64,
+        ));
         // Transient wire faults: independent per packet, or gated by the
         // Gilbert–Elliott channel state when a burst model is configured.
         let faults_active = match self.faults.burst {
@@ -308,16 +440,21 @@ impl Engine {
             if self.faults.loss_prob > 0.0 && self.fault_rng.chance(self.faults.loss_prob) {
                 will_drop = true;
             }
-            if self.faults.corrupt_prob > 0.0 && self.fault_rng.chance(self.faults.corrupt_prob)
-            {
+            if self.faults.corrupt_prob > 0.0 && self.fault_rng.chance(self.faults.corrupt_prob) {
                 pkt.corrupted = true;
+                self.tel.record(Self::pkt_event(
+                    sim.now(),
+                    TraceKind::PacketCorrupted,
+                    pkt.src,
+                    &pkt,
+                    0,
+                ));
             }
         }
 
         let src = pkt.src;
         let Some(first_link) = self.topo.link_at(Endpoint::Host(src)) else {
-            self.stats.count_drop(DropReason::InvalidRoute);
-            out.push(FabricOut::Dropped { pkt, reason: DropReason::InvalidRoute });
+            self.report_drop(sim.now(), pkt, DropReason::InvalidRoute, out);
             return;
         };
         let slot = self.alloc_slot();
@@ -336,7 +473,11 @@ impl Engine {
         // Arm the path-reset (deadlock) timer.
         sim.schedule_in(
             self.cfg.path_reset_timeout,
-            FabricEvent::ResetCheck { flight: slot, epoch }.into(),
+            FabricEvent::ResetCheck {
+                flight: slot,
+                epoch,
+            }
+            .into(),
         );
         let ch = self.channel_from(first_link, Endpoint::Host(src));
         self.try_acquire(sim, slot, ch, out);
@@ -374,9 +515,19 @@ impl Engine {
             }
             FabricEvent::ResetCheck { flight, epoch } => {
                 if self.live(flight, epoch) {
-                    self.stats.path_resets += 1;
+                    self.metrics.path_resets.hit();
                     let f = self.kill_flight(sim, flight, out);
-                    out.push(FabricOut::PathReset { src: f.src, pkt: f.pkt });
+                    self.tel.record(Self::pkt_event(
+                        sim.now(),
+                        TraceKind::PathReset,
+                        f.src,
+                        &f.pkt,
+                        0,
+                    ));
+                    out.push(FabricOut::PathReset {
+                        src: f.src,
+                        pkt: f.pkt,
+                    });
                 }
             }
             FabricEvent::LinkDown { link } => self.set_link_alive(sim, link, false, out),
@@ -386,7 +537,9 @@ impl Engine {
     }
 
     fn live(&self, flight: u32, epoch: u32) -> bool {
-        self.flights.get(flight as usize).is_some_and(|f| f.is_some())
+        self.flights
+            .get(flight as usize)
+            .is_some_and(|f| f.is_some())
             && self.epochs[flight as usize] == epoch
     }
 
@@ -401,8 +554,7 @@ impl Engine {
     ) {
         if !self.channels[ch as usize].alive {
             let f = self.kill_flight(sim, flight, out);
-            self.stats.count_drop(DropReason::DeadLink);
-            out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::DeadLink });
+            self.report_drop(sim.now(), f.pkt, DropReason::DeadLink, out);
             return;
         }
         let c = &mut self.channels[ch as usize];
@@ -421,6 +573,7 @@ impl Engine {
         let hop = self.cfg.hop_latency;
         let bw = self.cfg.link_bandwidth;
         let now = sim.now();
+        self.channels[ch as usize].acquired_at = now;
         let f = self.flights[flight as usize].as_mut().unwrap();
         f.waiting_on = None;
         f.held.push(ch);
@@ -438,7 +591,12 @@ impl Engine {
         flight: u32,
         out: &mut Vec<FabricOut>,
     ) {
-        let last_ch = *self.flights[flight as usize].as_ref().unwrap().held.last().unwrap();
+        let last_ch = *self.flights[flight as usize]
+            .as_ref()
+            .unwrap()
+            .held
+            .last()
+            .unwrap();
         let at = self.channel_dst(last_ch);
         match at {
             Endpoint::Host(_h) => {
@@ -446,8 +604,7 @@ impl Engine {
                 if f.hop_idx < f.pkt.route.len() {
                     // Route bytes left over after reaching a host: invalid.
                     let f = self.kill_flight(sim, flight, out);
-                    self.stats.count_drop(DropReason::InvalidRoute);
-                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::InvalidRoute });
+                    self.report_drop(sim.now(), f.pkt, DropReason::InvalidRoute, out);
                     return;
                 }
                 // Tail arrives when serialization completes (cut-through).
@@ -458,8 +615,7 @@ impl Engine {
             Endpoint::Switch(s, in_port) => {
                 if !self.switch_alive[s.idx()] {
                     let f = self.kill_flight(sim, flight, out);
-                    self.stats.count_drop(DropReason::DeadSwitch);
-                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::DeadSwitch });
+                    self.report_drop(sim.now(), f.pkt, DropReason::DeadSwitch, out);
                     return;
                 }
                 let (hop_idx, route_len) = {
@@ -470,24 +626,37 @@ impl Engine {
                 if hop_idx >= route_len {
                     // Route exhausted inside the network: absorbed.
                     let f = self.kill_flight(sim, flight, out);
-                    self.stats.count_drop(DropReason::Absorbed);
-                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::Absorbed });
+                    self.report_drop(sim.now(), f.pkt, DropReason::Absorbed, out);
                     return;
                 }
-                let port = self.flights[flight as usize].as_ref().unwrap().pkt.route.hop(hop_idx);
+                let port = self.flights[flight as usize]
+                    .as_ref()
+                    .unwrap()
+                    .pkt
+                    .route
+                    .hop(hop_idx);
                 self.flights[flight as usize].as_mut().unwrap().hop_idx += 1;
                 if port >= self.topo.switch_ports(s) {
                     let f = self.kill_flight(sim, flight, out);
-                    self.stats.count_drop(DropReason::InvalidRoute);
-                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::InvalidRoute });
+                    self.report_drop(sim.now(), f.pkt, DropReason::InvalidRoute, out);
                     return;
                 }
                 let Some(link) = self.topo.link_at(Endpoint::Switch(s, PortId(port))) else {
                     let f = self.kill_flight(sim, flight, out);
-                    self.stats.count_drop(DropReason::InvalidRoute);
-                    out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::InvalidRoute });
+                    self.report_drop(sim.now(), f.pkt, DropReason::InvalidRoute, out);
                     return;
                 };
+                // Hop trace: observer is the switch (aux = exit port).
+                {
+                    let f = self.flights[flight as usize].as_ref().unwrap();
+                    self.tel.record(Self::pkt_event(
+                        sim.now(),
+                        TraceKind::PacketHop,
+                        NodeId(s.idx() as u16),
+                        &f.pkt,
+                        port as u64,
+                    ));
+                }
                 let ch = self.channel_from(link, Endpoint::Switch(s, PortId(port)));
                 self.try_acquire(sim, flight, ch, out);
             }
@@ -501,7 +670,12 @@ impl Engine {
         flight: u32,
         out: &mut Vec<FabricOut>,
     ) {
-        let last_ch = *self.flights[flight as usize].as_ref().unwrap().held.last().unwrap();
+        let last_ch = *self.flights[flight as usize]
+            .as_ref()
+            .unwrap()
+            .held
+            .last()
+            .unwrap();
         let dest = self.channel_dst(last_ch);
         let mut f = self.take_flight(flight);
         self.release_held(sim, &mut f, out);
@@ -514,11 +688,17 @@ impl Engine {
         f.pkt.reverse_route = rev;
         f.pkt.stamps.delivered = sim.now();
         if f.will_drop_on_wire {
-            self.stats.count_drop(DropReason::WireLoss);
-            out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::WireLoss });
+            self.report_drop(sim.now(), f.pkt, DropReason::WireLoss, out);
         } else {
-            self.stats.delivered += 1;
-            self.stats.bytes_delivered += f.pkt.payload_len as u64;
+            self.metrics.delivered.hit();
+            self.metrics.bytes_delivered.add(f.pkt.payload_len as u64);
+            self.tel.record(Self::pkt_event(
+                sim.now(),
+                TraceKind::PacketDelivered,
+                node,
+                &f.pkt,
+                f.pkt.payload_len as u64,
+            ));
             out.push(FabricOut::Delivered { node, pkt: f.pkt });
         }
     }
@@ -554,7 +734,10 @@ impl Engine {
         _out: &mut Vec<FabricOut>,
     ) {
         let held = std::mem::take(&mut f.held);
+        let now = sim.now();
         for ch in held {
+            let busy = now.since(self.channels[ch as usize].acquired_at);
+            self.metrics.link_busy[(ch / 2) as usize].add(busy.nanos());
             self.channels[ch as usize].owner = None;
             // Grant to the next live waiter.
             while let Some(w) = self.channels[ch as usize].waiters.pop_front() {
@@ -598,7 +781,9 @@ impl Engine {
             .topo
             .links()
             .filter(|(_, l)| {
-                [l.a, l.b].iter().any(|ep| ep.switch().is_some_and(|(sw, _)| sw == s))
+                [l.a, l.b]
+                    .iter()
+                    .any(|ep| ep.switch().is_some_and(|(sw, _)| sw == s))
             })
             .map(|(id, _)| id)
             .collect();
@@ -622,8 +807,8 @@ impl Engine {
             .enumerate()
             .filter_map(|(i, f)| {
                 f.as_ref().and_then(|fl| {
-                    let hit = fl.held.iter().any(|&ch| pred(ch))
-                        || fl.waiting_on.is_some_and(&pred);
+                    let hit =
+                        fl.held.iter().any(|&ch| pred(ch)) || fl.waiting_on.is_some_and(&pred);
                     hit.then_some(i as u32)
                 })
             })
@@ -631,10 +816,8 @@ impl Engine {
         for v in victims {
             if self.flights[v as usize].is_some() {
                 let f = self.kill_flight(sim, v, out);
-                self.stats.count_drop(DropReason::KilledByFault);
-                out.push(FabricOut::Dropped { pkt: f.pkt, reason: DropReason::KilledByFault });
+                self.report_drop(sim.now(), f.pkt, DropReason::KilledByFault, out);
             }
         }
     }
 }
-

@@ -64,15 +64,27 @@ impl BurstModel {
 impl TransientFaults {
     /// No wire faults.
     pub fn none() -> Self {
-        Self { loss_prob: 0.0, corrupt_prob: 0.0, burst: None }
+        Self {
+            loss_prob: 0.0,
+            corrupt_prob: 0.0,
+            burst: None,
+        }
     }
     /// Independent loss only.
     pub fn loss(p: f64) -> Self {
-        Self { loss_prob: p, corrupt_prob: 0.0, burst: None }
+        Self {
+            loss_prob: p,
+            corrupt_prob: 0.0,
+            burst: None,
+        }
     }
     /// Independent corruption only.
     pub fn corruption(p: f64) -> Self {
-        Self { loss_prob: 0.0, corrupt_prob: p, burst: None }
+        Self {
+            loss_prob: 0.0,
+            corrupt_prob: p,
+            burst: None,
+        }
     }
     /// Bursty loss with the same *average* rate as independent loss of
     /// `avg_rate`, in bursts of `mean_len` packets: while the channel is
@@ -135,9 +147,9 @@ impl PermanentFault {
         match *self {
             PermanentFault::LinkDown { link, .. } => FabricEvent::LinkDown { link: LinkId(link) },
             PermanentFault::LinkUp { link, .. } => FabricEvent::LinkUp { link: LinkId(link) },
-            PermanentFault::SwitchDown { switch, .. } => {
-                FabricEvent::SwitchDown { switch: SwitchId(switch) }
-            }
+            PermanentFault::SwitchDown { switch, .. } => FabricEvent::SwitchDown {
+                switch: SwitchId(switch),
+            },
         }
     }
 }
@@ -157,20 +169,29 @@ impl FaultPlan {
 
     /// Kill `link` at `at`.
     pub fn link_down(mut self, at: Time, link: LinkId) -> Self {
-        self.actions.push(PermanentFault::LinkDown { at_nanos: at.nanos(), link: link.0 });
+        self.actions.push(PermanentFault::LinkDown {
+            at_nanos: at.nanos(),
+            link: link.0,
+        });
         self
     }
 
     /// Bring `link` up at `at` (reconfiguration: a node re-connected
     /// elsewhere is modelled as old-link down + new-link up).
     pub fn link_up(mut self, at: Time, link: LinkId) -> Self {
-        self.actions.push(PermanentFault::LinkUp { at_nanos: at.nanos(), link: link.0 });
+        self.actions.push(PermanentFault::LinkUp {
+            at_nanos: at.nanos(),
+            link: link.0,
+        });
         self
     }
 
     /// Kill `switch` at `at`.
     pub fn switch_down(mut self, at: Time, s: SwitchId) -> Self {
-        self.actions.push(PermanentFault::SwitchDown { at_nanos: at.nanos(), switch: s.0 });
+        self.actions.push(PermanentFault::SwitchDown {
+            at_nanos: at.nanos(),
+            switch: s.0,
+        });
         self
     }
 
@@ -218,7 +239,10 @@ mod burst_tests {
     fn burst_parameters_have_the_right_moments() {
         let f = TransientFaults::bursty_loss(0.01, 10.0);
         let b = f.burst.unwrap();
-        assert!((b.bad_fraction() - 0.01).abs() < 1e-12, "average rate preserved");
+        assert!(
+            (b.bad_fraction() - 0.01).abs() < 1e-12,
+            "average rate preserved"
+        );
         assert!((b.mean_burst_len() - 10.0).abs() < 1e-12);
         assert_eq!(f.loss_prob, 1.0, "inside a burst every packet dies");
     }

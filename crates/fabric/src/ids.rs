@@ -136,6 +136,9 @@ mod tests {
     #[test]
     fn debug_formats() {
         assert_eq!(format!("{:?}", NodeId(2)), "h2");
-        assert_eq!(format!("{:?}", Endpoint::Switch(SwitchId(0), PortId(7))), "s0.p7");
+        assert_eq!(
+            format!("{:?}", Endpoint::Switch(SwitchId(0), PortId(7))),
+            "s0.p7"
+        );
     }
 }

@@ -27,7 +27,7 @@ pub mod route;
 pub mod topology;
 pub mod updown;
 
-pub use engine::{Engine, EngineConfig, FabricEvent, FabricOut, DropReason};
+pub use engine::{DropReason, Engine, EngineConfig, FabricEvent, FabricOut};
 pub use fault::{FaultPlan, PermanentFault, TransientFaults};
 pub use ids::{Endpoint, LinkId, NodeId, PortId, SwitchId};
 pub use packet::{Packet, PacketFlags, PacketKind};

@@ -25,7 +25,10 @@ impl Route {
     /// direct links do not exist in this model, so an empty route is only
     /// valid in unit tests and as a placeholder).
     pub const fn empty() -> Self {
-        Route { ports: [0; MAX_HOPS], len: 0 }
+        Route {
+            ports: [0; MAX_HOPS],
+            len: 0,
+        }
     }
 
     /// Build from a slice of output ports.

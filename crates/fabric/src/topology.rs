@@ -92,7 +92,10 @@ impl Topology {
 
     /// Convenience: wire switch `sa` port `pa` to switch `sb` port `pb`.
     pub fn connect_switches(&mut self, sa: SwitchId, pa: u8, sb: SwitchId, pb: u8) -> LinkId {
-        self.connect(Endpoint::Switch(sa, PortId(pa)), Endpoint::Switch(sb, PortId(pb)))
+        self.connect(
+            Endpoint::Switch(sa, PortId(pa)),
+            Endpoint::Switch(sb, PortId(pb)),
+        )
     }
 
     fn port_slot_mut(&mut self, ep: Endpoint) -> &mut Option<LinkId> {
@@ -106,9 +109,12 @@ impl Topology {
     pub fn link_at(&self, ep: Endpoint) -> Option<LinkId> {
         match ep {
             Endpoint::Host(h) => self.hosts.get(h.idx()).copied().flatten(),
-            Endpoint::Switch(s, p) => {
-                self.switches.get(s.idx()).and_then(|ports| ports.get(p.idx())).copied().flatten()
-            }
+            Endpoint::Switch(s, p) => self
+                .switches
+                .get(s.idx())
+                .and_then(|ports| ports.get(p.idx()))
+                .copied()
+                .flatten(),
         }
     }
 
@@ -136,7 +142,10 @@ impl Topology {
 
     /// All links, with IDs.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
-        self.links.iter().enumerate().map(|(i, l)| (LinkId(i as u32), l))
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
     }
 
     /// Follow a full source route from `src`; returns the endpoint reached
@@ -322,7 +331,12 @@ pub fn paper_mapping_testbed(hosts_per_switch: usize) -> MappingTestbed {
             hosts.push(h);
         }
     }
-    MappingTestbed { topo: t, hosts, switches, redundant_links: redundant }
+    MappingTestbed {
+        topo: t,
+        hosts,
+        switches,
+        redundant_links: redundant,
+    }
 }
 
 #[cfg(test)]
@@ -339,7 +353,9 @@ mod tests {
         let la = t.link_at(Endpoint::Host(a)).unwrap();
         let other = t.link(la).other(Endpoint::Host(a));
         assert_eq!(other, Endpoint::Switch(SwitchId(0), PortId(0)));
-        assert!(t.link_at(Endpoint::Switch(SwitchId(0), PortId(5))).is_none());
+        assert!(t
+            .link_at(Endpoint::Switch(SwitchId(0), PortId(5)))
+            .is_none());
         let _ = b;
     }
 
@@ -366,7 +382,10 @@ mod tests {
         // Out-of-range port.
         assert_eq!(t.trace_route(a, &Route::from_ports(&[200]), |_| true), None);
         // Route continuing past a host is invalid.
-        assert_eq!(t.trace_route(a, &Route::from_ports(&[1, 0]), |_| true), None);
+        assert_eq!(
+            t.trace_route(a, &Route::from_ports(&[1, 0]), |_| true),
+            None
+        );
         // Dead link filter.
         let la = t.link_at(Endpoint::Host(a)).unwrap();
         assert_eq!(t.trace_route(a, &r, |l| l != la), None);
@@ -393,7 +412,10 @@ mod tests {
         assert_eq!(direct.len(), 2, "one core-to-core hop");
         // Kill both direct core links: route must detour via a leaf.
         let dead = [tb.redundant_links[0], tb.redundant_links[1]];
-        let detour = tb.topo.shortest_route(a, b, |l| !dead.contains(&l)).unwrap();
+        let detour = tb
+            .topo
+            .shortest_route(a, b, |l| !dead.contains(&l))
+            .unwrap();
         assert_eq!(detour.len(), 3, "detour via a leaf switch");
         assert_eq!(
             tb.topo.trace_route(a, &detour, |l| !dead.contains(&l)),

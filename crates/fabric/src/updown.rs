@@ -48,12 +48,13 @@ pub fn bfs_levels(
     while let Some(s) = q.pop_front() {
         let l = level[s.idx()].unwrap();
         for p in 0..topo.switch_ports(s) {
-            let Some(link) = topo.link_at(Endpoint::Switch(s, PortId(p))) else { continue };
+            let Some(link) = topo.link_at(Endpoint::Switch(s, PortId(p))) else {
+                continue;
+            };
             if !alive(link) {
                 continue;
             }
-            if let Endpoint::Switch(s2, _) = topo.link(link).other(Endpoint::Switch(s, PortId(p)))
-            {
+            if let Endpoint::Switch(s2, _) = topo.link(link).other(Endpoint::Switch(s, PortId(p))) {
                 if level[s2.idx()].is_none() {
                     level[s2.idx()] = Some(l + 1);
                     q.push_back(s2);
@@ -80,7 +81,11 @@ impl UpDownMap {
     /// Up = toward the root: strictly lower level, ties broken by lower id.
     fn step_dir(&self, a: SwitchId, b: SwitchId) -> Option<Dir> {
         let (la, lb) = (self.level[a.idx()]?, self.level[b.idx()]?);
-        Some(if (lb, b.0) < (la, a.0) { Dir::Up } else { Dir::Down })
+        Some(if (lb, b.0) < (la, a.0) {
+            Dir::Up
+        } else {
+            Dir::Down
+        })
     }
 
     /// Compute an UP*/DOWN*-legal route from `from` to `to`, shortest among
@@ -115,7 +120,9 @@ impl UpDownMap {
                 continue;
             }
             for p in 0..topo.switch_ports(s) {
-                let Some(link) = topo.link_at(Endpoint::Switch(s, PortId(p))) else { continue };
+                let Some(link) = topo.link_at(Endpoint::Switch(s, PortId(p))) else {
+                    continue;
+                };
                 if !alive(link) {
                     continue;
                 }
@@ -123,7 +130,9 @@ impl UpDownMap {
                     Endpoint::Host(h) if h == to => return Some(route.then(p)),
                     Endpoint::Host(_) => {}
                     Endpoint::Switch(s2, _) => {
-                        let Some(dir) = self.step_dir(s, s2) else { continue };
+                        let Some(dir) = self.step_dir(s, s2) else {
+                            continue;
+                        };
                         let down2 = match dir {
                             Dir::Up if went_down => continue, // down→up is illegal
                             Dir::Up => false,
@@ -170,12 +179,16 @@ pub fn routes_deadlock_free(topo: &Topology, routes: &[(NodeId, Route)]) -> bool
     let mut nodes: Vec<(LinkId, bool)> = Vec::new();
     for (src, route) in routes {
         let mut chs = Vec::new();
-        let Some(first) = topo.link_at(Endpoint::Host(*src)) else { continue };
+        let Some(first) = topo.link_at(Endpoint::Host(*src)) else {
+            continue;
+        };
         let mut at = topo.link(first).other(Endpoint::Host(*src));
         chs.push((first, topo.link(first).a == Endpoint::Host(*src)));
         for &p in route.ports() {
             let Some((s, _)) = at.switch() else { break };
-            let Some(link) = topo.link_at(Endpoint::Switch(s, PortId(p))) else { break };
+            let Some(link) = topo.link_at(Endpoint::Switch(s, PortId(p))) else {
+                break;
+            };
             chs.push((link, topo.link(link).a == Endpoint::Switch(s, PortId(p))));
             at = topo.link(link).other(Endpoint::Switch(s, PortId(p)));
         }
@@ -290,13 +303,17 @@ mod tests {
             t.connect_switches(ss[i], 1, ss[(i + 1) % 3], 2);
         }
         // Clockwise two-hop routes: h_i -> s_i -> s_{i+1} -> s_{i+2} -> h_{i+2}
-        let routes: Vec<(NodeId, Route)> =
-            (0..3).map(|i| (hs[i], Route::from_ports(&[1, 1, 0]))).collect();
+        let routes: Vec<(NodeId, Route)> = (0..3)
+            .map(|i| (hs[i], Route::from_ports(&[1, 1, 0])))
+            .collect();
         for (h, r) in &routes {
             let dst = t.trace_route(*h, r, |_| true).unwrap();
             assert!(matches!(dst, Endpoint::Host(_)));
         }
-        assert!(!routes_deadlock_free(&t, &routes), "ring routes must form a cycle");
+        assert!(
+            !routes_deadlock_free(&t, &routes),
+            "ring routes must form a cycle"
+        );
     }
 
     #[test]
@@ -335,10 +352,16 @@ mod proptests {
         for i in 1..n_switch {
             let j = rng.below(i as u64) as usize;
             let pa = (0..16)
-                .find(|&p| t.link_at(Endpoint::Switch(switches[i], PortId(p))).is_none())
+                .find(|&p| {
+                    t.link_at(Endpoint::Switch(switches[i], PortId(p)))
+                        .is_none()
+                })
                 .unwrap();
             let pb = (0..16)
-                .find(|&p| t.link_at(Endpoint::Switch(switches[j], PortId(p))).is_none())
+                .find(|&p| {
+                    t.link_at(Endpoint::Switch(switches[j], PortId(p)))
+                        .is_none()
+                })
                 .unwrap();
             t.connect_switches(switches[i], pa, switches[j], pb);
         }
@@ -349,10 +372,14 @@ mod proptests {
             if i == j {
                 continue;
             }
-            let pa = (0..16)
-                .find(|&p| t.link_at(Endpoint::Switch(switches[i], PortId(p))).is_none());
-            let pb = (0..16)
-                .find(|&p| t.link_at(Endpoint::Switch(switches[j], PortId(p))).is_none());
+            let pa = (0..16).find(|&p| {
+                t.link_at(Endpoint::Switch(switches[i], PortId(p)))
+                    .is_none()
+            });
+            let pb = (0..16).find(|&p| {
+                t.link_at(Endpoint::Switch(switches[j], PortId(p)))
+                    .is_none()
+            });
             if let (Some(pa), Some(pb)) = (pa, pb) {
                 t.connect_switches(switches[i], pa, switches[j], pb);
             }
@@ -361,8 +388,7 @@ mod proptests {
         for h in 0..n_host {
             let host = t.add_host();
             let s = switches[h % n_switch];
-            if let Some(p) =
-                (0..16).find(|&p| t.link_at(Endpoint::Switch(s, PortId(p))).is_none())
+            if let Some(p) = (0..16).find(|&p| t.link_at(Endpoint::Switch(s, PortId(p))).is_none())
             {
                 t.connect_host(host, s, p);
             }
@@ -381,6 +407,7 @@ mod proptests {
             let m = UpDownMap::build(&t, |_| true).unwrap();
             let table = m.full_table(&t, |_| true);
             let mut routes = Vec::new();
+            #[allow(clippy::needless_range_loop)] // a/b are also NodeId values
             for a in 0..t.num_hosts() {
                 for b in 0..t.num_hosts() {
                     if a == b { continue; }

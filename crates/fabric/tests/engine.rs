@@ -65,7 +65,11 @@ fn large_packet_pays_serialization() {
     let expect = Duration::for_bytes(wire, 160_000_000);
     match &outs[0] {
         (t_del, FabricOut::Delivered { .. }) => {
-            assert_eq!(*t_del, Time::ZERO + expect, "tail arrival = serialization time");
+            assert_eq!(
+                *t_del,
+                Time::ZERO + expect,
+                "tail arrival = serialization time"
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -92,7 +96,10 @@ fn contention_serializes_on_shared_channel() {
         .collect();
     assert_eq!(deliveries.len(), 3);
     // In injection order...
-    assert_eq!(deliveries.iter().map(|d| d.1).collect::<Vec<_>>(), vec![0, 1, 2]);
+    assert_eq!(
+        deliveries.iter().map(|d| d.1).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
     // ...and spaced by at least a serialization time each (they share the
     // source's outgoing channel).
     let ser = Duration::for_bytes(4096, 160_000_000);
@@ -107,11 +114,18 @@ fn wire_loss_drops_silently() {
     engine.set_transient_faults(TransientFaults::loss(1.0), 7);
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 64), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 64),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
     assert!(outs.iter().any(|(_, o)| matches!(
         o,
-        FabricOut::Dropped { reason: DropReason::WireLoss, .. }
+        FabricOut::Dropped {
+            reason: DropReason::WireLoss,
+            ..
+        }
     )));
     assert_eq!(engine.stats().delivered, 0);
     assert_eq!(engine.stats().dropped_total(), 1);
@@ -141,11 +155,18 @@ fn unwired_port_drops_invalid_route() {
     let mut engine = Engine::new(t, EngineConfig::default());
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[6]), 16), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[6]), 16),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
     assert!(matches!(
         outs[0].1,
-        FabricOut::Dropped { reason: DropReason::InvalidRoute, .. }
+        FabricOut::Dropped {
+            reason: DropReason::InvalidRoute,
+            ..
+        }
     ));
 }
 
@@ -157,7 +178,13 @@ fn route_exhausted_at_switch_is_absorbed() {
     let mut o = Vec::new();
     engine.inject(&mut sim, raw_packet(a, b, Route::empty(), 16), &mut o);
     let outs = drain(&mut engine, &mut sim);
-    assert!(matches!(outs[0].1, FabricOut::Dropped { reason: DropReason::Absorbed, .. }));
+    assert!(matches!(
+        outs[0].1,
+        FabricOut::Dropped {
+            reason: DropReason::Absorbed,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -166,11 +193,18 @@ fn route_past_host_is_invalid() {
     let mut engine = Engine::new(t, EngineConfig::default());
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1, 0]), 16), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1, 0]), 16),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
     assert!(matches!(
         outs[0].1,
-        FabricOut::Dropped { reason: DropReason::InvalidRoute, .. }
+        FabricOut::Dropped {
+            reason: DropReason::InvalidRoute,
+            ..
+        }
     ));
 }
 
@@ -182,21 +216,38 @@ fn link_death_kills_in_flight_and_blocks_future() {
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
     // A long packet that will still be on the wire when the link dies.
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 1_000_000), &mut o);
-    sim.schedule(Time::from_micros(100), FabricEvent::LinkDown { link: b_link });
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 1_000_000),
+        &mut o,
+    );
+    sim.schedule(
+        Time::from_micros(100),
+        FabricEvent::LinkDown { link: b_link },
+    );
     let outs = drain(&mut engine, &mut sim);
     assert!(outs.iter().any(|(_, o)| matches!(
         o,
-        FabricOut::Dropped { reason: DropReason::KilledByFault, .. }
+        FabricOut::Dropped {
+            reason: DropReason::KilledByFault,
+            ..
+        }
     )));
     assert!(!engine.link_alive(b_link));
     // A new injection dies at acquisition of the dead channel.
     let mut o = Vec::new();
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 64), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 64),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
     assert!(outs.iter().any(|(_, o)| matches!(
         o,
-        FabricOut::Dropped { reason: DropReason::DeadLink, .. }
+        FabricOut::Dropped {
+            reason: DropReason::DeadLink,
+            ..
+        }
     )));
 }
 
@@ -208,13 +259,18 @@ fn switch_death_stops_traffic() {
     let mut o = Vec::new();
     engine.kill_switch(&mut sim, SwitchId(0), &mut o);
     assert!(!engine.switch_alive(SwitchId(0)));
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 64), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 64),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
     // The host link channels died with the switch, so the drop happens
     // synchronously at injection (dead first channel).
-    assert!(
-        o.iter().chain(outs.iter().map(|(_, o)| o)).any(|o| matches!(o, FabricOut::Dropped { .. }))
-    );
+    assert!(o
+        .iter()
+        .chain(outs.iter().map(|(_, o)| o))
+        .any(|o| matches!(o, FabricOut::Dropped { .. })));
     assert_eq!(engine.stats().delivered, 0);
 }
 
@@ -227,9 +283,15 @@ fn link_revival_restores_traffic() {
     let mut o = Vec::new();
     engine.set_link_alive(&mut sim, b_link, false, &mut o);
     engine.set_link_alive(&mut sim, b_link, true, &mut o);
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 64), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 64),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
-    assert!(outs.iter().any(|(_, o)| matches!(o, FabricOut::Delivered { .. })));
+    assert!(outs
+        .iter()
+        .any(|(_, o)| matches!(o, FabricOut::Delivered { .. })));
 }
 
 /// Three hosts on a 3-switch ring all routing "the long way" produce a
@@ -244,7 +306,10 @@ fn ring_deadlock_recovers_via_path_reset() {
         t.connect_host(hs[i], ss[i], 0);
         t.connect_switches(ss[i], 1, ss[(i + 1) % 3], 2);
     }
-    let cfg = EngineConfig { path_reset_timeout: Duration::from_millis(1), ..Default::default() };
+    let cfg = EngineConfig {
+        path_reset_timeout: Duration::from_millis(1),
+        ..Default::default()
+    };
     let mut engine = Engine::new(t, cfg);
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
@@ -252,20 +317,37 @@ fn ring_deadlock_recovers_via_path_reset() {
         // Big enough that the worm still occupies its first inter-switch
         // channel when it blocks on the next one.
         let dst = hs[(i + 2) % 3];
-        engine.inject(&mut sim, raw_packet(hs[i], dst, Route::from_ports(&[1, 1, 0]), 65536), &mut o);
+        engine.inject(
+            &mut sim,
+            raw_packet(hs[i], dst, Route::from_ports(&[1, 1, 0]), 65536),
+            &mut o,
+        );
     }
     let outs = drain(&mut engine, &mut sim);
-    let resets: Vec<&FabricOut> =
-        outs.iter().map(|(_, o)| o).filter(|o| matches!(o, FabricOut::PathReset { .. })).collect();
-    assert_eq!(resets.len(), 3, "all three flights deadlock and reset: {outs:?}");
+    let resets: Vec<&FabricOut> = outs
+        .iter()
+        .map(|(_, o)| o)
+        .filter(|o| matches!(o, FabricOut::PathReset { .. }))
+        .collect();
+    assert_eq!(
+        resets.len(),
+        3,
+        "all three flights deadlock and reset: {outs:?}"
+    );
     assert_eq!(engine.stats().path_resets, 3);
     assert_eq!(engine.in_flight(), 0);
     // After recovery the channels are free again: a fresh minimal-route
     // packet goes through.
     let mut o = Vec::new();
-    engine.inject(&mut sim, raw_packet(hs[0], hs[1], Route::from_ports(&[1, 0]), 64), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(hs[0], hs[1], Route::from_ports(&[1, 0]), 64),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
-    assert!(outs.iter().any(|(_, o)| matches!(o, FabricOut::Delivered { .. })));
+    assert!(outs
+        .iter()
+        .any(|(_, o)| matches!(o, FabricOut::Delivered { .. })));
 }
 
 #[test]
@@ -301,15 +383,26 @@ fn full_duplex_channels_do_not_collide() {
     let mut engine = Engine::new(t, EngineConfig::default());
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 4096), &mut o);
-    engine.inject(&mut sim, raw_packet(b, a, Route::from_ports(&[0]), 4096), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 4096),
+        &mut o,
+    );
+    engine.inject(
+        &mut sim,
+        raw_packet(b, a, Route::from_ports(&[0]), 4096),
+        &mut o,
+    );
     let outs = drain(&mut engine, &mut sim);
     let times: Vec<Time> = outs
         .iter()
         .filter_map(|(t, o)| matches!(o, FabricOut::Delivered { .. }).then_some(*t))
         .collect();
     assert_eq!(times.len(), 2);
-    assert_eq!(times[0], times[1], "full duplex: both directions proceed in parallel");
+    assert_eq!(
+        times[0], times[1],
+        "full duplex: both directions proceed in parallel"
+    );
 }
 
 #[test]
@@ -330,11 +423,22 @@ fn waiting_flight_killed_by_fault_is_removed_from_queue() {
     let mut sim = TSim::new(1);
     let mut o = Vec::new();
     // c -> b big packet grabs the s->b channel.
-    engine.inject(&mut sim, raw_packet(c, b, Route::from_ports(&[1]), 1_000_000), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(c, b, Route::from_ports(&[1]), 1_000_000),
+        &mut o,
+    );
     // a -> b will wait behind it.
-    engine.inject(&mut sim, raw_packet(a, b, Route::from_ports(&[1]), 4096), &mut o);
+    engine.inject(
+        &mut sim,
+        raw_packet(a, b, Route::from_ports(&[1]), 4096),
+        &mut o,
+    );
     // Kill a's link while a->b is waiting.
-    sim.schedule(Time::from_micros(50), FabricEvent::LinkDown { link: a_link });
+    sim.schedule(
+        Time::from_micros(50),
+        FabricEvent::LinkDown { link: a_link },
+    );
     let outs = drain(&mut engine, &mut sim);
     let delivered: Vec<NodeId> = outs
         .iter()
@@ -346,7 +450,10 @@ fn waiting_flight_killed_by_fault_is_removed_from_queue() {
     assert_eq!(delivered, vec![c], "only the c->b packet survives");
     assert!(outs.iter().any(|(_, o)| matches!(
         o,
-        FabricOut::Dropped { reason: DropReason::KilledByFault, .. }
+        FabricOut::Dropped {
+            reason: DropReason::KilledByFault,
+            ..
+        }
     )));
     assert_eq!(engine.in_flight(), 0);
 }
@@ -368,10 +475,11 @@ fn bursty_losses_cluster() {
             pkt.msg_id = i;
             engine.inject(&mut sim, pkt, &mut o);
             let outs = drain(&mut engine, &mut sim);
-            let dropped = outs.iter().map(|(_, w)| w).chain(o.iter()).any(|w| matches!(
-                w,
-                FabricOut::Dropped { .. }
-            ));
+            let dropped = outs
+                .iter()
+                .map(|(_, w)| w)
+                .chain(o.iter())
+                .any(|w| matches!(w, FabricOut::Dropped { .. }));
             lost.push(dropped);
         }
         lost
@@ -380,7 +488,11 @@ fn bursty_losses_cluster() {
     let bursty = run(TransientFaults::bursty_loss(0.02, 8.0));
     let rate = |l: &[bool]| l.iter().filter(|&&x| x).count() as f64 / l.len() as f64;
     // Comparable average rates...
-    assert!((rate(&independent) - 0.02).abs() < 0.01, "{}", rate(&independent));
+    assert!(
+        (rate(&independent) - 0.02).abs() < 0.01,
+        "{}",
+        rate(&independent)
+    );
     assert!((rate(&bursty) - 0.02).abs() < 0.015, "{}", rate(&bursty));
     // ...but far fewer distinct episodes in the bursty channel.
     let episodes = |l: &[bool]| l.windows(2).filter(|w| !w[0] && w[1]).count();

@@ -88,7 +88,10 @@ impl HostAgent for Pinger {
     fn on_message(&mut self, ctx: &mut HostCtx, pkt: Packet) {
         if self.vmmc.on_packet(&pkt).is_some() {
             // Echo completed: round over.
-            self.state.borrow_mut().samples.push((self.started, ctx.now()));
+            self.state
+                .borrow_mut()
+                .samples
+                .push((self.started, ctx.now()));
             self.round += 1;
             if self.round < self.rounds {
                 ctx.wake_in(host_cost(self.bytes), 0);
@@ -110,7 +113,10 @@ pub struct Echoer {
 impl Echoer {
     /// Build an echoer on `me` replying to `peer`.
     pub fn new(me: NodeId, peer: NodeId) -> Self {
-        Self { peer, vmmc: VmmcLib::new(me) }
+        Self {
+            peer,
+            vmmc: VmmcLib::new(me),
+        }
     }
 }
 
@@ -144,7 +150,13 @@ pub struct UniSource {
 impl UniSource {
     /// Build a source.
     pub fn new(peer: NodeId, bytes: u32, count: u64) -> Self {
-        Self { peer, bytes, count, sent: 0, vmmc: VmmcLib::new(NodeId(0)) }
+        Self {
+            peer,
+            bytes,
+            count,
+            sent: 0,
+            vmmc: VmmcLib::new(NodeId(0)),
+        }
     }
 }
 
@@ -174,7 +186,11 @@ pub struct Sink {
 impl Sink {
     /// Build a sink expecting `expect` messages.
     pub fn new(me: NodeId, expect: u64, state: StateRef) -> Self {
-        Self { vmmc: VmmcLib::new(me), state, expect }
+        Self {
+            vmmc: VmmcLib::new(me),
+            state,
+            expect,
+        }
     }
 }
 

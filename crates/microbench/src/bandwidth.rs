@@ -40,7 +40,7 @@ fn run_until_done(
         if t > deadline || (cluster.sim.is_idle() && !st.borrow().done) {
             return false;
         }
-        t = t + slice;
+        t += slice;
     }
 }
 
@@ -65,9 +65,21 @@ pub fn pingpong_bandwidth(
     BwPoint {
         bytes,
         mbps,
-        retransmits: cluster.nics.iter().map(|n| n.core.stats.retransmits.get()).sum(),
-        injected_drops: cluster.nics.iter().map(|n| n.core.stats.injected_drops.get()).sum(),
-        timer_fires: cluster.nics.iter().map(|n| n.core.stats.timer_fires.get()).sum(),
+        retransmits: cluster
+            .nics
+            .iter()
+            .map(|n| n.core.stats.retransmits.get())
+            .sum(),
+        injected_drops: cluster
+            .nics
+            .iter()
+            .map(|n| n.core.stats.injected_drops.get())
+            .sum(),
+        timer_fires: cluster
+            .nics
+            .iter()
+            .map(|n| n.core.stats.timer_fires.get())
+            .sum(),
         completed,
     }
 }
@@ -103,9 +115,21 @@ pub fn unidirectional_bandwidth(
     BwPoint {
         bytes,
         mbps,
-        retransmits: cluster.nics.iter().map(|n| n.core.stats.retransmits.get()).sum(),
-        injected_drops: cluster.nics.iter().map(|n| n.core.stats.injected_drops.get()).sum(),
-        timer_fires: cluster.nics.iter().map(|n| n.core.stats.timer_fires.get()).sum(),
+        retransmits: cluster
+            .nics
+            .iter()
+            .map(|n| n.core.stats.retransmits.get())
+            .sum(),
+        injected_drops: cluster
+            .nics
+            .iter()
+            .map(|n| n.core.stats.injected_drops.get())
+            .sum(),
+        timer_fires: cluster
+            .nics
+            .iter()
+            .map(|n| n.core.stats.timer_fires.get())
+            .sum(),
         completed,
     }
 }
@@ -131,24 +155,23 @@ mod tests {
     #[test]
     fn unidirectional_plateau_and_ft_overhead() {
         let cfg = ClusterConfig::default();
-        let no_ft =
-            unidirectional_bandwidth(&FwKind::NoFt, 65536, 64, cfg.clone(), DL);
+        let no_ft = unidirectional_bandwidth(&FwKind::NoFt, 65536, 64, cfg.clone(), DL);
         assert!(no_ft.completed);
         assert!(
             (105.0..122.0).contains(&no_ft.mbps),
             "no-FT 64K unidirectional ≈ 118 MB/s, got {:.1}",
             no_ft.mbps
         );
-        let ft = unidirectional_bandwidth(
-            &FwKind::Ft(ProtocolConfig::default()),
-            65536,
-            64,
-            cfg,
-            DL,
-        );
+        let ft =
+            unidirectional_bandwidth(&FwKind::Ft(ProtocolConfig::default()), 65536, 64, cfg, DL);
         assert!(ft.completed);
         let loss = (no_ft.mbps - ft.mbps) / no_ft.mbps;
-        assert!(loss < 0.04, "FT overhead <4%: {:.1} vs {:.1}", ft.mbps, no_ft.mbps);
+        assert!(
+            loss < 0.04,
+            "FT overhead <4%: {:.1} vs {:.1}",
+            ft.mbps,
+            no_ft.mbps
+        );
     }
 
     #[test]
@@ -167,19 +190,18 @@ mod tests {
     fn small_messages_are_latency_bound() {
         let pp = pingpong_bandwidth(&FwKind::NoFt, 4, 20, ClusterConfig::default(), DL);
         assert!(pp.completed);
-        assert!(pp.mbps < 2.0, "4-byte ping-pong is latency-bound: {:.3}", pp.mbps);
+        assert!(
+            pp.mbps < 2.0,
+            "4-byte ping-pong is latency-bound: {:.3}",
+            pp.mbps
+        );
     }
 
     #[test]
     fn errors_cost_bandwidth_but_not_correctness() {
         let proto = ProtocolConfig::default().with_error_rate(1e-2);
-        let pt = unidirectional_bandwidth(
-            &FwKind::Ft(proto),
-            16384,
-            128,
-            ClusterConfig::default(),
-            DL,
-        );
+        let pt =
+            unidirectional_bandwidth(&FwKind::Ft(proto), 16384, 128, ClusterConfig::default(), DL);
         assert!(pt.completed, "run must finish despite 1e-2 errors");
         assert!(pt.injected_drops > 0);
         assert!(pt.retransmits > 0);

@@ -49,7 +49,11 @@ struct OneShotSender {
 impl HostAgent for OneShotSender {
     fn on_start(&mut self, ctx: &mut HostCtx) {
         let t = NicTiming::default();
-        let cost = if self.bytes <= 32 { t.host_send_pio } else { t.host_send_dma };
+        let cost = if self.bytes <= 32 {
+            t.host_send_pio
+        } else {
+            t.host_send_dma
+        };
         ctx.wake_in(cost, 0);
     }
     fn on_wake(&mut self, ctx: &mut HostCtx, _token: u64) {
@@ -57,10 +61,19 @@ impl HostAgent for OneShotSender {
             return;
         }
         let t = NicTiming::default();
-        let cost = if self.bytes <= 32 { t.host_send_pio } else { t.host_send_dma };
+        let cost = if self.bytes <= 32 {
+            t.host_send_pio
+        } else {
+            t.host_send_dma
+        };
         // `posted_at` marks the user call, one host-send cost before now.
         let user_start = ctx.now() - cost;
-        ctx.post_send(make_desc(self.peer, self.bytes, self.sent as u64, user_start));
+        ctx.post_send(make_desc(
+            self.peer,
+            self.bytes,
+            self.sent as u64,
+            user_start,
+        ));
         self.sent += 1;
         if self.sent < self.reps {
             // Space repetitions out so they never pipeline.
@@ -129,13 +142,27 @@ mod tests {
         let no_ft = one_way_latency(&FwKind::NoFt, 4, 10, cfg.clone());
         let ft = one_way_latency(&FwKind::Ft(ProtocolConfig::default()), 4, 10, cfg);
         // ~8 µs vs ~10 µs (Figure 3).
-        assert!((7.0..9.0).contains(&no_ft.total_us()), "no-FT: {:.2}", no_ft.total_us());
-        assert!((9.0..11.0).contains(&ft.total_us()), "FT: {:.2}", ft.total_us());
+        assert!(
+            (7.0..9.0).contains(&no_ft.total_us()),
+            "no-FT: {:.2}",
+            no_ft.total_us()
+        );
+        assert!(
+            (9.0..11.0).contains(&ft.total_us()),
+            "FT: {:.2}",
+            ft.total_us()
+        );
         // The overhead splits roughly evenly between send and receive sides.
         let send_over = ft.nic_send_us - no_ft.nic_send_us;
         let recv_over = ft.nic_recv_us - no_ft.nic_recv_us;
-        assert!((0.5..1.6).contains(&send_over), "send-side ≈1 µs, got {send_over:.2}");
-        assert!((0.5..1.6).contains(&recv_over), "recv-side ≈1 µs, got {recv_over:.2}");
+        assert!(
+            (0.5..1.6).contains(&send_over),
+            "send-side ≈1 µs, got {send_over:.2}"
+        );
+        assert!(
+            (0.5..1.6).contains(&recv_over),
+            "recv-side ≈1 µs, got {recv_over:.2}"
+        );
         // Host stages are unaffected by the firmware.
         assert!((ft.host_send_us - no_ft.host_send_us).abs() < 0.05);
         assert!((ft.host_recv_us - no_ft.host_recv_us).abs() < 0.05);
@@ -152,7 +179,10 @@ mod tests {
                 ClusterConfig::default(),
             );
             let over = ft.total_us() - no_ft.total_us();
-            assert!((0.0..=2.1).contains(&over), "{bytes}B overhead {over:.2} µs");
+            assert!(
+                (0.0..=2.1).contains(&over),
+                "{bytes}B overhead {over:.2} µs"
+            );
         }
     }
 }

@@ -41,7 +41,11 @@ impl Default for GridSpec {
         // 20 s of virtual time is ~40× the error-free duration of the
         // largest default cell; pathological cells (1 s timers with errors)
         // report what they managed rather than running forever.
-        Self { volume: 4 << 20, deadline: Time::from_secs(20), workers: 8 }
+        Self {
+            volume: 4 << 20,
+            deadline: Time::from_secs(20),
+            workers: 8,
+        }
     }
 }
 
@@ -58,10 +62,15 @@ fn run_cell(p: &GridPoint, spec: &GridSpec) -> BwPoint {
     let fw = match p.timer {
         None => FwKind::NoFt,
         Some(t) => FwKind::Ft(
-            ProtocolConfig::default().with_timeout(t).with_error_rate(p.error_rate),
+            ProtocolConfig::default()
+                .with_timeout(t)
+                .with_error_rate(p.error_rate),
         ),
     };
-    let cfg = ClusterConfig { send_bufs: p.queue, ..Default::default() };
+    let cfg = ClusterConfig {
+        send_bufs: p.queue,
+        ..Default::default()
+    };
     let mut msgs = (spec.volume / p.bytes.max(1) as u64).clamp(4, 4096);
     if p.error_rate > 0.0 {
         // The paper sizes runs so at least ~10 packets are dropped at the
@@ -107,7 +116,10 @@ pub fn run_grid(points: Vec<GridPoint>, spec: GridSpec) -> Vec<GridResult> {
         }
     })
     .expect("sweep worker panicked");
-    results.into_iter().map(|r| r.expect("every cell ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -128,14 +140,22 @@ mod tests {
                 })
             })
             .collect();
-        let spec = GridSpec { volume: 1 << 20, deadline: Time::from_secs(10), workers: 4 };
+        let spec = GridSpec {
+            volume: 1 << 20,
+            deadline: Time::from_secs(10),
+            workers: 4,
+        };
         let par = run_grid(points.clone(), spec.clone());
         let ser = run_grid(points, GridSpec { workers: 1, ..spec });
         assert_eq!(par.len(), 4);
         for (a, b) in par.iter().zip(ser.iter()) {
             assert!(a.bw.completed && b.bw.completed);
             // Determinism: identical results regardless of thread count.
-            assert_eq!(a.bw.mbps.to_bits(), b.bw.mbps.to_bits(), "parallelism changed a result");
+            assert_eq!(
+                a.bw.mbps.to_bits(),
+                b.bw.mbps.to_bits(),
+                "parallelism changed a result"
+            );
         }
     }
 }

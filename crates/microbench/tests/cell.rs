@@ -20,8 +20,15 @@ fn ten_microsecond_timer_storms_are_bounded() {
         ClusterConfig::default(),
         deadline,
     );
-    assert!(storm.completed, "the storm must make progress, however slow");
-    assert!(storm.retransmits > 1000, "it IS a storm: {}", storm.retransmits);
+    assert!(
+        storm.completed,
+        "the storm must make progress, however slow"
+    );
+    assert!(
+        storm.retransmits > 1000,
+        "it IS a storm: {}",
+        storm.retransmits
+    );
     let clean = unidirectional_bandwidth(
         &FwKind::Ft(ProtocolConfig::default()),
         4,
@@ -67,5 +74,9 @@ fn bulk_storm_recovers_at_1ms() {
     let good = run(1000);
     assert!(fast.completed && good.completed);
     assert!(good.mbps > 100.0, "1 ms near plateau: {:.1}", good.mbps);
-    assert!(fast.mbps < good.mbps * 0.8, "10 µs collapses: {:.1}", fast.mbps);
+    assert!(
+        fast.mbps < good.mbps * 0.8,
+        "10 µs collapses: {:.1}",
+        fast.mbps
+    );
 }

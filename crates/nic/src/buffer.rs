@@ -53,13 +53,19 @@ impl SendPool {
     /// Create a pool of `send_bufs` send buffers, verifying the whole SRAM
     /// budget (firmware + send + `recv_bufs` receive buffers) fits in 2 MB.
     pub fn new(send_bufs: u16, recv_bufs: u16) -> Result<SendPool, SramOverflow> {
-        let requested =
-            FIRMWARE_BYTES + (send_bufs as u32 + recv_bufs as u32) * BUF_BYTES;
+        let requested = FIRMWARE_BYTES + (send_bufs as u32 + recv_bufs as u32) * BUF_BYTES;
         if requested > SRAM_BYTES {
-            return Err(SramOverflow { requested, available: SRAM_BYTES });
+            return Err(SramOverflow {
+                requested,
+                available: SRAM_BYTES,
+            });
         }
-        let bufs =
-            (0..send_bufs).map(|_| Buf { pkt: None, last_tx: Time::ZERO }).collect();
+        let bufs = (0..send_bufs)
+            .map(|_| Buf {
+                pkt: None,
+                last_tx: Time::ZERO,
+            })
+            .collect();
         let free = (0..send_bufs).rev().map(BufId).collect();
         Ok(SendPool { bufs, free })
     }
@@ -103,12 +109,18 @@ impl SendPool {
 
     /// Borrow the packet held in `id`.
     pub fn pkt(&self, id: BufId) -> &Packet {
-        self.bufs[id.0 as usize].pkt.as_ref().expect("buffer is free")
+        self.bufs[id.0 as usize]
+            .pkt
+            .as_ref()
+            .expect("buffer is free")
     }
 
     /// Mutably borrow the packet held in `id`.
     pub fn pkt_mut(&mut self, id: BufId) -> &mut Packet {
-        self.bufs[id.0 as usize].pkt.as_mut().expect("buffer is free")
+        self.bufs[id.0 as usize]
+            .pkt
+            .as_mut()
+            .expect("buffer is free")
     }
 
     /// Record a (re)transmission instant for aging.

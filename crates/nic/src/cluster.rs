@@ -9,6 +9,7 @@
 use san_fabric::engine::{Engine, EngineConfig, FabricEvent, FabricOut};
 use san_fabric::{NodeId, Packet, Topology};
 use san_sim::{Duration, Sim, Time};
+use san_telemetry::Telemetry;
 
 use crate::buffer::BufId;
 use crate::nic::{Firmware, Nic, NicCore, NicCtx, SendDesc};
@@ -109,18 +110,23 @@ impl HostCtx<'_> {
     /// Schedule a wakeup for this agent.
     pub fn wake_in(&mut self, after: Duration, token: u64) {
         let node = self.node;
-        self.sim.schedule_in(after, ClusterEvent::Host(node, HostEvent::Wake { token }));
+        self.sim
+            .schedule_in(after, ClusterEvent::Host(node, HostEvent::Wake { token }));
     }
 
     /// Schedule a wakeup at an absolute time.
     pub fn wake_at(&mut self, at: Time, token: u64) {
         let node = self.node;
-        self.sim.schedule(at, ClusterEvent::Host(node, HostEvent::Wake { token }));
+        self.sim
+            .schedule(at, ClusterEvent::Host(node, HostEvent::Wake { token }));
     }
 
     /// Post a send descriptor to the NIC.
     pub fn post_send(&mut self, desc: SendDesc) {
-        let mut ctx = NicCtx { sim: self.sim, engine: self.engine };
+        let mut ctx = NicCtx {
+            sim: self.sim,
+            engine: self.engine,
+        };
         self.nic.post_send(&mut ctx, desc);
     }
 }
@@ -160,6 +166,9 @@ pub struct ClusterConfig {
     pub send_bufs: u16,
     /// RNG seed.
     pub seed: u64,
+    /// Observability handle every layer registers into. The default is
+    /// metrics-only; pass `Telemetry::with_trace(..)` to record events.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ClusterConfig {
@@ -169,6 +178,7 @@ impl Default for ClusterConfig {
             engine: EngineConfig::default(),
             send_bufs: 32,
             seed: 1,
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -183,6 +193,9 @@ pub struct Cluster {
     pub nics: Vec<Nic>,
     /// One agent per host.
     pub hosts: Vec<Box<dyn HostAgent>>,
+    /// The observability handle shared by every layer (same handle the
+    /// caller put in [`ClusterConfig::telemetry`]).
+    pub telemetry: Telemetry,
     started: bool,
     events_processed: u64,
 }
@@ -198,11 +211,18 @@ impl Cluster {
     ) -> Self {
         let n = topo.num_hosts();
         assert_eq!(hosts.len(), n, "one host agent per host");
-        let engine = Engine::new(topo, cfg.engine.clone());
+        let telemetry = cfg.telemetry.clone();
+        let engine = Engine::with_telemetry(topo, cfg.engine.clone(), telemetry.clone());
         let nics = (0..n)
             .map(|i| {
                 let id = NodeId(i as u16);
-                let core = NicCore::new(id, cfg.timing.clone(), cfg.send_bufs, n);
+                let core = NicCore::with_telemetry(
+                    id,
+                    cfg.timing.clone(),
+                    cfg.send_bufs,
+                    n,
+                    telemetry.clone(),
+                );
                 Nic::new(core, make_fw(id))
             })
             .collect();
@@ -211,6 +231,7 @@ impl Cluster {
             engine,
             nics,
             hosts,
+            telemetry,
             started: false,
             events_processed: 0,
         }
@@ -241,8 +262,8 @@ impl Cluster {
     /// full-map baseline.
     pub fn install_updown_routes(&mut self) {
         let topo = self.engine.topology().clone();
-        let map = san_fabric::updown::UpDownMap::build(&topo, |_| true)
-            .expect("topology has switches");
+        let map =
+            san_fabric::updown::UpDownMap::build(&topo, |_| true).expect("topology has switches");
         let table = map.full_table(&topo, |_| true);
         for (a, row) in table.iter().enumerate() {
             for (b, r) in row.iter().enumerate() {
@@ -266,7 +287,10 @@ impl Cluster {
         }
         self.started = true;
         for i in 0..self.nics.len() {
-            let mut ctx = NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+            let mut ctx = NicCtx {
+                sim: &mut self.sim,
+                engine: &mut self.engine,
+            };
             self.nics[i].on_start(&mut ctx);
         }
         for i in 0..self.hosts.len() {
@@ -315,13 +339,17 @@ impl Cluster {
                 for out in drained {
                     match out {
                         FabricOut::Delivered { node, pkt } => {
-                            let mut ctx =
-                                NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+                            let mut ctx = NicCtx {
+                                sim: &mut self.sim,
+                                engine: &mut self.engine,
+                            };
                             self.nics[node.idx()].on_delivered(&mut ctx, pkt);
                         }
                         FabricOut::PathReset { src, pkt } => {
-                            let mut ctx =
-                                NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+                            let mut ctx = NicCtx {
+                                sim: &mut self.sim,
+                                engine: &mut self.engine,
+                            };
                             self.nics[src.idx()].on_path_reset(&mut ctx, pkt);
                         }
                         FabricOut::Dropped { .. } => {
@@ -331,7 +359,10 @@ impl Cluster {
                 }
             }
             ClusterEvent::Nic(node, ne) => {
-                let mut ctx = NicCtx { sim: &mut self.sim, engine: &mut self.engine };
+                let mut ctx = NicCtx {
+                    sim: &mut self.sim,
+                    engine: &mut self.engine,
+                };
                 self.nics[node.idx()].handle(&mut ctx, ne);
             }
             ClusterEvent::Host(node, he) => {
@@ -343,9 +374,7 @@ impl Cluster {
                 };
                 match he {
                     HostEvent::Wake { token } => self.hosts[node.idx()].on_wake(&mut ctx, token),
-                    HostEvent::Deliver { pkt } => {
-                        self.hosts[node.idx()].on_message(&mut ctx, *pkt)
-                    }
+                    HostEvent::Deliver { pkt } => self.hosts[node.idx()].on_message(&mut ctx, *pkt),
                     HostEvent::SendDone { msg_id } => {
                         self.hosts[node.idx()].on_send_done(&mut ctx, msg_id)
                     }

@@ -25,7 +25,5 @@ pub use buffer::{BufId, SendPool};
 pub use cluster::{
     Cluster, ClusterConfig, ClusterEvent, HostAgent, HostCtx, HostEvent, IdleHost, NicEvent,
 };
-pub use nic::{
-    Firmware, Nic, NicCore, NicCtx, NicStats, RouteTable, SendDesc, UnreliableFirmware,
-};
+pub use nic::{Firmware, Nic, NicCore, NicCtx, NicStats, RouteTable, SendDesc, UnreliableFirmware};
 pub use timing::{vmmc_consts, NicTiming};

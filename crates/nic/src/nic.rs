@@ -14,7 +14,8 @@ use std::collections::VecDeque;
 use bytes::Bytes;
 use san_fabric::engine::Engine;
 use san_fabric::{NodeId, Packet, PacketFlags, PacketKind, Route};
-use san_sim::{Counter, Resource, Sim, Time};
+use san_sim::{Resource, Sim, Time};
+use san_telemetry::{Counter, Layer, Telemetry, TraceEvent, TraceKind};
 
 use crate::buffer::{BufId, SendPool};
 use crate::cluster::{ClusterEvent, HostEvent, NicEvent};
@@ -65,6 +66,12 @@ impl SendDesc {
 }
 
 /// Per-NIC statistics.
+///
+/// Counters are `Arc`-backed telemetry cells: a default-constructed value
+/// is private to the NIC, while [`NicStats::registered`] shares each cell
+/// with a [`Telemetry`] registry under `nic.node.<n>.*` (hardware
+/// mechanisms) and `ft.node.<n>.*` (reliability-protocol policy), so
+/// exporters see live values without a copy step.
 #[derive(Debug, Default, Clone)]
 pub struct NicStats {
     /// Send descriptors accepted.
@@ -111,6 +118,37 @@ pub struct NicStats {
     pub rx_overflow: Counter,
 }
 
+impl NicStats {
+    /// Stats whose cells are registered in `tel` for node `node`:
+    /// hardware-mechanism counters under `nic.node.<n>.*`, reliability-
+    /// protocol counters under `ft.node.<n>.*`.
+    pub fn registered(tel: &Telemetry, node: NodeId) -> Self {
+        let nic = |leaf: &str| tel.counter(&format!("nic.node.{}.{leaf}", node.0));
+        let ft = |leaf: &str| tel.counter(&format!("ft.node.{}.{leaf}", node.0));
+        Self {
+            descs_posted: nic("descs_posted"),
+            packets_tx: nic("packets_tx"),
+            retransmits: ft("retransmits"),
+            injected_drops: ft("injected_drops"),
+            packets_rx: nic("packets_rx"),
+            crc_drops: nic("crc_drops"),
+            data_accepted: nic("data_accepted"),
+            ooo_drops: ft("ooo_drops"),
+            dup_drops: ft("dup_drops"),
+            stale_gen_drops: ft("stale_gen_drops"),
+            acks_tx: ft("acks_tx"),
+            acks_rx: ft("acks_rx"),
+            timer_fires: ft("timer_fires"),
+            blocked_no_buffer: nic("blocked_no_buffer"),
+            probes_tx: ft("probes_tx"),
+            probe_replies_tx: ft("probe_replies_tx"),
+            path_resets: nic("path_resets"),
+            unroutable: nic("unroutable"),
+            rx_overflow: nic("rx_overflow"),
+        }
+    }
+}
+
 /// Per-destination route table.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
@@ -120,7 +158,9 @@ pub struct RouteTable {
 impl RouteTable {
     /// A table for `n` destinations, all unknown.
     pub fn new(n: usize) -> Self {
-        Self { routes: vec![None; n] }
+        Self {
+            routes: vec![None; n],
+        }
     }
     /// Route to `dst`, if known.
     pub fn get(&self, dst: NodeId) -> Option<Route> {
@@ -161,6 +201,8 @@ pub struct NicCore {
     pub routes: RouteTable,
     /// Statistics.
     pub stats: NicStats,
+    /// Observability handle (shared with the whole simulation).
+    pub telemetry: Telemetry,
     needs_pump: bool,
     /// Packets delivered by the fabric but not yet picked up by the LANai.
     rx_inflight: u32,
@@ -200,10 +242,23 @@ impl NicCtx<'_> {
 }
 
 impl NicCore {
-    /// Build a NIC core.
+    /// Build a NIC core with a private (unexported) telemetry handle.
     pub fn new(node: NodeId, timing: NicTiming, send_bufs: u16, n_nodes: usize) -> Self {
-        let pool = SendPool::new(send_bufs, n_nodes as u16 + 4)
-            .expect("NIC configuration exceeds SRAM");
+        Self::with_telemetry(node, timing, send_bufs, n_nodes, Telemetry::new())
+    }
+
+    /// Build a NIC core whose stats counters are registered in `tel`
+    /// (`nic.node.<n>.*` / `ft.node.<n>.*`) and whose DMA/descriptor
+    /// activity is traced through it.
+    pub fn with_telemetry(
+        node: NodeId,
+        timing: NicTiming,
+        send_bufs: u16,
+        n_nodes: usize,
+        tel: Telemetry,
+    ) -> Self {
+        let pool =
+            SendPool::new(send_bufs, n_nodes as u16 + 4).expect("NIC configuration exceeds SRAM");
         Self {
             node,
             timing,
@@ -213,10 +268,26 @@ impl NicCore {
             pool,
             pending: VecDeque::new(),
             routes: RouteTable::new(n_nodes),
-            stats: NicStats::default(),
+            stats: NicStats::registered(&tel, node),
+            telemetry: tel,
             needs_pump: false,
             rx_inflight: 0,
             fifo_tx_ready: Time::ZERO,
+        }
+    }
+
+    /// Build a NIC-layer trace event about `pkt` observed at this node.
+    pub fn trace_pkt(&self, at: Time, kind: TraceKind, pkt: &Packet, aux: u64) -> TraceEvent {
+        TraceEvent {
+            at_ns: at.nanos(),
+            layer: Layer::Nic,
+            kind,
+            node: self.node.0,
+            src: pkt.src.0,
+            dst: pkt.dst.0,
+            generation: pkt.generation,
+            seq: pkt.seq,
+            aux,
         }
     }
 
@@ -250,8 +321,12 @@ impl NicCore {
         let (start, done) = self.net_tx.acquire_window(ctx.now().max(earliest), ser);
         self.pool.mark_tx(buf, start);
         let node = self.node;
-        ctx.sim.schedule(start, ClusterEvent::Nic(node, NicEvent::Inject { pkt: Box::new(pkt) }));
-        ctx.sim.schedule(done, ClusterEvent::Nic(node, NicEvent::TxInjected { buf }));
+        ctx.sim.schedule(
+            start,
+            ClusterEvent::Nic(node, NicEvent::Inject { pkt: Box::new(pkt) }),
+        );
+        ctx.sim
+            .schedule(done, ClusterEvent::Nic(node, NicEvent::TxInjected { buf }));
     }
 
     /// Transmit a packet that does not live in the send pool (explicit ACKs
@@ -267,7 +342,10 @@ impl NicCore {
         let ser = ctx.engine.serialization(pkt.wire_bytes());
         let (start, _done) = self.net_tx.acquire_window(ctx.now().max(earliest), ser);
         let node = self.node;
-        ctx.sim.schedule(start, ClusterEvent::Nic(node, NicEvent::Inject { pkt: Box::new(pkt) }));
+        ctx.sim.schedule(
+            start,
+            ClusterEvent::Nic(node, NicEvent::Inject { pkt: Box::new(pkt) }),
+        );
     }
 
     /// DMA a received data packet into host memory and notify the process.
@@ -281,12 +359,22 @@ impl NicCore {
     /// firmware processing must finish first). Returns the completion time.
     pub fn deposit_from(&mut self, ctx: &mut NicCtx, mut pkt: Packet, earliest: Time) -> Time {
         let cost = self.timing.host_dma(pkt.payload_len);
-        let (_s, done) = self.host_dma.acquire_window(ctx.now().max(earliest), cost);
+        let (start, done) = self.host_dma.acquire_window(ctx.now().max(earliest), cost);
+        let bytes = pkt.payload_len as u64;
+        self.telemetry
+            .record(self.trace_pkt(start, TraceKind::DmaStart, &pkt, bytes));
+        self.telemetry
+            .record(self.trace_pkt(done, TraceKind::DmaEnd, &pkt, bytes));
+        self.telemetry
+            .record(self.trace_pkt(done, TraceKind::PacketDeposited, &pkt, bytes));
         pkt.stamps.deposited = done;
         let seen = done + self.timing.host_notify + self.timing.host_recv_check;
         pkt.stamps.host_seen = seen;
         let node = self.node;
-        ctx.sim.schedule(seen, ClusterEvent::Host(node, HostEvent::Deliver { pkt: Box::new(pkt) }));
+        ctx.sim.schedule(
+            seen,
+            ClusterEvent::Host(node, HostEvent::Deliver { pkt: Box::new(pkt) }),
+        );
         done
     }
 
@@ -357,6 +445,17 @@ impl Nic {
     /// Host posts a send descriptor.
     pub fn post_send(&mut self, ctx: &mut NicCtx, desc: SendDesc) {
         self.core.stats.descs_posted.hit();
+        self.core.telemetry.record(TraceEvent {
+            at_ns: ctx.now().nanos(),
+            layer: Layer::Nic,
+            kind: TraceKind::PacketEnqueued,
+            node: self.core.node.0,
+            src: self.core.node.0,
+            dst: desc.dst.0,
+            generation: 0,
+            seq: 0,
+            aux: desc.len() as u64,
+        });
         self.core.pending.push_back(desc);
         self.pump(ctx);
     }
@@ -413,19 +512,32 @@ impl Nic {
         let data_ready = if desc.pio {
             t1
         } else {
-            let (_s, d) = core.host_dma.acquire_window(t1, core.timing.host_dma(len));
+            let (s, d) = core.host_dma.acquire_window(t1, core.timing.host_dma(len));
+            let pkt = core.pool.pkt(buf);
+            core.telemetry
+                .record(core.trace_pkt(s, TraceKind::DmaStart, pkt, len as u64));
+            core.telemetry
+                .record(core.trace_pkt(d, TraceKind::DmaEnd, pkt, len as u64));
             d
         };
         // FIFO service order (see `fifo_tx_ready`).
         let data_ready = data_ready.max(core.fifo_tx_ready);
         core.fifo_tx_ready = data_ready;
         let node = core.node;
-        ctx.sim.schedule(data_ready, ClusterEvent::Nic(node, NicEvent::TxData { buf }));
+        ctx.sim.schedule(
+            data_ready,
+            ClusterEvent::Nic(node, NicEvent::TxData { buf }),
+        );
         if desc.notify {
             let freed = if desc.pio { t1 } else { data_ready };
             ctx.sim.schedule(
                 freed,
-                ClusterEvent::Host(node, HostEvent::SendDone { msg_id: desc.msg_id }),
+                ClusterEvent::Host(
+                    node,
+                    HostEvent::SendDone {
+                        msg_id: desc.msg_id,
+                    },
+                ),
             );
         }
     }
@@ -445,7 +557,10 @@ impl Nic {
         self.core.rx_inflight += 1;
         let t1 = self.core.cpu.acquire(ctx.now(), self.core.timing.rx_proc);
         let node = self.core.node;
-        ctx.sim.schedule(t1, ClusterEvent::Nic(node, NicEvent::RxProcess { pkt: Box::new(pkt) }));
+        ctx.sim.schedule(
+            t1,
+            ClusterEvent::Nic(node, NicEvent::RxProcess { pkt: Box::new(pkt) }),
+        );
     }
 
     /// Dispatch a NIC event (called by the cluster loop).
@@ -454,10 +569,13 @@ impl Nic {
             NicEvent::TxData { buf } => {
                 // Payload is in SRAM: build the header, then hand to the
                 // firmware's transmit policy.
-                let hdr_done =
-                    self.core.cpu.acquire(ctx.now(), self.core.timing.send_hdr_build);
+                let hdr_done = self
+                    .core
+                    .cpu
+                    .acquire(ctx.now(), self.core.timing.send_hdr_build);
                 let node = self.core.node;
-                ctx.sim.schedule(hdr_done, ClusterEvent::Nic(node, NicEvent::TxReady { buf }));
+                ctx.sim
+                    .schedule(hdr_done, ClusterEvent::Nic(node, NicEvent::TxReady { buf }));
             }
             NicEvent::TxReady { buf } => {
                 self.fw.on_tx_ready(&mut self.core, ctx, buf);

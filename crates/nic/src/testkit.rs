@@ -79,14 +79,23 @@ pub struct StreamSender {
 impl StreamSender {
     /// Build a sender.
     pub fn new(dst: NodeId, bytes: u32, count: u64) -> Self {
-        Self { dst, bytes, count, sent: 0 }
+        Self {
+            dst,
+            bytes,
+            count,
+            sent: 0,
+        }
     }
 }
 
 impl HostAgent for StreamSender {
     fn on_start(&mut self, ctx: &mut HostCtx) {
         let timing = NicTiming::default();
-        let cost = if self.bytes <= 32 { timing.host_send_pio } else { timing.host_send_dma };
+        let cost = if self.bytes <= 32 {
+            timing.host_send_pio
+        } else {
+            timing.host_send_dma
+        };
         ctx.wake_in(cost, 0);
     }
     fn on_wake(&mut self, ctx: &mut HostCtx, _token: u64) {

@@ -116,10 +116,16 @@ mod tests {
             + t.host_notify.nanos()
             + t.host_recv_check.nanos();
         let us = total as f64 / 1000.0;
-        assert!((7.0..9.0).contains(&us), "no-FT 4-byte latency ≈ 8 µs, got {us:.2}");
+        assert!(
+            (7.0..9.0).contains(&us),
+            "no-FT 4-byte latency ≈ 8 µs, got {us:.2}"
+        );
         // And with fault tolerance: ≈ +2 µs (Figure 3).
         let ft = us + (t.ft_send_overhead.nanos() + t.ft_rx_overhead.nanos()) as f64 / 1000.0;
-        assert!((9.0..11.0).contains(&ft), "FT 4-byte latency ≈ 10 µs, got {ft:.2}");
+        assert!(
+            (9.0..11.0).contains(&ft),
+            "FT 4-byte latency ≈ 10 µs, got {ft:.2}"
+        );
     }
 
     #[test]
@@ -128,7 +134,10 @@ mod tests {
         // Per-4KB-packet PCI occupancy bounds throughput at ~118 MB/s.
         let per_pkt = t.host_dma(4096);
         let mbps = 4096.0 / per_pkt.as_secs_f64() / 1e6;
-        assert!((110.0..121.0).contains(&mbps), "PCI-bound plateau, got {mbps:.1} MB/s");
+        assert!(
+            (110.0..121.0).contains(&mbps),
+            "PCI-bound plateau, got {mbps:.1} MB/s"
+        );
     }
 
     #[test]

@@ -10,8 +10,7 @@ use bytes::Bytes;
 use san_fabric::topology;
 use san_fabric::{NodeId, Packet, PacketFlags};
 use san_nic::{
-    Cluster, ClusterConfig, HostAgent, HostCtx, IdleHost, NicTiming, SendDesc,
-    UnreliableFirmware,
+    Cluster, ClusterConfig, HostAgent, HostCtx, IdleHost, NicTiming, SendDesc, UnreliableFirmware,
 };
 use san_sim::Time;
 
@@ -45,7 +44,11 @@ fn make_desc(dst: NodeId, bytes: u32, msg_id: u64, posted_at: Time) -> SendDesc 
     flags.set(PacketFlags::LAST_SEG);
     SendDesc {
         dst,
-        payload: if bytes <= 64 { Bytes::from(vec![0xA5u8; bytes as usize]) } else { Bytes::new() },
+        payload: if bytes <= 64 {
+            Bytes::from(vec![0xA5u8; bytes as usize])
+        } else {
+            Bytes::new()
+        },
         logical_len: bytes,
         pio,
         notify: false,
@@ -62,7 +65,11 @@ impl HostAgent for Sender {
     fn on_start(&mut self, ctx: &mut HostCtx) {
         // Model host library overhead before the descriptor reaches the NIC.
         let timing = NicTiming::default();
-        let cost = if self.bytes <= 32 { timing.host_send_pio } else { timing.host_send_dma };
+        let cost = if self.bytes <= 32 {
+            timing.host_send_pio
+        } else {
+            timing.host_send_dma
+        };
         ctx.wake_in(cost, 0);
     }
     fn on_wake(&mut self, ctx: &mut HostCtx, _token: u64) {
@@ -86,25 +93,35 @@ impl HostAgent for Sender {
 fn two_node_cluster(sender: Sender) -> (Cluster, Inbox) {
     let (topo, _a, _b) = topology::pair_via_switch();
     let inbox: Inbox = Rc::new(RefCell::new(Vec::new()));
-    let hosts: Vec<Box<dyn HostAgent>> =
-        vec![Box::new(sender), Box::new(Collector(inbox.clone()))];
-    let mut cluster =
-        Cluster::new(topo, ClusterConfig::default(), |_| Box::new(UnreliableFirmware), hosts);
+    let hosts: Vec<Box<dyn HostAgent>> = vec![Box::new(sender), Box::new(Collector(inbox.clone()))];
+    let mut cluster = Cluster::new(
+        topo,
+        ClusterConfig::default(),
+        |_| Box::new(UnreliableFirmware),
+        hosts,
+    );
     cluster.install_shortest_routes();
     (cluster, inbox)
 }
 
 #[test]
 fn four_byte_one_way_latency_is_about_8us() {
-    let (mut cluster, inbox) =
-        two_node_cluster(Sender { dst: NodeId(1), bytes: 4, count: 1, sent: 0 });
+    let (mut cluster, inbox) = two_node_cluster(Sender {
+        dst: NodeId(1),
+        bytes: 4,
+        count: 1,
+        sent: 0,
+    });
     cluster.run_until_idle();
     let inbox = inbox.borrow();
     assert_eq!(inbox.len(), 1);
     let pkt = &inbox[0];
     let lat = pkt.stamps.host_seen.since(pkt.stamps.host_post);
     let us = lat.as_micros_f64();
-    assert!((7.0..9.0).contains(&us), "4-byte no-FT latency ≈ 8 µs, got {us:.2} µs");
+    assert!(
+        (7.0..9.0).contains(&us),
+        "4-byte no-FT latency ≈ 8 µs, got {us:.2} µs"
+    );
     // Stage ordering must be monotone.
     let s = &pkt.stamps;
     assert!(s.host_post <= s.nic_tx_start);
@@ -116,8 +133,12 @@ fn four_byte_one_way_latency_is_about_8us() {
 
 #[test]
 fn payload_bytes_arrive_intact() {
-    let (mut cluster, inbox) =
-        two_node_cluster(Sender { dst: NodeId(1), bytes: 32, count: 1, sent: 0 });
+    let (mut cluster, inbox) = two_node_cluster(Sender {
+        dst: NodeId(1),
+        bytes: 32,
+        count: 1,
+        sent: 0,
+    });
     cluster.run_until_idle();
     let inbox = inbox.borrow();
     assert_eq!(inbox[0].payload.as_ref(), &[0xA5u8; 32][..]);
@@ -127,8 +148,12 @@ fn payload_bytes_arrive_intact() {
 #[test]
 fn unidirectional_bandwidth_hits_pci_plateau() {
     let n = 256u64; // 1 MB total in 4 KB packets
-    let (mut cluster, inbox) =
-        two_node_cluster(Sender { dst: NodeId(1), bytes: 4096, count: n, sent: 0 });
+    let (mut cluster, inbox) = two_node_cluster(Sender {
+        dst: NodeId(1),
+        bytes: 4096,
+        count: n,
+        sent: 0,
+    });
     cluster.run_until_idle();
     let inbox = inbox.borrow();
     assert_eq!(inbox.len(), n as usize);
@@ -147,10 +172,18 @@ fn small_queue_still_makes_progress() {
     let (topo, _a, _b) = topology::pair_via_switch();
     let inbox: Inbox = Rc::new(RefCell::new(Vec::new()));
     let hosts: Vec<Box<dyn HostAgent>> = vec![
-        Box::new(Sender { dst: NodeId(1), bytes: 4096, count: 64, sent: 0 }),
+        Box::new(Sender {
+            dst: NodeId(1),
+            bytes: 4096,
+            count: 64,
+            sent: 0,
+        }),
         Box::new(Collector(inbox.clone())),
     ];
-    let cfg = ClusterConfig { send_bufs: 2, ..Default::default() };
+    let cfg = ClusterConfig {
+        send_bufs: 2,
+        ..Default::default()
+    };
     let mut cluster = Cluster::new(topo, cfg, |_| Box::new(UnreliableFirmware), hosts);
     cluster.install_shortest_routes();
     cluster.run_until_idle();
@@ -161,8 +194,12 @@ fn small_queue_still_makes_progress() {
 
 #[test]
 fn messages_arrive_in_posting_order() {
-    let (mut cluster, inbox) =
-        two_node_cluster(Sender { dst: NodeId(1), bytes: 512, count: 50, sent: 0 });
+    let (mut cluster, inbox) = two_node_cluster(Sender {
+        dst: NodeId(1),
+        bytes: 512,
+        count: 50,
+        sent: 0,
+    });
     cluster.run_until_idle();
     let ids: Vec<u64> = inbox.borrow().iter().map(|p| p.msg_id).collect();
     assert_eq!(ids, (0..50).collect::<Vec<_>>());
@@ -172,11 +209,20 @@ fn messages_arrive_in_posting_order() {
 fn no_route_descriptor_is_counted_not_wedged() {
     let (topo, _a, _b) = topology::pair_via_switch();
     let hosts: Vec<Box<dyn HostAgent>> = vec![
-        Box::new(Sender { dst: NodeId(1), bytes: 64, count: 3, sent: 0 }),
+        Box::new(Sender {
+            dst: NodeId(1),
+            bytes: 64,
+            count: 3,
+            sent: 0,
+        }),
         Box::new(IdleHost),
     ];
-    let mut cluster =
-        Cluster::new(topo, ClusterConfig::default(), |_| Box::new(UnreliableFirmware), hosts);
+    let mut cluster = Cluster::new(
+        topo,
+        ClusterConfig::default(),
+        |_| Box::new(UnreliableFirmware),
+        hosts,
+    );
     // No routes installed.
     cluster.run_until_idle();
     assert_eq!(cluster.nics[0].core.stats.unroutable.get(), 3);

@@ -68,7 +68,8 @@ impl<Q, R> ProcIo<Q, R> {
     /// Issue a blocking request and wait for its response.
     pub fn request(&mut self, q: Q) -> R {
         self.tx.send(Step::Request(q)).expect("scheduler gone");
-        self.wait().expect("request resumed without a response value")
+        self.wait()
+            .expect("request resumed without a response value")
     }
 
     fn wait(&mut self) -> Option<R> {
@@ -110,7 +111,11 @@ impl<Q: Send + 'static, R: Send + 'static> Coroutine<Q, R> {
                     Ok(Resume::Go { now, .. }) => now,
                     Ok(Resume::Kill) | Err(_) => return,
                 };
-                let mut io = ProcIo { tx: step_tx, rx: resume_rx, now };
+                let mut io = ProcIo {
+                    tx: step_tx,
+                    rx: resume_rx,
+                    now,
+                };
                 let tx = io.tx.clone();
                 let result = catch_unwind(AssertUnwindSafe(move || body(&mut io)));
                 match result {
@@ -124,7 +129,12 @@ impl<Q: Send + 'static, R: Send + 'static> Coroutine<Q, R> {
                 }
             })
             .expect("spawn coroutine thread");
-        Self { to_proc: resume_tx, from_proc: step_rx, thread: Some(thread), finished: false }
+        Self {
+            to_proc: resume_tx,
+            from_proc: step_rx,
+            thread: Some(thread),
+            finished: false,
+        }
     }
 
     /// Resume the coroutine at simulated time `now`, delivering `value` as
@@ -136,7 +146,9 @@ impl<Q: Send + 'static, R: Send + 'static> Coroutine<Q, R> {
     /// Panics if called after the coroutine finished.
     pub fn resume(&mut self, now: Time, value: Option<R>) -> Step<Q> {
         assert!(!self.finished, "resumed a finished coroutine");
-        self.to_proc.send(Resume::Go { now, value }).expect("coroutine thread died");
+        self.to_proc
+            .send(Resume::Go { now, value })
+            .expect("coroutine thread died");
         match self.from_proc.recv() {
             Ok(Step::Done) | Err(_) => {
                 self.finished = true;
@@ -174,7 +186,10 @@ mod tests {
             io.compute(Duration::from_micros(5));
             io.compute(Duration::from_micros(7));
         });
-        assert_eq!(co.resume(Time::ZERO, None), Step::Compute(Duration::from_micros(5)));
+        assert_eq!(
+            co.resume(Time::ZERO, None),
+            Step::Compute(Duration::from_micros(5))
+        );
         assert_eq!(
             co.resume(Time::from_micros(5), None),
             Step::Compute(Duration::from_micros(7))
@@ -249,8 +264,7 @@ mod tests {
             })
             .collect();
         let mut t = Time::ZERO;
-        let mut pending: Vec<Step<u32>> =
-            cos.iter_mut().map(|co| co.resume(t, None)).collect();
+        let mut pending: Vec<Step<u32>> = cos.iter_mut().map(|co| co.resume(t, None)).collect();
         let mut safety = 0;
         while !cos.iter().all(|c| c.finished()) {
             safety += 1;
@@ -259,7 +273,7 @@ mod tests {
                 if co.finished() {
                     continue;
                 }
-                t = t + Duration::from_nanos(10);
+                t += Duration::from_nanos(10);
                 pending[i] = match &pending[i] {
                     Step::Request(q) => co.resume(t, Some(q + 1)),
                     Step::Compute(d) => {

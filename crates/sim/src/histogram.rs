@@ -149,7 +149,19 @@ mod tests {
 
     #[test]
     fn index_value_inverse() {
-        for ns in [0u64, 1, 5, 15, 16, 17, 100, 1000, 65_535, 1 << 20, u64::MAX >> 2] {
+        for ns in [
+            0u64,
+            1,
+            5,
+            15,
+            16,
+            17,
+            100,
+            1000,
+            65_535,
+            1 << 20,
+            u64::MAX >> 2,
+        ] {
             let idx = Histogram::index_of(ns);
             let lo = Histogram::value_of(idx);
             let hi = Histogram::value_of(idx + 1);

@@ -32,7 +32,7 @@ pub use histogram::Histogram;
 pub use queue::EventQueue;
 pub use resource::Resource;
 pub use rng::SimRng;
-pub use stats::{Counter, Summary};
+pub use stats::{Counter, Gauge, Summary};
 pub use time::{Duration, Time, MICROS, MILLIS, NANOS, SECS};
 
 /// A simulation: virtual clock, pending event queue and seeded RNG.
@@ -51,7 +51,11 @@ pub struct Sim<E> {
 impl<E> Sim<E> {
     /// Create a simulation starting at time zero with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Self { now: Time::ZERO, queue: EventQueue::new(), rng: SimRng::seed_from(seed) }
+        Self {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from(seed),
+        }
     }
 
     /// The current virtual time.
@@ -66,7 +70,11 @@ impl<E> Sim<E> {
     /// Panics if `at` is in the past — causality violations are always bugs.
     #[inline]
     pub fn schedule(&mut self, at: Time, ev: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at, ev);
     }
 

@@ -43,7 +43,10 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::with_capacity(1024), seq: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+        }
     }
 
     /// Insert an event at absolute time `at`.
@@ -51,7 +54,10 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Time, ev: E) {
         let s = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { key: Reverse((at, s)), ev });
+        self.heap.push(Entry {
+            key: Reverse((at, s)),
+            ev,
+        });
     }
 
     /// Remove and return the earliest event (FIFO among ties).

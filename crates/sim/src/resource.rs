@@ -21,7 +21,12 @@ pub struct Resource {
 impl Resource {
     /// A new, idle resource. The name appears in diagnostics only.
     pub fn new(name: &'static str) -> Self {
-        Self { name, free_at: Time::ZERO, busy_total: Duration::ZERO, ops: 0 }
+        Self {
+            name,
+            free_at: Time::ZERO,
+            busy_total: Duration::ZERO,
+            ops: 0,
+        }
     }
 
     /// Reserve the unit at `now` for `cost`; returns the completion instant.
@@ -114,7 +119,11 @@ mod tests {
         let mut r = Resource::new("dma");
         r.acquire(Time::from_nanos(0), Duration::from_nanos(100));
         let done = r.acquire(Time::from_nanos(10), Duration::from_nanos(30));
-        assert_eq!(done, Time::from_nanos(130), "second op must wait for the first");
+        assert_eq!(
+            done,
+            Time::from_nanos(130),
+            "second op must wait for the first"
+        );
     }
 
     #[test]

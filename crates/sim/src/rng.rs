@@ -18,7 +18,9 @@ pub struct SimRng {
 impl SimRng {
     /// Seed from a single `u64`. Identical seeds give identical streams.
     pub fn seed_from(seed: u64) -> Self {
-        Self { inner: SmallRng::seed_from_u64(seed) }
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream; used to give each injected fault

@@ -40,6 +40,42 @@ impl fmt::Display for Counter {
     }
 }
 
+/// A signed level indicator (queue depth, in-flight window, credits).
+///
+/// Unlike [`Counter`] a gauge can move both ways; `set` pins it to an
+/// absolute level while `add`/`sub` track deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge(pub i64);
+
+impl Gauge {
+    /// Pin to an absolute level.
+    #[inline]
+    pub fn set(&mut self, v: i64) {
+        self.0 = v;
+    }
+    /// Move up by `n`.
+    #[inline]
+    pub fn add(&mut self, n: i64) {
+        self.0 += n;
+    }
+    /// Move down by `n`.
+    #[inline]
+    pub fn sub(&mut self, n: i64) {
+        self.0 -= n;
+    }
+    /// Current level.
+    #[inline]
+    pub fn get(self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// Streaming summary of a sample stream (count, sum, min, max, variance).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Summary {
@@ -53,7 +89,13 @@ pub struct Summary {
 impl Summary {
     /// Empty summary.
     pub fn new() -> Self {
-        Self { n: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one sample.
@@ -147,6 +189,17 @@ impl fmt::Display for Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let mut g = Gauge::default();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+        assert_eq!(format!("{g}"), "-2");
+    }
 
     #[test]
     fn counter_basics() {

@@ -142,7 +142,11 @@ impl SvmMsg {
                 b.put_u32_le(*lock);
                 b.put_u32_le(*pid);
             }
-            SvmMsg::LockGrant { lock, pid, invalidate } => {
+            SvmMsg::LockGrant {
+                lock,
+                pid,
+                invalidate,
+            } => {
                 b.put_u8(T_LOCK_GRANT);
                 b.put_u32_le(*lock);
                 b.put_u32_le(*pid);
@@ -153,13 +157,20 @@ impl SvmMsg {
                 b.put_u32_le(*lock);
                 put_list(&mut b, dirty);
             }
-            SvmMsg::BarrierArrive { episode, pid, dirty } => {
+            SvmMsg::BarrierArrive {
+                episode,
+                pid,
+                dirty,
+            } => {
                 b.put_u8(T_BAR_ARRIVE);
                 b.put_u32_le(*episode);
                 b.put_u32_le(*pid);
                 put_list(&mut b, dirty);
             }
-            SvmMsg::BarrierRelease { episode, invalidate } => {
+            SvmMsg::BarrierRelease {
+                episode,
+                invalidate,
+            } => {
                 b.put_u8(T_BAR_RELEASE);
                 b.put_u32_le(*episode);
                 put_list(&mut b, invalidate);
@@ -173,13 +184,25 @@ impl SvmMsg {
         let tag = *buf.first()?;
         let mut at = 1usize;
         let msg = match tag {
-            T_PAGE_REQ => SvmMsg::PageReq { page: get_u32(buf, &mut at)?, pid: get_u32(buf, &mut at)? },
-            T_PAGE_REPLY => {
-                SvmMsg::PageReply { page: get_u32(buf, &mut at)?, pid: get_u32(buf, &mut at)? }
-            }
-            T_FLUSH => SvmMsg::Flush { page: get_u32(buf, &mut at)?, token: get_u32(buf, &mut at)? },
-            T_FLUSH_ACK => SvmMsg::FlushAck { token: get_u32(buf, &mut at)? },
-            T_LOCK_REQ => SvmMsg::LockReq { lock: get_u32(buf, &mut at)?, pid: get_u32(buf, &mut at)? },
+            T_PAGE_REQ => SvmMsg::PageReq {
+                page: get_u32(buf, &mut at)?,
+                pid: get_u32(buf, &mut at)?,
+            },
+            T_PAGE_REPLY => SvmMsg::PageReply {
+                page: get_u32(buf, &mut at)?,
+                pid: get_u32(buf, &mut at)?,
+            },
+            T_FLUSH => SvmMsg::Flush {
+                page: get_u32(buf, &mut at)?,
+                token: get_u32(buf, &mut at)?,
+            },
+            T_FLUSH_ACK => SvmMsg::FlushAck {
+                token: get_u32(buf, &mut at)?,
+            },
+            T_LOCK_REQ => SvmMsg::LockReq {
+                lock: get_u32(buf, &mut at)?,
+                pid: get_u32(buf, &mut at)?,
+            },
             T_LOCK_GRANT => SvmMsg::LockGrant {
                 lock: get_u32(buf, &mut at)?,
                 pid: get_u32(buf, &mut at)?,
@@ -230,10 +253,24 @@ mod tests {
         roundtrip(SvmMsg::Flush { page: 7, token: 99 });
         roundtrip(SvmMsg::FlushAck { token: 99 });
         roundtrip(SvmMsg::LockReq { lock: 1, pid: 6 });
-        roundtrip(SvmMsg::LockGrant { lock: 1, pid: 6, invalidate: vec![1, 2, 3] });
-        roundtrip(SvmMsg::LockRelease { lock: 1, dirty: vec![] });
-        roundtrip(SvmMsg::BarrierArrive { episode: 5, pid: 0, dirty: vec![9, 10] });
-        roundtrip(SvmMsg::BarrierRelease { episode: 5, invalidate: (0..100).collect() });
+        roundtrip(SvmMsg::LockGrant {
+            lock: 1,
+            pid: 6,
+            invalidate: vec![1, 2, 3],
+        });
+        roundtrip(SvmMsg::LockRelease {
+            lock: 1,
+            dirty: vec![],
+        });
+        roundtrip(SvmMsg::BarrierArrive {
+            episode: 5,
+            pid: 0,
+            dirty: vec![9, 10],
+        });
+        roundtrip(SvmMsg::BarrierRelease {
+            episode: 5,
+            invalidate: (0..100).collect(),
+        });
     }
 
     #[test]

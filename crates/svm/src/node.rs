@@ -102,6 +102,32 @@ pub struct SvmShared {
     pub finish_times: BTreeMap<u32, Time>,
 }
 
+/// Registered `svm.node.<n>.*` cells: stall distributions per park kind
+/// and completed-wait counts (Figure 9's buckets, observable live).
+#[derive(Debug)]
+struct SvmMetrics {
+    lock_wait: san_telemetry::HistogramHandle,
+    data_wait: san_telemetry::HistogramHandle,
+    barrier_wait: san_telemetry::HistogramHandle,
+    lock_acquires: san_telemetry::Counter,
+    page_fetches: san_telemetry::Counter,
+    barriers: san_telemetry::Counter,
+}
+
+impl SvmMetrics {
+    fn register(tel: &san_telemetry::Telemetry, node: NodeId) -> Self {
+        let m = |leaf: &str| format!("svm.node.{}.{leaf}", node.0);
+        Self {
+            lock_wait: tel.histogram(&m("lock_wait_ns")),
+            data_wait: tel.histogram(&m("data_wait_ns")),
+            barrier_wait: tel.histogram(&m("barrier_wait_ns")),
+            lock_acquires: tel.counter(&m("lock_acquires")),
+            page_fetches: tel.counter(&m("page_fetches")),
+            barriers: tel.counter(&m("barriers")),
+        }
+    }
+}
+
 /// The SVM host agent for one node.
 pub struct SvmNode {
     node: NodeId,
@@ -110,6 +136,7 @@ pub struct SvmNode {
     total_procs: usize,
     n_pages: u32,
     vmmc: VmmcLib,
+    metrics: SvmMetrics,
     ctrl: ExportId,
     procs: Vec<ProcSlot>,
     valid: BTreeSet<u32>,
@@ -132,8 +159,9 @@ impl SvmNode {
         n_nodes: usize,
         procs_per_node: usize,
         n_pages: u32,
-        bodies: Vec<Box<dyn FnOnce(&mut crate::SvmIo) + Send>>,
+        bodies: Vec<crate::ProcBody>,
         shared: Rc<RefCell<SvmShared>>,
+        telemetry: &san_telemetry::Telemetry,
     ) -> Self {
         assert_eq!(bodies.len(), procs_per_node);
         let procs = bodies
@@ -151,15 +179,17 @@ impl SvmNode {
             })
             .collect();
         // Pages homed on this node start valid here.
-        let valid: BTreeSet<u32> =
-            (0..n_pages).filter(|p| p % n_nodes as u32 == node.0 as u32).collect();
+        let valid: BTreeSet<u32> = (0..n_pages)
+            .filter(|p| p % n_nodes as u32 == node.0 as u32)
+            .collect();
         Self {
             node,
             n_nodes,
             procs_per_node,
             total_procs: n_nodes * procs_per_node,
             n_pages,
-            vmmc: VmmcLib::new(node),
+            vmmc: VmmcLib::with_telemetry(node, telemetry),
+            metrics: SvmMetrics::register(telemetry, node),
             ctrl: ExportId(0),
             procs,
             valid,
@@ -192,8 +222,7 @@ impl SvmNode {
     #[inline]
     fn local_of(&self, pid: u32) -> Option<usize> {
         let base = self.node.0 as u32 * self.procs_per_node as u32;
-        (pid >= base && pid < base + self.procs_per_node as u32)
-            .then_some((pid - base) as usize)
+        (pid >= base && pid < base + self.procs_per_node as u32).then_some((pid - base) as usize)
     }
 
     fn import_of(&self, dst: NodeId) -> ImportHandle {
@@ -224,9 +253,21 @@ impl SvmNode {
             let b = &mut self.procs[local].buckets;
             match kind {
                 Park::Compute => b.compute += d,
-                Park::Data => b.data += d,
-                Park::Lock => b.lock += d,
-                Park::Barrier => b.barrier += d,
+                Park::Data => {
+                    b.data += d;
+                    self.metrics.data_wait.record(d);
+                    self.metrics.page_fetches.hit();
+                }
+                Park::Lock => {
+                    b.lock += d;
+                    self.metrics.lock_wait.record(d);
+                    self.metrics.lock_acquires.hit();
+                }
+                Park::Barrier => {
+                    b.barrier += d;
+                    self.metrics.barrier_wait.record(d);
+                    self.metrics.barriers.hit();
+                }
             }
         }
         self.procs[local].state = ProcState::Running;
@@ -253,8 +294,10 @@ impl SvmNode {
                     // Compute time is credited up front; `since` is set to
                     // the wake time so the unpark bucket adds nothing more.
                     self.procs[local].buckets.compute += d;
-                    self.procs[local].state =
-                        ProcState::Parked { kind: Park::Compute, since: ctx.now() + d };
+                    self.procs[local].state = ProcState::Parked {
+                        kind: Park::Compute,
+                        since: ctx.now() + d,
+                    };
                     ctx.wake_in(d, local as u64);
                     return;
                 }
@@ -338,8 +381,11 @@ impl SvmNode {
     /// proc's `after_flush` action. Locally-homed pages cost nothing (the
     /// home copy *is* this copy).
     fn start_flush(&mut self, ctx: &mut HostCtx, local: usize, pages: &[u32]) {
-        let remote: Vec<u32> =
-            pages.iter().copied().filter(|&p| self.page_home(p) != self.node).collect();
+        let remote: Vec<u32> = pages
+            .iter()
+            .copied()
+            .filter(|&p| self.page_home(p) != self.node)
+            .collect();
         self.procs[local].outstanding_flush = remote.len() as u32;
         if remote.is_empty() {
             self.flush_done(ctx, local);
@@ -354,12 +400,22 @@ impl SvmNode {
     }
 
     fn flush_done(&mut self, ctx: &mut HostCtx, local: usize) {
-        let after = self.procs[local].after_flush.take().expect("flush without continuation");
+        let after = self.procs[local]
+            .after_flush
+            .take()
+            .expect("flush without continuation");
         let notices = std::mem::take(&mut self.procs[local].flush_notices);
         match after {
             AfterFlush::Release(l) => {
                 let home = self.lock_home_node(l);
-                self.send_msg(ctx, home, SvmMsg::LockRelease { lock: l, dirty: notices });
+                self.send_msg(
+                    ctx,
+                    home,
+                    SvmMsg::LockRelease {
+                        lock: l,
+                        dirty: notices,
+                    },
+                );
                 // Release is asynchronous: the releaser proceeds now.
                 self.drive(ctx, local, Some(SvmResp));
             }
@@ -370,7 +426,11 @@ impl SvmNode {
                 self.send_msg(
                     ctx,
                     NodeId(0),
-                    SvmMsg::BarrierArrive { episode, pid, dirty: notices },
+                    SvmMsg::BarrierArrive {
+                        episode,
+                        pid,
+                        dirty: notices,
+                    },
                 );
             }
         }
@@ -397,7 +457,9 @@ impl SvmNode {
                 self.send_msg(ctx, src, SvmMsg::FlushAck { token });
             }
             SvmMsg::FlushAck { token } => {
-                let Some(local) = self.flush_tokens.remove(&token) else { return };
+                let Some(local) = self.flush_tokens.remove(&token) else {
+                    return;
+                };
                 let p = &mut self.procs[local];
                 p.outstanding_flush = p.outstanding_flush.saturating_sub(1);
                 if p.outstanding_flush == 0 {
@@ -420,7 +482,9 @@ impl SvmNode {
                     self.grant_lock(ctx, lock, pid);
                 }
             }
-            SvmMsg::LockGrant { pid, invalidate, .. } => {
+            SvmMsg::LockGrant {
+                pid, invalidate, ..
+            } => {
                 for p in invalidate {
                     if self.page_home(p) != self.node {
                         self.valid.remove(&p);
@@ -450,12 +514,20 @@ impl SvmNode {
                     self.grant_lock(ctx, lock, pid);
                 }
             }
-            SvmMsg::BarrierArrive { episode, pid, dirty } => {
+            SvmMsg::BarrierArrive {
+                episode,
+                pid,
+                dirty,
+            } => {
                 debug_assert_eq!(self.node, NodeId(0), "barrier manager is node 0");
                 debug_assert_eq!(episode, self.barrier_mgr.episode, "episode skew");
                 let owner_node = (pid as usize / self.procs_per_node) as u16;
                 self.barrier_mgr.arrived.push(pid);
-                self.barrier_mgr.notices.entry(owner_node).or_default().extend(dirty);
+                self.barrier_mgr
+                    .notices
+                    .entry(owner_node)
+                    .or_default()
+                    .extend(dirty);
                 if self.barrier_mgr.arrived.len() == self.total_procs {
                     let mgr = std::mem::take(&mut self.barrier_mgr);
                     self.barrier_mgr.episode = mgr.episode + 1;
@@ -471,7 +543,10 @@ impl SvmNode {
                         self.send_msg(
                             ctx,
                             NodeId(n),
-                            SvmMsg::BarrierRelease { episode: mgr.episode, invalidate: inval },
+                            SvmMsg::BarrierRelease {
+                                episode: mgr.episode,
+                                invalidate: inval,
+                            },
                         );
                     }
                 }
@@ -500,8 +575,20 @@ impl SvmNode {
         };
         let dst = NodeId((pid as usize / self.procs_per_node) as u16);
         // Don't tell a node to invalidate its own writes.
-        let invalidate = if releaser == Some(dst.0) { Vec::new() } else { notices };
-        self.send_msg(ctx, dst, SvmMsg::LockGrant { lock, pid, invalidate });
+        let invalidate = if releaser == Some(dst.0) {
+            Vec::new()
+        } else {
+            notices
+        };
+        self.send_msg(
+            ctx,
+            dst,
+            SvmMsg::LockGrant {
+                lock,
+                pid,
+                invalidate,
+            },
+        );
     }
 
     /// Access to VMMC statistics (for reports).
@@ -525,7 +612,9 @@ impl HostAgent for SvmNode {
     }
 
     fn on_message(&mut self, ctx: &mut HostCtx, pkt: Packet) {
-        let Some(dm) = self.vmmc.on_packet(&pkt) else { return };
+        let Some(dm) = self.vmmc.on_packet(&pkt) else {
+            return;
+        };
         let take = dm.len.min(CTRL_SLOT);
         let bytes: Vec<u8> = self.vmmc.read_export(dm.export, dm.offset, take).to_vec();
         let Some(msg) = SvmMsg::decode(&bytes) else {

@@ -115,6 +115,7 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
     let shared = Rc::new(RefCell::new(SvmShared::default()));
 
     let mut bodies: Vec<Option<ProcBody>> = bodies.into_iter().map(Some).collect();
+    let telemetry = cfg.cluster.telemetry.clone();
     let hosts: Vec<Box<dyn HostAgent>> = (0..cfg.nodes)
         .map(|n| {
             let node_bodies: Vec<ProcBody> = (0..cfg.procs_per_node)
@@ -127,16 +128,26 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
                 cfg.pages,
                 node_bodies,
                 shared.clone(),
+                &telemetry,
             )) as Box<dyn HostAgent>
         })
         .collect();
 
     let proto = cfg.proto.clone();
     let nodes = cfg.nodes;
-    let mut cluster = Cluster::new(topo, cfg.cluster, |_| match &proto {
-        Some(p) => Box::new(ReliableFirmware::new(p.clone(), MapperConfig::default(), nodes)),
-        None => Box::new(UnreliableFirmware),
-    }, hosts);
+    let mut cluster = Cluster::new(
+        topo,
+        cfg.cluster,
+        |_| match &proto {
+            Some(p) => Box::new(ReliableFirmware::new(
+                p.clone(),
+                MapperConfig::default(),
+                nodes,
+            )),
+            None => Box::new(UnreliableFirmware),
+        },
+        hosts,
+    );
     cluster.install_shortest_routes();
 
     // Run in slices until every process finished (the periodic retransmission
@@ -156,7 +167,7 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
             // possible with the unreliable firmware after a loss).
             break false;
         }
-        t = t + slice;
+        t += slice;
     };
 
     let sh = shared.borrow();
@@ -167,12 +178,32 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
         .max()
         .unwrap_or(Time::ZERO)
         .since(Time::ZERO);
-    let breakdowns: Vec<TimeBreakdown> =
-        (0..total as u32).map(|pid| sh.breakdowns.get(&pid).copied().unwrap_or_default()).collect();
-    let retransmits = cluster.nics.iter().map(|n| n.core.stats.retransmits.get()).sum();
-    let injected_drops = cluster.nics.iter().map(|n| n.core.stats.injected_drops.get()).sum();
-    let packets_tx = cluster.nics.iter().map(|n| n.core.stats.packets_tx.get()).sum();
-    SvmReport { breakdowns, wall, completed, retransmits, injected_drops, packets_tx }
+    let breakdowns: Vec<TimeBreakdown> = (0..total as u32)
+        .map(|pid| sh.breakdowns.get(&pid).copied().unwrap_or_default())
+        .collect();
+    let retransmits = cluster
+        .nics
+        .iter()
+        .map(|n| n.core.stats.retransmits.get())
+        .sum();
+    let injected_drops = cluster
+        .nics
+        .iter()
+        .map(|n| n.core.stats.injected_drops.get())
+        .sum();
+    let packets_tx = cluster
+        .nics
+        .iter()
+        .map(|n| n.core.stats.packets_tx.get())
+        .sum();
+    SvmReport {
+        breakdowns,
+        wall,
+        completed,
+        retransmits,
+        injected_drops,
+        packets_tx,
+    }
 }
 
 #[cfg(test)]
@@ -207,9 +238,16 @@ mod tests {
             .collect();
         let report = run_svm(SvmConfig::default(), bodies);
         assert!(report.completed, "all processes must finish");
-        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 80, "mutual exclusion");
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            80,
+            "mutual exclusion"
+        );
         let agg = report.aggregate();
-        assert!(agg.lock > Duration::ZERO, "lock contention must show up in the lock bucket");
+        assert!(
+            agg.lock > Duration::ZERO,
+            "lock contention must show up in the lock bucket"
+        );
         assert!(agg.compute >= Duration::from_micros(2 * 80));
     }
 
@@ -283,11 +321,15 @@ mod tests {
         let report = run_svm(SvmConfig::default(), bodies);
         assert!(report.completed);
         // Readers on nodes 1..3 must have paid data time; the writer none.
-        assert_eq!(report.breakdowns[0].data, Duration::ZERO, "writer never fetches");
-        let reader_data: Duration = report.breakdowns[2..].iter().map(|b| b.data).fold(
+        assert_eq!(
+            report.breakdowns[0].data,
             Duration::ZERO,
-            |a, d| a + d,
+            "writer never fetches"
         );
+        let reader_data: Duration = report.breakdowns[2..]
+            .iter()
+            .map(|b| b.data)
+            .fold(Duration::ZERO, |a, d| a + d);
         assert!(reader_data > Duration::ZERO, "remote readers fetch pages");
     }
 
@@ -321,7 +363,11 @@ mod tests {
                 ..SvmConfig::default()
             };
             let report = run_svm(cfg, bodies);
-            (report.completed, counter.load(Ordering::Relaxed), report.wall)
+            (
+                report.completed,
+                counter.load(Ordering::Relaxed),
+                report.wall,
+            )
         };
         let (ok0, count0, wall0) = run(0.0);
         let (ok1, count1, wall1) = run(1.0 / 50.0);
@@ -378,7 +424,11 @@ mod fairness_tests {
                 let (s0, s1) = (span0.clone(), span1.clone());
                 Box::new(move |io: &mut crate::SvmIo| {
                     let mut svm = Svm::new(io);
-                    let (lock, span) = if pid % 2 == 0 { (10u32, s0) } else { (11u32, s1) };
+                    let (lock, span) = if pid % 2 == 0 {
+                        (10u32, s0)
+                    } else {
+                        (11u32, s1)
+                    };
                     for _ in 0..5 {
                         svm.acquire(lock);
                         let t0 = svm.now().nanos();
@@ -396,10 +446,14 @@ mod fairness_tests {
         // The two lock groups each spent 4 procs × 5 × 50 µs = 1 ms of
         // critical-section time. If they serialized against each other the
         // spans would not overlap; concurrent groups must overlap heavily.
-        let (a0, a1) = (span0.0.load(std::sync::atomic::Ordering::Relaxed),
-                        span0.1.load(std::sync::atomic::Ordering::Relaxed));
-        let (b0, b1) = (span1.0.load(std::sync::atomic::Ordering::Relaxed),
-                        span1.1.load(std::sync::atomic::Ordering::Relaxed));
+        let (a0, a1) = (
+            span0.0.load(std::sync::atomic::Ordering::Relaxed),
+            span0.1.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        let (b0, b1) = (
+            span1.0.load(std::sync::atomic::Ordering::Relaxed),
+            span1.1.load(std::sync::atomic::Ordering::Relaxed),
+        );
         let overlap = a1.min(b1).saturating_sub(a0.max(b0));
         assert!(
             overlap > 500_000,

@@ -24,7 +24,8 @@ use bytes::Bytes;
 use san_fabric::{NodeId, Packet, PacketFlags, PacketKind};
 use san_nic::vmmc_consts::{PIO_LIMIT, SEGMENT_BYTES};
 use san_nic::{HostCtx, SendDesc};
-use san_sim::{Counter, Time};
+use san_sim::Time;
+use san_telemetry::{Counter, Telemetry};
 
 /// Identifier of an exported buffer on its owning host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -83,6 +84,21 @@ pub struct VmmcStats {
     pub dup_msgs: Counter,
 }
 
+impl VmmcStats {
+    /// Stats whose cells are registered in `tel` under
+    /// `vmmc.node.<n>.*`.
+    pub fn registered(tel: &Telemetry, node: NodeId) -> Self {
+        let v = |leaf: &str| tel.counter(&format!("vmmc.node.{}.{leaf}", node.0));
+        Self {
+            msgs_sent: v("msgs_sent"),
+            segments_sent: v("segments_sent"),
+            msgs_received: v("msgs_received"),
+            protection_drops: v("protection_drops"),
+            dup_msgs: v("dup_msgs"),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Assembly {
     len: u32,
@@ -108,15 +124,21 @@ pub struct VmmcLib {
 }
 
 impl VmmcLib {
-    /// Library for one host.
+    /// Library for one host, with private (unexported) statistics.
     pub fn new(node: NodeId) -> Self {
+        Self::with_telemetry(node, &Telemetry::new())
+    }
+
+    /// Library whose stats counters are registered in `tel` under
+    /// `vmmc.node.<n>.*`.
+    pub fn with_telemetry(node: NodeId, tel: &Telemetry) -> Self {
         Self {
             node,
             exports: Vec::new(),
             next_msg_id: 0,
             assembling: HashMap::new(),
             completed_upto: HashMap::new(),
-            stats: VmmcStats::default(),
+            stats: VmmcStats::registered(tel, node),
         }
     }
 
@@ -128,7 +150,11 @@ impl VmmcLib {
     /// Export a receive region of `size` bytes. `allow` restricts which
     /// hosts may deposit into it (`None` = unrestricted).
     pub fn export(&mut self, size: u32, allow: Option<Vec<NodeId>>) -> ExportId {
-        self.exports.push(ExportBuf { size, data: vec![0; size as usize], allow });
+        self.exports.push(ExportBuf {
+            size,
+            data: vec![0; size as usize],
+            allow,
+        });
         ExportId(self.exports.len() as u32 - 1)
     }
 
@@ -136,7 +162,11 @@ impl VmmcLib {
     /// a connection daemon; permission is re-checked on every deposit, so
     /// the simulation performs the binding locally.
     pub fn import(remote: NodeId, export: ExportId, size: u32) -> ImportHandle {
-        ImportHandle { remote, export, size }
+        ImportHandle {
+            remote,
+            export,
+            size,
+        }
     }
 
     /// Read back bytes from an export buffer (what the process sees).
@@ -160,7 +190,13 @@ impl VmmcLib {
 
     /// Send `len` logical bytes (no real payload materialized) — used by
     /// bulk benchmarks where only timing matters.
-    pub fn send_logical(&mut self, ctx: &mut HostCtx, to: ImportHandle, offset: u32, len: u32) -> u64 {
+    pub fn send_logical(
+        &mut self,
+        ctx: &mut HostCtx,
+        to: ImportHandle,
+        offset: u32,
+        len: u32,
+    ) -> u64 {
         assert!(offset + len <= to.size, "send overruns the imported buffer");
         self.send_inner(ctx, to, offset, len, None)
     }
@@ -178,7 +214,10 @@ impl VmmcLib {
         pad: u32,
     ) -> u64 {
         let total = header.len() as u32 + pad;
-        assert!(offset + total <= to.size, "send overruns the imported buffer");
+        assert!(
+            offset + total <= to.size,
+            "send overruns the imported buffer"
+        );
         self.send_inner(ctx, to, offset, total, Some(header))
     }
 
@@ -295,7 +334,11 @@ impl VmmcLib {
             return None; // segment-level duplicate within an incomplete message
         }
         a.seen_offsets.push(pkt.msg_offset);
-        let need = if a.len == 0 { 1 } else { a.len.div_ceil(SEGMENT_BYTES) };
+        let need = if a.len == 0 {
+            1
+        } else {
+            a.len.div_ceil(SEGMENT_BYTES)
+        };
         if (a.seen_offsets.len() as u32) < need {
             return None;
         }
@@ -353,8 +396,12 @@ mod tests {
         let e = lib.export(16384, None);
         let msg_len = 4096 * 2 + 1000;
         assert!(lib.on_packet(&seg(1, 7, 0, 4096, msg_len, e.0)).is_none());
-        assert!(lib.on_packet(&seg(1, 7, 4096, 4096, msg_len, e.0)).is_none());
-        let done = lib.on_packet(&seg(1, 7, 8192, 1000, msg_len, e.0)).expect("complete");
+        assert!(lib
+            .on_packet(&seg(1, 7, 4096, 4096, msg_len, e.0))
+            .is_none());
+        let done = lib
+            .on_packet(&seg(1, 7, 8192, 1000, msg_len, e.0))
+            .expect("complete");
         assert_eq!(done.len, msg_len);
         assert_eq!(done.msg_id, 7);
         assert_eq!(lib.stats.msgs_received.get(), 1);
@@ -382,7 +429,10 @@ mod tests {
         let mut lib = VmmcLib::new(NodeId(0));
         let e = lib.export(64, None);
         assert!(lib.on_packet(&seg(1, 0, 0, 8, 8, e.0)).is_some());
-        assert!(lib.on_packet(&seg(1, 0, 0, 8, 8, e.0)).is_none(), "dup swallowed");
+        assert!(
+            lib.on_packet(&seg(1, 0, 0, 8, 8, e.0)).is_none(),
+            "dup swallowed"
+        );
         assert_eq!(lib.stats.dup_msgs.get(), 1);
         // A later message still goes through.
         assert!(lib.on_packet(&seg(1, 1, 0, 8, 8, e.0)).is_some());
@@ -394,9 +444,15 @@ mod tests {
         let e = lib.export(16384, None);
         let msg_len = 8192;
         assert!(lib.on_packet(&seg(1, 3, 0, 4096, msg_len, e.0)).is_none());
-        assert!(lib.on_packet(&seg(1, 3, 0, 4096, msg_len, e.0)).is_none(), "same segment twice");
+        assert!(
+            lib.on_packet(&seg(1, 3, 0, 4096, msg_len, e.0)).is_none(),
+            "same segment twice"
+        );
         let done = lib.on_packet(&seg(1, 3, 4096, 4096, msg_len, e.0));
-        assert!(done.is_some(), "completes exactly when all distinct segments arrived");
+        assert!(
+            done.is_some(),
+            "completes exactly when all distinct segments arrived"
+        );
     }
 
     #[test]

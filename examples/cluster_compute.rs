@@ -30,11 +30,22 @@ fn svm_with(err: f64) -> SvmConfig {
 fn main() {
     for (label, err) in [("error-free", 0.0), ("err 1e-3", 1e-3)] {
         println!("--- {label} ---");
-        let fft = run_fft(FftConfig { svm: svm_with(err), ..FftConfig::small() });
-        breakdown("FFT", &fft.report.aggregate(), fft.report.wall.as_millis_f64(), fft.valid);
+        let fft = run_fft(FftConfig {
+            svm: svm_with(err),
+            ..FftConfig::small()
+        });
+        breakdown(
+            "FFT",
+            &fft.report.aggregate(),
+            fft.report.wall.as_millis_f64(),
+            fft.valid,
+        );
         assert!(fft.valid, "FFT output must match the sequential reference");
 
-        let radix = run_radix(RadixConfig { svm: svm_with(err), ..RadixConfig::small() });
+        let radix = run_radix(RadixConfig {
+            svm: svm_with(err),
+            ..RadixConfig::small()
+        });
         breakdown(
             "RadixLocal",
             &radix.report.aggregate(),
@@ -43,7 +54,10 @@ fn main() {
         );
         assert!(radix.valid, "radix output must be sorted");
 
-        let water = run_water(WaterConfig { svm: svm_with(err), ..WaterConfig::small() });
+        let water = run_water(WaterConfig {
+            svm: svm_with(err),
+            ..WaterConfig::small()
+        });
         breakdown(
             "Water",
             &water.report.aggregate(),

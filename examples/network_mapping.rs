@@ -24,7 +24,12 @@ impl HostAgent for MultiSender {
     }
     fn on_wake(&mut self, ctx: &mut HostCtx, _token: u64) {
         if self.sent < self.targets.len() {
-            ctx.post_send(make_desc(self.targets[self.sent], 64, self.sent as u64, ctx.now()));
+            ctx.post_send(make_desc(
+                self.targets[self.sent],
+                64,
+                self.sent as u64,
+                ctx.now(),
+            ));
             self.sent += 1;
             // Wait generously between targets so each mapping run is
             // attributable in the output.
@@ -54,7 +59,10 @@ fn main() {
     let hosts: Vec<Box<dyn HostAgent>> = (0..n)
         .map(|h| -> Box<dyn HostAgent> {
             if h == 0 {
-                Box::new(MultiSender { targets: targets.clone(), sent: 0 })
+                Box::new(MultiSender {
+                    targets: targets.clone(),
+                    sent: 0,
+                })
             } else if targets.iter().any(|t| t.idx() == h) {
                 Box::new(Collector(ib.clone()))
             } else {
@@ -66,7 +74,13 @@ fn main() {
     let mut cluster = Cluster::new(
         tb.topo,
         ClusterConfig::default(),
-        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n)),
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n,
+            ))
+        },
         hosts,
     );
     // Note: no routes installed anywhere — everything is discovered.
@@ -76,8 +90,11 @@ fn main() {
         cluster.run_until(t);
         let delivered = ib.borrow().len();
         if delivered > shown {
-            let fw =
-                cluster.nics[0].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap();
+            let fw = cluster.nics[0]
+                .fw
+                .as_any()
+                .downcast_ref::<ReliableFirmware>()
+                .unwrap();
             let st = fw.mapper_stats();
             let dst = targets[shown];
             let route = cluster.nics[0].core.routes.get(dst).unwrap();
@@ -87,13 +104,21 @@ fn main() {
             );
             shown = delivered;
         }
-        t = t + Duration::from_millis(1);
+        t += Duration::from_millis(1);
     }
     assert_eq!(shown, targets.len(), "all three targets must be reached");
-    let fw = cluster.nics[0].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap();
+    let fw = cluster.nics[0]
+        .fw
+        .as_any()
+        .downcast_ref::<ReliableFirmware>()
+        .unwrap();
     println!(
         "\nroutes cached on node 0 after three sends: {} (side discoveries included)",
         cluster.nics[0].core.routes.known()
     );
-    println!("total probes: {} host + {} switch", fw.mapper_stats().host_probes, fw.mapper_stats().switch_probes);
+    println!(
+        "total probes: {} host + {} switch",
+        fw.mapper_stats().host_probes,
+        fw.mapper_stats().switch_probes
+    );
 }

@@ -9,6 +9,7 @@ use san_ft::{MapperConfig, ProtocolConfig, ReliableFirmware};
 use san_nic::testkit::{inbox, Collector, StreamSender};
 use san_nic::{Cluster, ClusterConfig, HostAgent};
 use san_sim::Time;
+use san_telemetry::Telemetry;
 
 fn main() {
     // 1. The paper's microbenchmark fabric: two hosts, one crossbar switch.
@@ -24,10 +25,20 @@ fn main() {
     // 3. The reliable firmware, dropping every 25th packet on the send side
     //    (the paper's §5.1.3 error injector — a brutal 4% loss rate).
     let proto = ProtocolConfig::default().with_error_rate(1.0 / 25.0);
+    let telemetry = Telemetry::new();
     let mut cluster = Cluster::new(
         topo,
-        ClusterConfig::default(),
-        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), 2)),
+        ClusterConfig {
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        },
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                2,
+            ))
+        },
         hosts,
     );
     cluster.install_shortest_routes();
@@ -43,9 +54,16 @@ fn main() {
     println!("in order, no dups  : {in_order}");
     println!("packets dropped    : {} (injected)", s0.injected_drops);
     println!("retransmissions    : {}", s0.retransmits);
-    println!("explicit ACKs sent : {}", cluster.nics[1].core.stats.acks_tx);
+    println!(
+        "explicit ACKs sent : {}",
+        cluster.nics[1].core.stats.acks_tx
+    );
     println!("virtual time       : {}", cluster.sim.now());
     assert_eq!(inbox.len(), 500);
     assert!(in_order);
-    println!("\nEvery message survived a 4% packet-loss link. That is the paper's result.");
+
+    // 6. Every layer registered its counters into the shared telemetry
+    //    handle; the end-of-run summary aggregates them across the cluster.
+    println!("\n{}", telemetry.summary_text());
+    println!("Every message survived a 4% packet-loss link. That is the paper's result.");
 }

@@ -41,27 +41,50 @@ fn main() {
     let mut cluster = Cluster::new(
         topo,
         ClusterConfig::default(),
-        |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), 2)),
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                2,
+            ))
+        },
         hosts,
     );
     cluster.install_shortest_routes();
 
     // Pull the primary link at t = 3 ms, mid-stream.
-    cluster.sim.schedule(Time::from_millis(3), FabricEvent::LinkDown { link: primary }.into());
+    cluster.sim.schedule(
+        Time::from_millis(3),
+        FabricEvent::LinkDown { link: primary }.into(),
+    );
 
     cluster.run_until(Time::from_secs(2));
 
     let inbox = received.borrow();
     let unique: std::collections::BTreeSet<u64> = inbox.iter().map(|p| p.msg_id).collect();
     let stats = &cluster.nics[0].core.stats;
-    let fw = cluster.nics[0].fw.as_any().downcast_ref::<ReliableFirmware>().unwrap();
+    let fw = cluster.nics[0]
+        .fw
+        .as_any()
+        .downcast_ref::<ReliableFirmware>()
+        .unwrap();
     let map = fw.mapper_stats();
-    println!("blocks delivered     : {} unique / {blocks} sent", unique.len());
+    println!(
+        "blocks delivered     : {} unique / {blocks} sent",
+        unique.len()
+    );
     println!("path resets observed : {}", stats.path_resets);
     println!("mapping runs         : {}", map.runs);
-    println!("probes (host/switch) : {} / {}", map.last_host_probes, map.last_switch_probes);
+    println!(
+        "probes (host/switch) : {} / {}",
+        map.last_host_probes, map.last_switch_probes
+    );
     println!("re-mapping time      : {:.3} ms", map.last_time_ms);
     println!("retransmissions      : {}", stats.retransmits);
-    assert_eq!(unique.len() as u64, blocks, "failover must deliver every block");
+    assert_eq!(
+        unique.len() as u64,
+        blocks,
+        "failover must deliver every block"
+    );
     println!("\nThe stream survived a permanent link failure transparently.");
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, the whole test suite.
+# Everything runs offline — external deps resolve to the stand-ins under
+# shims/ (see README "Building offline").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -1,0 +1,189 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API surface the workspace uses
+//! (`benchmark_group`, `throughput`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!`) as a plain
+//! wall-clock harness: each benchmark is calibrated to ~5 ms per sample,
+//! then timed over `sample_size` samples, reporting min/mean/max time per
+//! iteration plus derived throughput. No statistical outlier analysis or
+//! HTML reports — numbers print to stdout, which is all the in-tree
+//! benches consume.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour `cargo bench -- <substring>` filtering; ignore harness
+        // flags like `--bench` that cargo forwards.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+            filter: self.filter.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+    // Tie to the Criterion borrow like the real API does.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(flt) = &self.filter {
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+
+        // Calibrate: grow the iteration count until one sample costs ~5 ms.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|x, y| x.total_cmp(y));
+        let min = samples[0];
+        let max = *samples.last().unwrap();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        per_iter = Duration::from_nanos(mean as u64);
+
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  thrpt: {:.3} Melem/s",
+                    n as f64 / per_iter.as_nanos().max(1) as f64 * 1e3
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  thrpt: {:.1} MiB/s",
+                    n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<40} time: [{} {} {}]{thr}  ({} samples x {iters} iters)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            samples.len(),
+        );
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into a named runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

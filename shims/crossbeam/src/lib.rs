@@ -1,0 +1,87 @@
+//! Offline stand-in for `crossbeam`, providing `crossbeam::thread::scope`
+//! on top of `std::thread::scope` (stable since 1.63).
+//!
+//! Differences from the real crate are confined to failure handling: a
+//! panicking child propagates the panic out of `scope` instead of being
+//! collected into the `Err` variant. Every in-tree caller unwraps the
+//! result, so the observable behaviour — join-all on success, loud failure
+//! otherwise — is identical.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    /// Handle passed to [`scope`] closures; spawn children through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread that may borrow from the enclosing scope.
+        /// The closure receives the scope again so children can spawn
+        /// grandchildren, as with crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&Scope<'a, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Returns `Ok` with the closure's value (a child panic
+    /// propagates as a panic rather than an `Err`, which every caller in
+    /// this workspace turns into a test failure anyway).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_borrow_and_join() {
+            let mut data = [0u64; 8];
+            super::scope(|s| {
+                for (i, slot) in data.iter_mut().enumerate() {
+                    s.spawn(move |_| *slot = i as u64 * 2);
+                }
+            })
+            .unwrap();
+            assert_eq!(data[3], 6);
+        }
+
+        #[test]
+        fn nested_spawn() {
+            let out = super::scope(|s| {
+                let h = s.spawn(|s2| {
+                    let inner = s2.spawn(|_| 21u64);
+                    inner.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 42);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image cannot reach crates.io, so this crate provides just
+//! enough surface for the workspace to compile: `Serialize`/`Deserialize`
+//! as marker traits with blanket impls, and the derive macros as no-ops.
+//! Nothing in-tree performs serde-based (de)serialization — the telemetry
+//! exporters emit JSON and CSV by hand — so the markers are sufficient.
+//! If real serde interop is ever needed, vendor the genuine crates and
+//! point `[workspace.dependencies]` back at them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

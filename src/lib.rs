@@ -16,7 +16,9 @@
 //! * [`proc`] — deterministic coroutines for application code,
 //! * [`svm`] — the GeNIMA-like shared virtual memory,
 //! * [`apps`] — SPLASH-2-style kernels (FFT, RadixLocal, WaterNSquared),
-//! * [`microbench`] — latency/bandwidth drivers and parameter sweeps.
+//! * [`microbench`] — latency/bandwidth drivers and parameter sweeps,
+//! * [`telemetry`] — cross-layer metrics registry, trace ring and
+//!   packet-lifecycle reconstruction.
 //!
 //! ```
 //! use san_repro::prelude::*;
@@ -48,6 +50,7 @@ pub use san_nic as nic;
 pub use san_proc as proc;
 pub use san_sim as sim;
 pub use san_svm as svm;
+pub use san_telemetry as telemetry;
 pub use san_vmmc as vmmc;
 
 /// The names almost every user needs.
@@ -57,5 +60,6 @@ pub mod prelude {
     pub use san_nic::testkit::{Collector, StreamSender};
     pub use san_nic::{Cluster, ClusterConfig, HostAgent, HostCtx, SendDesc, UnreliableFirmware};
     pub use san_sim::{Duration, Time};
+    pub use san_telemetry::{Telemetry, TraceFilter};
     pub use san_vmmc::VmmcLib;
 }

@@ -18,7 +18,13 @@ fn ft_cluster(
     let mut c = Cluster::new(
         topo,
         cfg,
-        move |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n)),
+        move |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n,
+            ))
+        },
         hosts,
     );
     c.install_shortest_routes();
@@ -35,13 +41,21 @@ fn unreliable_firmware_loses_messages_under_loss() {
         Box::new(StreamSender::new(NodeId(1), 1024, 200)),
         Box::new(Collector(ib.clone())),
     ];
-    let mut c =
-        Cluster::new(topo, ClusterConfig::default(), |_| Box::new(UnreliableFirmware), hosts);
+    let mut c = Cluster::new(
+        topo,
+        ClusterConfig::default(),
+        |_| Box::new(UnreliableFirmware),
+        hosts,
+    );
     c.install_shortest_routes();
-    c.engine.set_transient_faults(TransientFaults::loss(0.05), 7);
+    c.engine
+        .set_transient_faults(TransientFaults::loss(0.05), 7);
     c.run_until(Time::from_millis(100));
     let got = ib.borrow().len();
-    assert!(got < 200, "without FT, 5% loss must lose messages (got {got}/200)");
+    assert!(
+        got < 200,
+        "without FT, 5% loss must lose messages (got {got}/200)"
+    );
     assert!(got > 100, "but most still arrive");
 }
 
@@ -57,7 +71,8 @@ fn runs_are_deterministic() {
         ];
         let proto = ProtocolConfig::default().with_error_rate(1.0 / 30.0);
         let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
-        c.engine.set_transient_faults(TransientFaults::loss(0.01), 99);
+        c.engine
+            .set_transient_faults(TransientFaults::loss(0.01), 99);
         c.run_until(Time::from_millis(500));
         let s = &c.nics[0].core.stats;
         let fingerprint = (
@@ -66,7 +81,10 @@ fn runs_are_deterministic() {
             s.acks_rx.get(),
             c.engine.stats().delivered,
             c.events_processed(),
-            ib.borrow().iter().map(|p| p.stamps.host_seen.nanos()).sum::<u64>(),
+            ib.borrow()
+                .iter()
+                .map(|p| p.stamps.host_seen.nanos())
+                .sum::<u64>(),
         );
         fingerprint
     };
@@ -89,16 +107,24 @@ fn triple_fault_gauntlet() {
     let proto = ProtocolConfig::default().with_error_rate(1.0 / 40.0);
     let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
     c.engine.set_transient_faults(
-        TransientFaults { loss_prob: 0.01, corrupt_prob: 0.01, burst: None },
+        TransientFaults {
+            loss_prob: 0.01,
+            corrupt_prob: 0.01,
+            burst: None,
+        },
         1234,
     );
     let mut t = Time::from_millis(20);
     while (ib.borrow().len() as u64) < n && t < Time::from_secs(5) {
         c.run_until(t);
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
     }
     let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
-    assert_eq!(ids, (0..n).collect::<Vec<_>>(), "exactly once, in order, all faults at once");
+    assert_eq!(
+        ids,
+        (0..n).collect::<Vec<_>>(),
+        "exactly once, in order, all faults at once"
+    );
     assert!(c.nics[0].core.stats.retransmits.get() > 0);
 }
 
@@ -124,14 +150,21 @@ fn incast_with_errors() {
     let mut t = Time::from_millis(20);
     while (ib.borrow().len() as u64) < 4 * per_sender && t < Time::from_secs(5) {
         c.run_until(t);
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
     }
     let ibb = ib.borrow();
     assert_eq!(ibb.len() as u64, 4 * per_sender);
     for s in 0..4u16 {
-        let ids: Vec<u64> =
-            ibb.iter().filter(|p| p.src == NodeId(s)).map(|p| p.msg_id).collect();
-        assert_eq!(ids, (0..per_sender).collect::<Vec<_>>(), "sender {s} stream in order");
+        let ids: Vec<u64> = ibb
+            .iter()
+            .filter(|p| p.src == NodeId(s))
+            .map(|p| p.msg_id)
+            .collect();
+        assert_eq!(
+            ids,
+            (0..per_sender).collect::<Vec<_>>(),
+            "sender {s} stream in order"
+        );
     }
 }
 
@@ -164,19 +197,34 @@ fn switch_death_failover_on_testbed() {
     // that entire switch mid-stream.
     let route = c.nics[src.idx()].core.routes.get(dst).unwrap();
     let first_hop = route.hop(0); // leaf2 port 6 → core0, port 7 → core1
-    let victim = if first_hop == 6 { tb.switches[0] } else { tb.switches[1] };
-    c.sim.schedule(Time::from_millis(2), FabricEvent::SwitchDown { switch: victim }.into());
+    let victim = if first_hop == 6 {
+        tb.switches[0]
+    } else {
+        tb.switches[1]
+    };
+    c.sim.schedule(
+        Time::from_millis(2),
+        FabricEvent::SwitchDown { switch: victim }.into(),
+    );
     let mut t = Time::from_millis(20);
-    while (ib.borrow().iter().map(|p| p.msg_id).collect::<std::collections::BTreeSet<_>>().len()
-        as u64)
+    while (ib
+        .borrow()
+        .iter()
+        .map(|p| p.msg_id)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len() as u64)
         < count
         && t < Time::from_secs(10)
     {
         c.run_until(t);
-        t = t + Duration::from_millis(20);
+        t += Duration::from_millis(20);
     }
     let unique: std::collections::BTreeSet<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
-    assert_eq!(unique.len() as u64, count, "stream must survive a switch death");
+    assert_eq!(
+        unique.len() as u64,
+        count,
+        "stream must survive a switch death"
+    );
     assert!(!c.engine.switch_alive(victim));
 }
 
@@ -209,9 +257,11 @@ fn vmmc_large_messages_with_errors() {
         fn on_send_done(&mut self, _ctx: &mut HostCtx, _msg_id: u64) {}
     }
 
+    type GotCell = std::rc::Rc<std::cell::RefCell<Option<(u32, Vec<u8>)>>>;
+
     struct BigReceiver {
         vmmc: VmmcLib,
-        got: std::rc::Rc<std::cell::RefCell<Option<(u32, Vec<u8>)>>>,
+        got: GotCell,
     }
     impl HostAgent for BigReceiver {
         fn on_start(&mut self, _ctx: &mut HostCtx) {
@@ -230,8 +280,14 @@ fn vmmc_large_messages_with_errors() {
     let (topo, _a, _b) = topology::pair_via_switch();
     let got = std::rc::Rc::new(std::cell::RefCell::new(None));
     let hosts: Vec<Box<dyn HostAgent>> = vec![
-        Box::new(BigSender { vmmc: VmmcLib::new(NodeId(0)), sent: false }),
-        Box::new(BigReceiver { vmmc: VmmcLib::new(NodeId(1)), got: got.clone() }),
+        Box::new(BigSender {
+            vmmc: VmmcLib::new(NodeId(0)),
+            sent: false,
+        }),
+        Box::new(BigReceiver {
+            vmmc: VmmcLib::new(NodeId(1)),
+            got: got.clone(),
+        }),
     ];
     let proto = ProtocolConfig::default().with_error_rate(1.0 / 10.0); // brutal
     let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);

@@ -18,7 +18,13 @@ fn ft_cluster(
     let mut c = Cluster::new(
         topo,
         cfg,
-        move |_| Box::new(ReliableFirmware::new(proto.clone(), MapperConfig::default(), n)),
+        move |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n,
+            ))
+        },
         hosts,
     );
     c.install_shortest_routes();
@@ -47,8 +53,7 @@ proptest! {
             Box::new(StreamSender::new(NodeId(1), bytes, n)),
             Box::new(Collector(ib.clone())),
         ];
-        let mut proto = ProtocolConfig::default();
-        proto.drop_interval = drop_every;
+        let proto = ProtocolConfig { drop_interval: drop_every, ..Default::default() };
         let cfg = ClusterConfig { send_bufs: queue, ..Default::default() };
         let mut c = ft_cluster(topo, cfg, proto, hosts);
         c.engine.set_transient_faults(
@@ -58,7 +63,7 @@ proptest! {
         let mut t = Time::from_millis(50);
         while (ib.borrow().len() as u64) < n && t < Time::from_secs(20) {
             c.run_until(t);
-            t = t + Duration::from_millis(50);
+            t += Duration::from_millis(50);
         }
         let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
         prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
@@ -125,7 +130,7 @@ proptest! {
         let mut t = Time::from_millis(20);
         while ib.borrow().len() < 3 && t < Time::from_secs(10) {
             c.run_until(t);
-            t = t + Duration::from_millis(20);
+            t += Duration::from_millis(20);
         }
         prop_assert_eq!(ib.borrow().len(), 3, "mapping must deliver the messages");
     }
@@ -145,15 +150,17 @@ proptest! {
             Box::new(StreamSender::new(NodeId(1), 1024, n)),
             Box::new(Collector(ib.clone())),
         ];
-        let mut proto = ProtocolConfig::default();
-        proto.drop_interval = Some(drop_every);
-        proto.per_packet_timers = per_packet;
-        proto.selective_retransmission = selective;
+        let proto = ProtocolConfig {
+            drop_interval: Some(drop_every),
+            per_packet_timers: per_packet,
+            selective_retransmission: selective,
+            ..Default::default()
+        };
         let mut c = ft_cluster(topo, ClusterConfig::default(), proto, hosts);
         let mut t = Time::from_millis(50);
         while (ib.borrow().len() as u64) < n && t < Time::from_secs(20) {
             c.run_until(t);
-            t = t + Duration::from_millis(50);
+            t += Duration::from_millis(50);
         }
         let ids: Vec<u64> = ib.borrow().iter().map(|p| p.msg_id).collect();
         prop_assert_eq!(ids, (0..n).collect::<Vec<_>>());
