@@ -1,0 +1,221 @@
+//! `san-chaos` — run fault campaigns, replay repros, list suites.
+//!
+//! ```text
+//! san-chaos run <campaign.json> [--trials N] [--jobs N] [--repro-dir DIR] [--no-shrink]
+//! san-chaos replay <repro.json>
+//! san-chaos list <dir-or-files...>
+//! ```
+//!
+//! `run` exits 0 iff every trial passes every invariant; on failure it
+//! shrinks the first failing trial (by index) into a minimal repro file
+//! and prints how to replay it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use san_chaos::{run_campaign, shrink, Campaign, Trial};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  san-chaos run <campaign.json> [--trials N] [--jobs N] [--repro-dir DIR] [--no-shrink]\n  san-chaos replay <repro.json>\n  san-chaos list <dir-or-files...>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("list") => cmd_list(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn load_campaign(path: &str) -> Result<Campaign, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Campaign::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut trials = None;
+    let mut jobs = 1usize;
+    let mut repro_dir = PathBuf::from("target/chaos-repros");
+    let mut do_shrink = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trials" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => trials = Some(n),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--repro-dir" => match it.next() {
+                Some(d) => repro_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--no-shrink" => do_shrink = false,
+            _ if path.is_none() => path = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+    let campaign = match load_campaign(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_trials = trials.unwrap_or(campaign.trials);
+    println!(
+        "campaign '{}': {} trials, {} job(s) — {}",
+        campaign.name, n_trials, jobs, campaign.description
+    );
+    let outcome = run_campaign(&campaign, n_trials, jobs);
+    print!("{}", outcome.report());
+    let failures: Vec<_> = outcome.failures().collect();
+    if failures.is_empty() {
+        println!("{}: {} trials, zero violations", campaign.name, n_trials);
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{}: {}/{} trials violated invariants",
+        campaign.name,
+        failures.len(),
+        n_trials
+    );
+    if do_shrink {
+        let first = failures[0];
+        let trial = campaign.sample(first.index);
+        println!(
+            "shrinking trial {:03} (seed {:#018x}) ...",
+            first.index, first.seed
+        );
+        match shrink(&trial, 48) {
+            Ok(r) => {
+                if let Err(e) = std::fs::create_dir_all(&repro_dir) {
+                    eprintln!("error: create {}: {e}", repro_dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let file =
+                    repro_dir.join(format!("{}-{:03}.repro.json", campaign.name, first.index));
+                if let Err(e) = std::fs::write(&file, r.trial.to_text()) {
+                    eprintln!("error: write {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "shrunk in {} runs to {} fault action(s), {} message(s), {} ms window",
+                    r.runs,
+                    r.trial.plan.actions.len(),
+                    r.trial.traffic.messages,
+                    r.trial.duration_ms
+                );
+                println!("repro written: {}", file.display());
+                println!("replay with: san-chaos replay {}", file.display());
+            }
+            Err(passing) => println!(
+                "shrink: trial passed on re-run (flaky environment?): {}",
+                passing.verdict_line()
+            ),
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let (path, trace) = match args {
+        [p] => (p, false),
+        [p, t] | [t, p] if t == "--trace" => (p, true),
+        _ => return usage(),
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trial = match Trial::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (outcome, scan) = san_chaos::runner::run_trial_traced(&trial);
+    println!("{}", outcome.verdict_line());
+    if trace {
+        println!(
+            "--- trace ring: {} events kept, {} overwritten ---",
+            scan.events().len(),
+            scan.truncated
+        );
+        for ev in scan.events() {
+            println!(
+                "{:>12}ns {:<14} node={:<3} {}->{} gen={} seq={} aux={}",
+                ev.at_ns,
+                ev.kind.name(),
+                ev.node,
+                ev.src,
+                ev.dst,
+                ev.generation,
+                ev.seq,
+                ev.aux
+            );
+        }
+    }
+    if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_list(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let mut files: Vec<PathBuf> = Vec::new();
+    for a in args {
+        let p = Path::new(a);
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = match std::fs::read_dir(p) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("error: {a}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(p.to_path_buf());
+        }
+    }
+    for f in files {
+        match load_campaign(&f.to_string_lossy()) {
+            Ok(c) => println!(
+                "{:<16} trials={:<4} topo={:<10} {}",
+                c.name,
+                c.trials,
+                match c.topology {
+                    san_chaos::TopologySpec::Pair => "pair".to_string(),
+                    san_chaos::TopologySpec::Chain(k) => format!("chain:{k}"),
+                    san_chaos::TopologySpec::Star(n) => format!("star:{n}"),
+                    san_chaos::TopologySpec::Testbed(h) => format!("testbed:{h}"),
+                },
+                c.description
+            ),
+            Err(e) => println!("{:<16} (unreadable: {e})", f.display()),
+        }
+    }
+    ExitCode::SUCCESS
+}

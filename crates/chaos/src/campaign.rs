@@ -1,0 +1,913 @@
+//! The scenario model: a serde-able [`Campaign`] describing a randomized
+//! fault mix, and the generator that samples concrete seeded [`Trial`]s
+//! from it.
+//!
+//! A campaign says *what kinds* of faults may occur and over which ranges
+//! (loss probability spans, flap counts, kill candidates); a trial is one
+//! fully concrete draw — exact probabilities, exact fault schedule, exact
+//! seed — that re-runs byte-identically forever. The derivation is pure:
+//! `trial = campaign.sample(index)` depends only on `(campaign.seed,
+//! index)`, never on thread timing, so the parallel runner can hand out
+//! indices in any order.
+
+use san_fabric::{topology, FaultPlan, LinkId, NodeId, SwitchId, Topology, TransientFaults};
+use san_ft::ProtocolConfig;
+use san_sim::{Duration, SimRng, Time};
+
+use crate::json::Json;
+
+/// SplitMix64-style combiner: derive a trial seed from (campaign seed,
+/// trial index). Consecutive indices give statistically independent seeds.
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x6A09_E667_F3BC_C909);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An inclusive sampling range `[lo, hi]`; `lo == hi` pins the value and
+/// `[0, 0]` disables the feature it parameterizes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Span {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Span {
+    /// The disabled span `[0, 0]`.
+    pub const ZERO: Span = Span { lo: 0.0, hi: 0.0 };
+
+    /// A pinned value.
+    pub fn at(v: f64) -> Span {
+        Span { lo: v, hi: v }
+    }
+
+    /// True when the span can only produce zero.
+    pub fn is_zero(&self) -> bool {
+        self.hi <= 0.0
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    pub fn sample_f(&self, rng: &mut SimRng) -> f64 {
+        if self.hi <= self.lo {
+            return self.lo;
+        }
+        // Map a uniform [0,1) draw into the span; SimRng has no direct
+        // f64-range draw, so go through a 53-bit integer.
+        let u = rng.below(1 << 53) as f64 / (1u64 << 53) as f64;
+        self.lo + u * (self.hi - self.lo)
+    }
+
+    /// Uniform integer draw (rounded).
+    pub fn sample_u(&self, rng: &mut SimRng) -> u64 {
+        self.sample_f(rng).round().max(0.0) as u64
+    }
+
+    fn to_json(self) -> Json {
+        Json::Arr(vec![Json::from(self.lo), Json::from(self.hi)])
+    }
+
+    fn from_json(v: &Json) -> Result<Span, String> {
+        let xs = v.as_arr().ok_or("span must be [lo, hi]")?;
+        if xs.len() != 2 {
+            return Err("span must have exactly two elements".into());
+        }
+        let lo = xs[0].as_f64().ok_or("span lo must be a number")?;
+        let hi = xs[1].as_f64().ok_or("span hi must be a number")?;
+        if lo > hi || lo < 0.0 {
+            return Err(format!("bad span [{lo}, {hi}]"));
+        }
+        Ok(Span { lo, hi })
+    }
+}
+
+/// Which canonical topology a trial runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Two hosts, one switch.
+    Pair,
+    /// Two hosts at the ends of a k-switch chain.
+    Chain(u16),
+    /// n hosts on one 16-port switch.
+    Star(u16),
+    /// The Figure 2 mapping testbed with `hosts_per_switch` hosts per
+    /// switch (redundant fabric: no single link is a point of failure).
+    Testbed(u16),
+}
+
+/// A topology instantiated for one trial, with the fault-injection
+/// candidate sets that keep sampled schedules *survivable*: flapping any
+/// `flappable` link or killing any single `killable` switch leaves every
+/// traffic pair connected once repairs are applied.
+pub struct BuiltTopo {
+    /// The wiring.
+    pub topo: Topology,
+    /// All hosts.
+    pub hosts: Vec<NodeId>,
+    /// Hosts that send/receive traffic.
+    pub traffic_hosts: Vec<NodeId>,
+    /// Links safe to flap (down + scheduled repair).
+    pub flappable: Vec<LinkId>,
+    /// Switches safe to kill permanently (needs the redundant testbed).
+    pub killable: Vec<SwitchId>,
+}
+
+impl TopologySpec {
+    /// Instantiate the wiring and candidate sets.
+    pub fn build(&self) -> BuiltTopo {
+        match *self {
+            TopologySpec::Pair => {
+                let (topo, a, b) = topology::pair_via_switch();
+                let flappable = topo.links().map(|(id, _)| id).collect();
+                BuiltTopo {
+                    topo,
+                    hosts: vec![a, b],
+                    traffic_hosts: vec![a, b],
+                    flappable,
+                    killable: Vec::new(),
+                }
+            }
+            TopologySpec::Chain(k) => {
+                let (topo, a, b) = topology::chain(k.max(1) as usize);
+                let flappable = topo.links().map(|(id, _)| id).collect();
+                BuiltTopo {
+                    topo,
+                    hosts: vec![a, b],
+                    traffic_hosts: vec![a, b],
+                    flappable,
+                    killable: Vec::new(),
+                }
+            }
+            TopologySpec::Star(n) => {
+                let (topo, hosts) = topology::star(n.clamp(2, 16) as usize);
+                let flappable = topo.links().map(|(id, _)| id).collect();
+                BuiltTopo {
+                    traffic_hosts: hosts.clone(),
+                    hosts,
+                    flappable,
+                    topo,
+                    killable: Vec::new(),
+                }
+            }
+            TopologySpec::Testbed(h) => {
+                let tb = topology::paper_mapping_testbed(h.clamp(1, 6) as usize);
+                // hosts[i] hangs off switches[i % 4]; switches 2 and 3 are
+                // the leaves, wired to *both* cores, so leaf-host traffic
+                // survives any one core death and any one redundant-link
+                // flap.
+                let traffic_hosts = tb
+                    .hosts
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(i, _)| i % 4 >= 2)
+                    .map(|(_, h)| h)
+                    .collect();
+                BuiltTopo {
+                    topo: tb.topo,
+                    hosts: tb.hosts,
+                    traffic_hosts,
+                    flappable: tb.redundant_links,
+                    killable: vec![tb.switches[0], tb.switches[1]],
+                }
+            }
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            TopologySpec::Pair => "pair".into(),
+            TopologySpec::Chain(k) => format!("chain:{k}").into(),
+            TopologySpec::Star(n) => format!("star:{n}").into(),
+            TopologySpec::Testbed(h) => format!("testbed:{h}").into(),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<TopologySpec, String> {
+        let s = v.as_str().ok_or("topology must be a string")?;
+        let (kind, arg) = match s.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (s, None),
+        };
+        let arg_u16 = |what: &str| -> Result<u16, String> {
+            arg.ok_or(format!("{what} needs an argument, e.g. \"{what}:3\""))?
+                .parse::<u16>()
+                .map_err(|_| format!("bad {what} argument"))
+        };
+        match kind {
+            "pair" => Ok(TopologySpec::Pair),
+            "chain" => Ok(TopologySpec::Chain(arg_u16("chain")?)),
+            "star" => Ok(TopologySpec::Star(arg_u16("star")?)),
+            "testbed" => Ok(TopologySpec::Testbed(arg_u16("testbed")?)),
+            _ => Err(format!("unknown topology '{s}'")),
+        }
+    }
+}
+
+/// How traffic flows between the topology's traffic hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// First traffic host streams to the second.
+    OneToOne,
+    /// Every traffic host streams to its successor (wraps around).
+    Ring,
+    /// Every traffic host but the last streams to the last.
+    Incast,
+}
+
+impl Pattern {
+    fn name(self) -> &'static str {
+        match self {
+            Pattern::OneToOne => "one_to_one",
+            Pattern::Ring => "ring",
+            Pattern::Incast => "incast",
+        }
+    }
+
+    fn from_name(s: &str) -> Result<Pattern, String> {
+        match s {
+            "one_to_one" => Ok(Pattern::OneToOne),
+            "ring" => Ok(Pattern::Ring),
+            "incast" => Ok(Pattern::Incast),
+            _ => Err(format!("unknown traffic pattern '{s}'")),
+        }
+    }
+}
+
+/// Traffic shape: who sends how much to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficSpec {
+    /// Flow pattern over the traffic hosts.
+    pub pattern: Pattern,
+    /// Messages per (src, dst) stream.
+    pub messages: u64,
+    /// Payload bytes per message.
+    pub bytes: u32,
+}
+
+impl TrafficSpec {
+    /// The concrete (src, dst) streams for a built topology.
+    pub fn pairs(&self, built: &BuiltTopo) -> Vec<(NodeId, NodeId)> {
+        let th = &built.traffic_hosts;
+        assert!(th.len() >= 2, "traffic needs at least two hosts");
+        match self.pattern {
+            Pattern::OneToOne => vec![(th[0], th[1])],
+            Pattern::Ring => (0..th.len())
+                .map(|i| (th[i], th[(i + 1) % th.len()]))
+                .collect(),
+            Pattern::Incast => {
+                let sink = *th.last().unwrap();
+                th[..th.len() - 1].iter().map(|&s| (s, sink)).collect()
+            }
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("pattern", self.pattern.name().into()),
+            ("messages", Json::Int(self.messages)),
+            ("bytes", Json::Int(self.bytes as u64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<TrafficSpec, String> {
+        Ok(TrafficSpec {
+            pattern: Pattern::from_name(
+                v.get("pattern")
+                    .and_then(Json::as_str)
+                    .ok_or("traffic.pattern missing")?,
+            )?,
+            messages: v
+                .get("messages")
+                .and_then(Json::as_u64)
+                .ok_or("traffic.messages missing")?
+                .max(1),
+            bytes: v
+                .get("bytes")
+                .and_then(Json::as_u64)
+                .ok_or("traffic.bytes missing")?
+                .clamp(1, 4096) as u32,
+        })
+    }
+}
+
+/// Protocol configuration knobs a campaign controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoSpec {
+    /// Run the reliability firmware; `false` is the intentionally
+    /// unprotected baseline that loses data under faults.
+    pub reliable: bool,
+    /// Enable on-demand mapping (permanent-failure recovery).
+    pub mapping: bool,
+    /// Retransmission timer, microseconds.
+    pub retx_timeout_us: u64,
+    /// Permanent-failure threshold, milliseconds.
+    pub perm_fail_ms: u64,
+    /// Send buffers per NIC.
+    pub send_bufs: u16,
+}
+
+impl Default for ProtoSpec {
+    fn default() -> Self {
+        Self {
+            reliable: true,
+            mapping: false,
+            retx_timeout_us: 1_000,
+            perm_fail_ms: 50,
+            send_bufs: 32,
+        }
+    }
+}
+
+impl ProtoSpec {
+    /// Compile to the firmware's configuration.
+    pub fn protocol_config(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            retx_timeout: Duration::from_micros(self.retx_timeout_us),
+            perm_fail_threshold: Duration::from_millis(self.perm_fail_ms),
+            enable_mapping: self.mapping,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("reliable", self.reliable.into()),
+            ("mapping", self.mapping.into()),
+            ("retx_timeout_us", Json::Int(self.retx_timeout_us)),
+            ("perm_fail_ms", Json::Int(self.perm_fail_ms)),
+            ("send_bufs", Json::Int(self.send_bufs as u64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ProtoSpec, String> {
+        let d = ProtoSpec::default();
+        Ok(ProtoSpec {
+            reliable: v
+                .get("reliable")
+                .and_then(Json::as_bool)
+                .unwrap_or(d.reliable),
+            mapping: v
+                .get("mapping")
+                .and_then(Json::as_bool)
+                .unwrap_or(d.mapping),
+            retx_timeout_us: v
+                .get("retx_timeout_us")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.retx_timeout_us)
+                .max(10),
+            perm_fail_ms: v
+                .get("perm_fail_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.perm_fail_ms)
+                .max(1),
+            send_bufs: v
+                .get("send_bufs")
+                .and_then(Json::as_u64)
+                .unwrap_or(d.send_bufs as u64)
+                .clamp(2, 128) as u16,
+        })
+    }
+}
+
+/// The randomized fault mix: every field is a sampling span; `[0, 0]`
+/// disables that fault class. Classes compose freely (multi-fault
+/// overlap is the point).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultMix {
+    /// Wire loss probability.
+    pub loss: Span,
+    /// Wire corruption probability.
+    pub corrupt: Span,
+    /// Gilbert–Elliott *average* loss rate; when sampled > 0 the trial
+    /// uses bursty loss (every packet in a burst dies) instead of
+    /// independent loss.
+    pub burst_rate: Span,
+    /// Mean burst length in packets (only with `burst_rate`).
+    pub burst_len: Span,
+    /// Number of link flaps (down + scheduled repair).
+    pub flaps: Span,
+    /// Flap downtime, microseconds.
+    pub flap_down_us: Span,
+    /// Number of permanent switch kills (requires `killable` candidates,
+    /// i.e. the testbed topology).
+    pub kills: Span,
+    /// Path-reincarnation storm: sequential down/up cycles over the
+    /// redundant links, each forcing a remap + generation bump.
+    pub storm_cycles: Span,
+    /// Storm cycle period, microseconds (downtime is half the period).
+    pub storm_period_us: Span,
+}
+
+impl FaultMix {
+    fn to_json(self) -> Json {
+        let mut kv: Vec<(&str, Json)> = Vec::new();
+        let mut field = |name: &'static str, s: Span| {
+            if !s.is_zero() {
+                kv.push((name, s.to_json()));
+            }
+        };
+        field("loss", self.loss);
+        field("corrupt", self.corrupt);
+        field("burst_rate", self.burst_rate);
+        field("burst_len", self.burst_len);
+        field("flaps", self.flaps);
+        field("flap_down_us", self.flap_down_us);
+        field("kills", self.kills);
+        field("storm_cycles", self.storm_cycles);
+        field("storm_period_us", self.storm_period_us);
+        Json::obj(kv)
+    }
+
+    fn from_json(v: &Json) -> Result<FaultMix, String> {
+        let span = |key: &str| -> Result<Span, String> {
+            match v.get(key) {
+                None => Ok(Span::ZERO),
+                Some(s) => Span::from_json(s).map_err(|e| format!("faults.{key}: {e}")),
+            }
+        };
+        Ok(FaultMix {
+            loss: span("loss")?,
+            corrupt: span("corrupt")?,
+            burst_rate: span("burst_rate")?,
+            burst_len: span("burst_len")?,
+            flaps: span("flaps")?,
+            flap_down_us: span("flap_down_us")?,
+            kills: span("kills")?,
+            storm_cycles: span("storm_cycles")?,
+            storm_period_us: span("storm_period_us")?,
+        })
+    }
+}
+
+/// A campaign: the randomized scenario family the runner samples trials
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Campaign name (used in repro filenames).
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// Master seed; trial `i` derives its seed from `(seed, i)`.
+    pub seed: u64,
+    /// Default trial count (`--trials` overrides).
+    pub trials: u32,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Traffic shape.
+    pub traffic: TrafficSpec,
+    /// Protocol knobs.
+    pub protocol: ProtoSpec,
+    /// Randomized fault mix.
+    pub faults: FaultMix,
+    /// Fault-active window, milliseconds (traffic may finish later; the
+    /// runner grants a drain grace period after this window).
+    pub duration_ms: u64,
+}
+
+impl Campaign {
+    /// Sample trial `index`: a pure function of `(self.seed, index)`.
+    pub fn sample(&self, index: u32) -> Trial {
+        let seed = mix_seed(self.seed, index as u64);
+        let mut rng = SimRng::seed_from(seed);
+        let built = self.topology.build();
+        let window_ns = self.duration_ms.max(2) * 1_000_000;
+
+        // Wire-level transient faults.
+        let burst_rate = self.faults.burst_rate.sample_f(&mut rng);
+        let wire = if burst_rate >= 1e-4 {
+            let mean_len = self.faults.burst_len.sample_f(&mut rng).max(1.0);
+            let mut w = TransientFaults::bursty_loss(burst_rate.min(0.4), mean_len);
+            w.corrupt_prob = self.faults.corrupt.sample_f(&mut rng);
+            w
+        } else {
+            TransientFaults {
+                loss_prob: self.faults.loss.sample_f(&mut rng),
+                corrupt_prob: self.faults.corrupt.sample_f(&mut rng),
+                burst: None,
+            }
+        };
+
+        // Scheduled permanent faults.
+        let mut plan = FaultPlan::new();
+        let n_flaps = self.faults.flaps.sample_u(&mut rng);
+        for _ in 0..n_flaps {
+            if built.flappable.is_empty() {
+                break;
+            }
+            let link = built.flappable[rng.below(built.flappable.len() as u64) as usize];
+            let at = Time::from_nanos(rng.range(1_000_000, window_ns));
+            let down_us = self.faults.flap_down_us.sample_u(&mut rng).max(20);
+            plan = plan
+                .link_down(at, link)
+                .link_up(at + Duration::from_micros(down_us), link);
+        }
+        let n_kills = self
+            .faults
+            .kills
+            .sample_u(&mut rng)
+            .min(built.killable.len() as u64);
+        if n_kills > 0 {
+            // Kill at most one switch: the candidate sets guarantee any
+            // *single* kill is survivable, not combinations.
+            let victim = built.killable[rng.below(built.killable.len() as u64) as usize];
+            let at = Time::from_nanos(rng.range(1_000_000, (window_ns / 2).max(2_000_000)));
+            plan = plan.switch_down(at, victim);
+        }
+        let cycles = self.faults.storm_cycles.sample_u(&mut rng);
+        if cycles > 0 && !built.flappable.is_empty() {
+            // Sequential, non-overlapping cycles: at most one redundant
+            // link is ever down, so a route always exists and every remap
+            // can succeed (reincarnation, not partition).
+            let period_us = self.faults.storm_period_us.sample_u(&mut rng).max(200);
+            let mut t = Time::from_millis(1);
+            for _ in 0..cycles {
+                if t.nanos() + period_us * 1_000 > window_ns {
+                    break;
+                }
+                let link = built.flappable[rng.below(built.flappable.len() as u64) as usize];
+                plan = plan
+                    .link_down(t, link)
+                    .link_up(t + Duration::from_micros(period_us / 2), link);
+                t += Duration::from_micros(period_us);
+            }
+        }
+
+        Trial {
+            campaign: self.name.clone(),
+            index,
+            seed,
+            topology: self.topology,
+            traffic: self.traffic,
+            protocol: self.protocol,
+            wire,
+            plan,
+            duration_ms: self.duration_ms,
+        }
+    }
+
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.as_str().into()),
+            ("description", self.description.as_str().into()),
+            ("seed", Json::Int(self.seed)),
+            ("trials", Json::Int(self.trials as u64)),
+            ("topology", self.topology.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("protocol", self.protocol.to_json()),
+            ("faults", self.faults.to_json()),
+            ("duration_ms", Json::Int(self.duration_ms)),
+        ])
+    }
+
+    /// Deserialize (defaults for optional fields).
+    pub fn from_json(v: &Json) -> Result<Campaign, String> {
+        Ok(Campaign {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("campaign.name missing")?
+                .to_string(),
+            description: v
+                .get("description")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("campaign.seed missing")?,
+            trials: v
+                .get("trials")
+                .and_then(Json::as_u64)
+                .ok_or("campaign.trials missing")?
+                .clamp(1, 100_000) as u32,
+            topology: TopologySpec::from_json(
+                v.get("topology").ok_or("campaign.topology missing")?,
+            )?,
+            traffic: TrafficSpec::from_json(v.get("traffic").ok_or("campaign.traffic missing")?)?,
+            protocol: match v.get("protocol") {
+                Some(p) => ProtoSpec::from_json(p)?,
+                None => ProtoSpec::default(),
+            },
+            faults: match v.get("faults") {
+                Some(f) => FaultMix::from_json(f)?,
+                None => FaultMix::default(),
+            },
+            duration_ms: v
+                .get("duration_ms")
+                .and_then(Json::as_u64)
+                .ok_or("campaign.duration_ms missing")?
+                .clamp(2, 60_000),
+        })
+    }
+
+    /// Parse from JSON text.
+    pub fn parse(text: &str) -> Result<Campaign, String> {
+        Campaign::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// One fully concrete, deterministic experiment. Everything the runner
+/// needs is in here; a trial serialized to JSON is a repro file.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Campaign this was sampled from.
+    pub campaign: String,
+    /// Index within the campaign.
+    pub index: u32,
+    /// Derived seed (cluster + wire-fault RNG).
+    pub seed: u64,
+    /// Topology.
+    pub topology: TopologySpec,
+    /// Traffic.
+    pub traffic: TrafficSpec,
+    /// Protocol knobs.
+    pub protocol: ProtoSpec,
+    /// Concrete wire-fault probabilities.
+    pub wire: TransientFaults,
+    /// Concrete permanent-fault schedule.
+    pub plan: FaultPlan,
+    /// Fault-active window, milliseconds.
+    pub duration_ms: u64,
+}
+
+impl Trial {
+    /// Serialize (this is the repro-file format).
+    pub fn to_json(&self) -> Json {
+        let wire = {
+            let mut kv = vec![
+                ("loss_prob", Json::from(self.wire.loss_prob)),
+                ("corrupt_prob", Json::from(self.wire.corrupt_prob)),
+            ];
+            if let Some(b) = self.wire.burst {
+                kv.push((
+                    "burst",
+                    Json::Arr(vec![Json::from(b.p_enter), Json::from(b.p_leave)]),
+                ));
+            }
+            Json::obj(kv)
+        };
+        let plan = Json::Arr(
+            self.plan
+                .actions
+                .iter()
+                .map(|a| match *a {
+                    san_fabric::PermanentFault::LinkDown { at_nanos, link } => Json::obj(vec![
+                        ("kind", "link_down".into()),
+                        ("at_ns", Json::Int(at_nanos)),
+                        ("link", Json::Int(link as u64)),
+                    ]),
+                    san_fabric::PermanentFault::LinkUp { at_nanos, link } => Json::obj(vec![
+                        ("kind", "link_up".into()),
+                        ("at_ns", Json::Int(at_nanos)),
+                        ("link", Json::Int(link as u64)),
+                    ]),
+                    san_fabric::PermanentFault::SwitchDown { at_nanos, switch } => Json::obj(vec![
+                        ("kind", "switch_down".into()),
+                        ("at_ns", Json::Int(at_nanos)),
+                        ("switch", Json::Int(switch as u64)),
+                    ]),
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("campaign", self.campaign.as_str().into()),
+            ("index", Json::Int(self.index as u64)),
+            ("seed", Json::Int(self.seed)),
+            ("topology", self.topology.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("protocol", self.protocol.to_json()),
+            ("wire", wire),
+            ("plan", plan),
+            ("duration_ms", Json::Int(self.duration_ms)),
+        ])
+    }
+
+    /// Deserialize a repro file.
+    pub fn from_json(v: &Json) -> Result<Trial, String> {
+        let wire_v = v.get("wire").ok_or("trial.wire missing")?;
+        let mut wire = TransientFaults {
+            loss_prob: wire_v
+                .get("loss_prob")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            corrupt_prob: wire_v
+                .get("corrupt_prob")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            burst: None,
+        };
+        if let Some(b) = wire_v.get("burst").and_then(Json::as_arr) {
+            if b.len() != 2 {
+                return Err("wire.burst must be [p_enter, p_leave]".into());
+            }
+            wire.burst = Some(san_fabric::fault::BurstModel {
+                p_enter: b[0].as_f64().ok_or("bad burst p_enter")?,
+                p_leave: b[1].as_f64().ok_or("bad burst p_leave")?,
+            });
+        }
+        let mut plan = FaultPlan::new();
+        for a in v
+            .get("plan")
+            .and_then(Json::as_arr)
+            .ok_or("trial.plan missing")?
+        {
+            let at = Time::from_nanos(a.get("at_ns").and_then(Json::as_u64).ok_or("plan.at_ns")?);
+            match a.get("kind").and_then(Json::as_str) {
+                Some("link_down") => {
+                    plan = plan.link_down(
+                        at,
+                        LinkId(a.get("link").and_then(Json::as_u64).ok_or("plan.link")? as u32),
+                    );
+                }
+                Some("link_up") => {
+                    plan = plan.link_up(
+                        at,
+                        LinkId(a.get("link").and_then(Json::as_u64).ok_or("plan.link")? as u32),
+                    );
+                }
+                Some("switch_down") => {
+                    plan = plan.switch_down(
+                        at,
+                        SwitchId(
+                            a.get("switch")
+                                .and_then(Json::as_u64)
+                                .ok_or("plan.switch")? as u16,
+                        ),
+                    );
+                }
+                _ => return Err("plan action kind must be link_down/link_up/switch_down".into()),
+            }
+        }
+        Ok(Trial {
+            campaign: v
+                .get("campaign")
+                .and_then(Json::as_str)
+                .unwrap_or("adhoc")
+                .to_string(),
+            index: v.get("index").and_then(Json::as_u64).unwrap_or(0) as u32,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("trial.seed missing")?,
+            topology: TopologySpec::from_json(v.get("topology").ok_or("trial.topology missing")?)?,
+            traffic: TrafficSpec::from_json(v.get("traffic").ok_or("trial.traffic missing")?)?,
+            protocol: match v.get("protocol") {
+                Some(p) => ProtoSpec::from_json(p)?,
+                None => ProtoSpec::default(),
+            },
+            wire,
+            plan,
+            duration_ms: v
+                .get("duration_ms")
+                .and_then(Json::as_u64)
+                .ok_or("trial.duration_ms missing")?,
+        })
+    }
+
+    /// Parse from JSON text.
+    pub fn parse(text: &str) -> Result<Trial, String> {
+        Trial::from_json(&Json::parse(text).map_err(|e| e.to_string())?)
+    }
+
+    /// Repro-file text form.
+    pub fn to_text(&self) -> String {
+        let mut s = self.to_json().pretty();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_campaign() -> Campaign {
+        Campaign {
+            name: "demo".into(),
+            description: "test campaign".into(),
+            seed: 0xC0FFEE,
+            trials: 4,
+            topology: TopologySpec::Star(4),
+            traffic: TrafficSpec {
+                pattern: Pattern::Ring,
+                messages: 10,
+                bytes: 512,
+            },
+            protocol: ProtoSpec::default(),
+            faults: FaultMix {
+                loss: Span { lo: 0.0, hi: 0.02 },
+                corrupt: Span { lo: 0.0, hi: 0.01 },
+                flaps: Span { lo: 0.0, hi: 2.0 },
+                flap_down_us: Span {
+                    lo: 100.0,
+                    hi: 2000.0,
+                },
+                ..FaultMix::default()
+            },
+            duration_ms: 50,
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let c = demo_campaign();
+        let a = c.sample(3).to_text();
+        let b = c.sample(3).to_text();
+        assert_eq!(a, b);
+        let other = c.sample(4).to_text();
+        assert_ne!(a, other, "different indices draw different trials");
+    }
+
+    #[test]
+    fn campaign_round_trips_through_json() {
+        let c = demo_campaign();
+        let back = Campaign::parse(&c.to_json().pretty()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn trial_round_trips_through_json() {
+        let c = demo_campaign();
+        let t = c.sample(1);
+        let back = Trial::parse(&t.to_text()).unwrap();
+        // Equality via the canonical text form (f64 fields).
+        assert_eq!(t.to_text(), back.to_text());
+    }
+
+    #[test]
+    fn traffic_pairs_cover_patterns() {
+        let built = TopologySpec::Star(4).build();
+        let ring = TrafficSpec {
+            pattern: Pattern::Ring,
+            messages: 1,
+            bytes: 64,
+        };
+        assert_eq!(ring.pairs(&built).len(), 4);
+        let incast = TrafficSpec {
+            pattern: Pattern::Incast,
+            ..ring
+        };
+        let pairs = incast.pairs(&built);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|&(_, d)| d == built.traffic_hosts[3]));
+    }
+
+    #[test]
+    fn testbed_candidates_are_survivable() {
+        let built = TopologySpec::Testbed(2).build();
+        assert_eq!(built.traffic_hosts.len(), 4, "leaf hosts only");
+        assert_eq!(built.killable.len(), 2, "the two core switches");
+        assert_eq!(built.flappable.len(), 6, "the redundant links");
+        // Killing either core leaves every leaf pair connected.
+        for &victim in &built.killable {
+            for &a in &built.traffic_hosts {
+                for &b in &built.traffic_hosts {
+                    if a != b {
+                        let route = built.topo.shortest_route(a, b, |l| {
+                            let link = built.topo.link(l);
+                            let dead = |ep: san_fabric::Endpoint| {
+                                ep.switch().is_some_and(|(s, _)| s == victim)
+                            };
+                            !(dead(link.a) || dead(link.b))
+                        });
+                        assert!(
+                            route.is_some(),
+                            "{a} -> {b} must survive killing {victim:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_plan_stays_inside_window() {
+        let c = Campaign {
+            faults: FaultMix {
+                flaps: Span::at(3.0),
+                flap_down_us: Span {
+                    lo: 50.0,
+                    hi: 500.0,
+                },
+                ..FaultMix::default()
+            },
+            ..demo_campaign()
+        };
+        for i in 0..16 {
+            let t = c.sample(i);
+            for a in &t.plan.actions {
+                // Deaths land inside the fault window; repairs may trail
+                // by at most the downtime.
+                assert!(a.at().nanos() <= c.duration_ms * 1_000_000 + 500 * 1_000);
+            }
+        }
+    }
+}

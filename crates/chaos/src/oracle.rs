@@ -1,0 +1,424 @@
+//! The protocol invariant oracle.
+//!
+//! After a trial runs, the runner distills everything observable — host
+//! delivery records, the san-telemetry trace ring, and protocol end-state
+//! — into an [`Observation`], and [`check`] returns every invariant
+//! violation it can prove. The oracle is pure and order-deterministic:
+//! the same observation always yields the same violation list, which is
+//! what lets the parallel runner compare verdicts byte-for-byte across
+//! thread counts.
+//!
+//! Invariants checked (ISSUE: chaos oracle):
+//! 1. **Exactly-once, in-order per (src, dst, generation)**: within one
+//!    generation, deposits are exactly seq 0, 1, 2, …; generations only
+//!    move forward. Cross-generation `msg_id` duplicates are legitimate
+//!    (remap renumbers unacked-but-possibly-delivered packets), so
+//!    duplicate detection is seq-based, not msg-id-based.
+//! 2. **No corrupted payload delivered** (the CRC check must hold).
+//! 3. **Completeness**: every posted message is eventually delivered once
+//!    end-state connectivity allows it.
+//! 4. **Drain**: once all traffic is delivered, no retransmission-queue
+//!    entries or send buffers remain held (leak detection).
+//! 5. **Bounded deadlock recovery**: every path reset is followed by
+//!    packet-level progress from the same source (unless that source has
+//!    nothing left to deliver).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use san_telemetry::{TraceKind, TraceScan};
+
+/// One message segment deposited into host memory, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Deposit time.
+    pub at_ns: u64,
+    /// Sender.
+    pub src: u16,
+    /// Receiver (the host this was deposited on).
+    pub dst: u16,
+    /// Host-level message id (0..messages per stream).
+    pub msg_id: u64,
+    /// Protocol sequence number.
+    pub seq: u32,
+    /// Path generation the packet carried.
+    pub generation: u16,
+    /// Corruption flag as seen by the host.
+    pub corrupted: bool,
+}
+
+/// Expected traffic for one (src, dst) stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairExpect {
+    /// Sender.
+    pub src: u16,
+    /// Receiver.
+    pub dst: u16,
+    /// Messages posted (msg_id 0..messages).
+    pub messages: u64,
+    /// Whether a route existed at end of run; completeness is only owed
+    /// when connectivity was (re)stored.
+    pub reachable: bool,
+}
+
+/// Protocol end-state for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeEnd {
+    /// The node.
+    pub node: u16,
+    /// Retransmission-queue entries still held across all peers.
+    pub unacked: usize,
+    /// Send buffers still allocated.
+    pub pool_in_use: usize,
+}
+
+/// One path reset observed in the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetRecord {
+    /// The source whose flight was killed.
+    pub src: u16,
+    /// When.
+    pub at_ns: u64,
+}
+
+/// Everything the oracle looks at. Built by the runner from a real trial,
+/// or by hand in the oracle self-tests.
+#[derive(Debug, Clone, Default)]
+pub struct Observation {
+    /// Host deposits in arrival order.
+    pub deliveries: Vec<Delivery>,
+    /// Traffic contract.
+    pub expected: Vec<PairExpect>,
+    /// End-state per node.
+    pub nodes: Vec<NodeEnd>,
+    /// Path resets from the trace ring.
+    pub resets: Vec<ResetRecord>,
+    /// Per source node: the latest packet-scoped trace activity
+    /// (injection, retransmit, deposit, …) attributable to that sender.
+    pub last_progress: Vec<(u16, u64)>,
+}
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// A segment was deposited twice within one generation.
+    DuplicateDelivery,
+    /// Deposits within a generation were not consecutive, or a stale
+    /// generation was delivered after a newer one.
+    OutOfOrderDelivery,
+    /// A corrupted payload reached host memory.
+    CorruptDelivered,
+    /// A posted message never arrived although connectivity allowed it.
+    MissingDelivery,
+    /// Retransmission state or send buffers survived a complete run.
+    LeakedRetransBuffer,
+    /// A path reset was never followed by sender progress.
+    StalledAfterPathReset,
+}
+
+impl ViolationKind {
+    /// Stable name (used in reports and repro files).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::DuplicateDelivery => "duplicate_delivery",
+            ViolationKind::OutOfOrderDelivery => "out_of_order_delivery",
+            ViolationKind::CorruptDelivered => "corrupt_delivered",
+            ViolationKind::MissingDelivery => "missing_delivery",
+            ViolationKind::LeakedRetransBuffer => "leaked_retrans_buffer",
+            ViolationKind::StalledAfterPathReset => "stalled_after_path_reset",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One proven invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant.
+    pub kind: ViolationKind,
+    /// Sender of the offending stream (or the leaking/stalled node).
+    pub src: u16,
+    /// Receiver (0 for node-scoped violations).
+    pub dst: u16,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} -> {}]: {}",
+            self.kind, self.src, self.dst, self.detail
+        )
+    }
+}
+
+/// Distill the trace ring into the oracle's reset/progress digests.
+///
+/// Progress is the max `at_ns` over packet-scoped events per *sender*;
+/// because the ring keeps the most recent events, the maximum survives
+/// overwrites, so truncation can hide old resets (fewer checks) but never
+/// fabricates a stall.
+pub fn digest_trace(scan: &TraceScan) -> (Vec<ResetRecord>, Vec<(u16, u64)>) {
+    let mut resets = Vec::new();
+    let mut progress: Vec<(u16, u64)> = Vec::new();
+    for ev in scan.events() {
+        if ev.kind == TraceKind::PathReset {
+            resets.push(ResetRecord {
+                src: ev.src,
+                at_ns: ev.at_ns,
+            });
+        } else if ev.kind.is_packet_scoped() {
+            match progress.iter_mut().find(|(s, _)| *s == ev.src) {
+                Some((_, t)) => *t = (*t).max(ev.at_ns),
+                None => progress.push((ev.src, ev.at_ns)),
+            }
+        }
+    }
+    (resets, progress)
+}
+
+/// Run every invariant over the observation. Returns violations in a
+/// deterministic order; empty means the trial passed.
+pub fn check(obs: &Observation) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_order(obs, &mut out);
+    check_completeness(obs, &mut out);
+    check_drain(obs, &mut out);
+    check_reset_progress(obs, &mut out);
+    out
+}
+
+/// Pairs in first-appearance order over the delivery log.
+fn delivery_pairs(obs: &Observation) -> Vec<(u16, u16)> {
+    let mut pairs = Vec::new();
+    for d in &obs.deliveries {
+        if !pairs.contains(&(d.src, d.dst)) {
+            pairs.push((d.src, d.dst));
+        }
+    }
+    pairs
+}
+
+/// Invariants 1 + 2: per-generation exactly-once in-order, no corruption.
+fn check_order(obs: &Observation, out: &mut Vec<Violation>) {
+    for (src, dst) in delivery_pairs(obs) {
+        let mut corrupt = 0u64;
+        let mut first_corrupt = None;
+        let mut cur_gen: Option<u16> = None;
+        let mut expect_seq: u32 = 0;
+        let mut order_reported = false;
+        for d in obs
+            .deliveries
+            .iter()
+            .filter(|d| d.src == src && d.dst == dst)
+        {
+            if d.corrupted {
+                corrupt += 1;
+                first_corrupt.get_or_insert((d.msg_id, d.at_ns));
+            }
+            if order_reported {
+                continue;
+            }
+            match cur_gen {
+                None => {
+                    cur_gen = Some(d.generation);
+                    expect_seq = 0;
+                }
+                Some(g) if d.generation == g => {}
+                Some(g) if san_ft::gen_newer(d.generation, g) => {
+                    // Receiver adopts a newer generation at seq 0.
+                    cur_gen = Some(d.generation);
+                    expect_seq = 0;
+                }
+                Some(g) => {
+                    out.push(Violation {
+                        kind: ViolationKind::OutOfOrderDelivery,
+                        src,
+                        dst,
+                        detail: format!(
+                            "stale generation {} delivered after generation {} (msg {})",
+                            d.generation, g, d.msg_id
+                        ),
+                    });
+                    order_reported = true;
+                    continue;
+                }
+            }
+            if d.seq == expect_seq {
+                expect_seq = expect_seq.wrapping_add(1);
+            } else if d.seq < expect_seq {
+                out.push(Violation {
+                    kind: ViolationKind::DuplicateDelivery,
+                    src,
+                    dst,
+                    detail: format!(
+                        "seq {} redelivered in generation {} (expected seq {}, msg {})",
+                        d.seq, d.generation, expect_seq, d.msg_id
+                    ),
+                });
+                order_reported = true;
+            } else {
+                out.push(Violation {
+                    kind: ViolationKind::OutOfOrderDelivery,
+                    src,
+                    dst,
+                    detail: format!(
+                        "seq {} skipped ahead of expected {} in generation {} (msg {})",
+                        d.seq, expect_seq, d.generation, d.msg_id
+                    ),
+                });
+                order_reported = true;
+            }
+        }
+        if corrupt > 0 {
+            let (msg, at) = first_corrupt.unwrap();
+            out.push(Violation {
+                kind: ViolationKind::CorruptDelivered,
+                src,
+                dst,
+                detail: format!(
+                    "{corrupt} corrupted payload(s) deposited; first msg {msg} at {at} ns"
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 3: all sends delivered once connectivity allows.
+fn check_completeness(obs: &Observation, out: &mut Vec<Violation>) {
+    for pe in &obs.expected {
+        if !pe.reachable {
+            continue; // connectivity never restored: nothing owed
+        }
+        let got: BTreeSet<u64> = obs
+            .deliveries
+            .iter()
+            .filter(|d| d.src == pe.src && d.dst == pe.dst)
+            .map(|d| d.msg_id)
+            .collect();
+        let missing: Vec<u64> = (0..pe.messages).filter(|m| !got.contains(m)).collect();
+        if !missing.is_empty() {
+            let head: Vec<String> = missing.iter().take(6).map(u64::to_string).collect();
+            out.push(Violation {
+                kind: ViolationKind::MissingDelivery,
+                src: pe.src,
+                dst: pe.dst,
+                detail: format!(
+                    "{} of {} messages never delivered (first: {}{})",
+                    missing.len(),
+                    pe.messages,
+                    head.join(", "),
+                    if missing.len() > head.len() {
+                        ", …"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// True when every reachable stream got all its messages — the
+/// precondition for the drain invariant.
+fn traffic_complete(obs: &Observation) -> bool {
+    obs.expected.iter().all(|pe| {
+        if !pe.reachable {
+            return false; // partitioned end-state: drain not owed
+        }
+        let got: BTreeSet<u64> = obs
+            .deliveries
+            .iter()
+            .filter(|d| d.src == pe.src && d.dst == pe.dst)
+            .map(|d| d.msg_id)
+            .collect();
+        (0..pe.messages).all(|m| got.contains(&m))
+    })
+}
+
+/// Invariant 4: no leaked retransmission entries or send buffers after a
+/// complete run.
+fn check_drain(obs: &Observation, out: &mut Vec<Violation>) {
+    if !traffic_complete(obs) {
+        return; // incomplete runs legitimately hold retransmission state
+    }
+    for n in &obs.nodes {
+        if n.unacked > 0 {
+            out.push(Violation {
+                kind: ViolationKind::LeakedRetransBuffer,
+                src: n.node,
+                dst: 0,
+                detail: format!(
+                    "{} retransmission-queue entries held after all traffic delivered",
+                    n.unacked
+                ),
+            });
+        } else if n.pool_in_use > 0 {
+            out.push(Violation {
+                kind: ViolationKind::LeakedRetransBuffer,
+                src: n.node,
+                dst: 0,
+                detail: format!(
+                    "{} send buffers still allocated after all traffic delivered",
+                    n.pool_in_use
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 5: every path reset is followed by sender progress, unless
+/// that sender has nothing left to deliver.
+fn check_reset_progress(obs: &Observation, out: &mut Vec<Violation>) {
+    let mut srcs: Vec<u16> = obs.resets.iter().map(|r| r.src).collect();
+    srcs.sort_unstable();
+    srcs.dedup();
+    for src in srcs {
+        let last_reset = obs
+            .resets
+            .iter()
+            .filter(|r| r.src == src)
+            .map(|r| r.at_ns)
+            .max()
+            .unwrap();
+        let progress = obs
+            .last_progress
+            .iter()
+            .find(|(s, _)| *s == src)
+            .map(|&(_, t)| t)
+            .unwrap_or(0);
+        if progress >= last_reset {
+            continue; // recovered: activity at/after the reset
+        }
+        // No progress after the reset — only a violation if this sender
+        // still owes deliveries it could have made.
+        let owes = obs.expected.iter().any(|pe| {
+            if pe.src != src || !pe.reachable {
+                return false;
+            }
+            let got = obs
+                .deliveries
+                .iter()
+                .filter(|d| d.src == pe.src && d.dst == pe.dst)
+                .count() as u64;
+            got < pe.messages
+        });
+        if owes {
+            out.push(Violation {
+                kind: ViolationKind::StalledAfterPathReset,
+                src,
+                dst: 0,
+                detail: format!(
+                    "no packet activity after path reset at {last_reset} ns with undelivered traffic"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Trial execution: build a cluster from a [`Trial`], run it to
+//! completion (or deadline), distill an [`Observation`], and run the
+//! oracle. Plus the parallel campaign runner.
+//!
+//! Determinism contract: a trial's outcome is a pure function of the
+//! trial value. Each trial owns its *own* `Sim`, cluster, telemetry
+//! handle and RNGs (seeded from the trial seed alone), so running trials
+//! on 1 thread or 8 produces byte-identical verdicts; the parallel
+//! runner only changes wall-clock time, never results.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use san_fabric::NodeId;
+use san_ft::{MapperConfig, ReliableFirmware};
+use san_nic::testkit::make_desc;
+use san_nic::{
+    Cluster, ClusterConfig, Firmware, HostAgent, HostCtx, NicTiming, UnreliableFirmware,
+};
+use san_sim::{Duration, Time};
+use san_telemetry::{Telemetry, TraceKind};
+
+use crate::campaign::{mix_seed, Campaign, Trial};
+use crate::oracle::{self, Delivery, NodeEnd, Observation, PairExpect, Violation};
+
+/// Trace-ring capacity per trial: big enough that the tail of a run
+/// (where end-state evidence lives) always survives.
+const TRACE_CAP: usize = 8192;
+
+/// Drain grace after the fault window: time for repairs to land, remaps
+/// (including their backoff-spaced retries) to finish and retransmission
+/// queues to empty.
+const GRACE_MS: u64 = 2_000;
+
+/// Polling slice for the completion check.
+const SLICE_MS: u64 = 5;
+
+/// Shared delivery log (single-threaded within one trial).
+type DeliveryLog = Rc<RefCell<Vec<Delivery>>>;
+
+/// Host agent for chaos trials: optionally streams one message sequence
+/// to a destination, records everything deposited locally, and re-posts
+/// sends the NIC fails as unreachable (end-to-end recovery: the transport
+/// gives up after its remap-retry budget; outliving a long outage is the
+/// host's job).
+struct ChaosHost {
+    send: Option<(NodeId, u64)>,
+    bytes: u32,
+    log: DeliveryLog,
+    failed: Vec<(NodeId, u64)>,
+}
+
+/// Wake token for the initial stream post.
+const WAKE_POST: u64 = 0;
+/// Wake token for re-posting failed sends.
+const WAKE_REPOST: u64 = 1;
+
+/// Host-level retry pacing: long enough to not hammer the NIC with
+/// back-to-back mapping episodes, short compared to the drain grace.
+const REPOST_DELAY: Duration = Duration::from_millis(1);
+
+impl HostAgent for ChaosHost {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        if self.send.is_some() {
+            let timing = NicTiming::default();
+            let cost = if self.bytes <= 32 {
+                timing.host_send_pio
+            } else {
+                timing.host_send_dma
+            };
+            ctx.wake_in(cost, WAKE_POST);
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut HostCtx, token: u64) {
+        match token {
+            WAKE_POST => {
+                if let Some((dst, count)) = self.send.take() {
+                    let posted = ctx.now();
+                    for msg_id in 0..count {
+                        ctx.post_send(make_desc(dst, self.bytes, msg_id, posted));
+                    }
+                }
+            }
+            _ => {
+                let posted = ctx.now();
+                for (dst, msg_id) in std::mem::take(&mut self.failed) {
+                    ctx.post_send(make_desc(dst, self.bytes, msg_id, posted));
+                }
+            }
+        }
+    }
+
+    fn on_send_failed(&mut self, ctx: &mut HostCtx, msg_id: u64, dst: NodeId) {
+        if self.failed.is_empty() {
+            ctx.wake_in(REPOST_DELAY, WAKE_REPOST);
+        }
+        self.failed.push((dst, msg_id));
+    }
+
+    fn on_message(&mut self, ctx: &mut HostCtx, pkt: san_fabric::Packet) {
+        self.log.borrow_mut().push(Delivery {
+            at_ns: ctx.now().nanos(),
+            src: pkt.src.0,
+            dst: pkt.dst.0,
+            msg_id: pkt.msg_id,
+            seq: pkt.seq,
+            generation: pkt.generation,
+            corrupted: pkt.corrupted,
+        });
+    }
+
+    fn on_send_done(&mut self, _ctx: &mut HostCtx, _msg_id: u64) {}
+}
+
+/// The result of one trial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Campaign name.
+    pub campaign: String,
+    /// Trial index.
+    pub index: u32,
+    /// Trial seed.
+    pub seed: u64,
+    /// Every invariant violation the oracle proved (empty = pass).
+    pub violations: Vec<Violation>,
+    /// Unique (src, dst, msg_id) deliveries.
+    pub delivered: u64,
+    /// Messages the traffic contract posted.
+    pub expected: u64,
+    /// Fabric path resets during the run.
+    pub path_resets: u64,
+    /// Generation bumps (remaps) during the run.
+    pub generation_bumps: u64,
+    /// Simulated time when the run settled or hit its deadline.
+    pub finished_at_ns: u64,
+}
+
+impl TrialOutcome {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line, byte-stable verdict (used for cross-thread-count
+    /// determinism comparisons).
+    pub fn verdict_line(&self) -> String {
+        let mut line = format!(
+            "{}[{:03}] seed={:#018x} delivered={}/{} resets={} bumps={} t={}ns {}",
+            self.campaign,
+            self.index,
+            self.seed,
+            self.delivered,
+            self.expected,
+            self.path_resets,
+            self.generation_bumps,
+            self.finished_at_ns,
+            if self.passed() { "PASS" } else { "FAIL" },
+        );
+        for v in &self.violations {
+            line.push_str("\n    ");
+            line.push_str(&v.to_string());
+        }
+        line
+    }
+}
+
+/// Unique delivered message count (msg_id de-duplicated per pair —
+/// cross-generation resends of a possibly-delivered message are one
+/// delivery for accounting purposes).
+fn unique_delivered(log: &[Delivery]) -> u64 {
+    let mut seen: Vec<(u16, u16, u64)> = log.iter().map(|d| (d.src, d.dst, d.msg_id)).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len() as u64
+}
+
+/// Execute one trial and run the oracle over what happened.
+pub fn run_trial(trial: &Trial) -> TrialOutcome {
+    run_trial_traced(trial).0
+}
+
+/// [`run_trial`], additionally returning the trial's trace-ring scan
+/// (for `san-chaos replay --trace` and post-mortem tooling).
+pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceScan) {
+    let built = trial.topology.build();
+    let n = built.hosts.len();
+    let pairs = trial.traffic.pairs(&built);
+    let expected_total: u64 = pairs.len() as u64 * trial.traffic.messages;
+
+    let telemetry = Telemetry::with_trace(TRACE_CAP);
+    let cfg = ClusterConfig {
+        send_bufs: trial.protocol.send_bufs,
+        seed: trial.seed,
+        telemetry: telemetry.clone(),
+        ..ClusterConfig::default()
+    };
+
+    let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
+    let hosts: Vec<Box<dyn HostAgent>> = built
+        .hosts
+        .iter()
+        .map(|&h| -> Box<dyn HostAgent> {
+            let send = pairs
+                .iter()
+                .find(|&&(s, _)| s == h)
+                .map(|&(_, d)| (d, trial.traffic.messages));
+            Box::new(ChaosHost {
+                send,
+                bytes: trial.traffic.bytes,
+                log: log.clone(),
+                failed: Vec::new(),
+            })
+        })
+        .collect();
+
+    let proto = trial.protocol;
+    let mut cluster = Cluster::new(
+        built.topo,
+        cfg,
+        move |_| -> Box<dyn Firmware> {
+            if proto.reliable {
+                Box::new(ReliableFirmware::new(
+                    proto.protocol_config(),
+                    MapperConfig::default(),
+                    n,
+                ))
+            } else {
+                Box::new(UnreliableFirmware)
+            }
+        },
+        hosts,
+    );
+    cluster.install_shortest_routes();
+    cluster
+        .engine
+        .set_transient_faults(trial.wire, mix_seed(trial.seed, 1));
+    trial.plan.arm(&mut cluster.sim);
+
+    // Run in slices until the traffic contract is met and the protocol has
+    // drained, or until the deadline (fault window + grace).
+    let deadline = Time::from_millis(trial.duration_ms + GRACE_MS);
+    let mut t = Time::from_millis(SLICE_MS);
+    let finished_at = loop {
+        let now = cluster.run_until(t);
+        let complete = unique_delivered(&log.borrow()) >= expected_total;
+        let drained = !trial.protocol.reliable
+            || cluster.nics.iter().all(|nic| {
+                nic.fw
+                    .as_any()
+                    .downcast_ref::<ReliableFirmware>()
+                    .is_some_and(|fw| fw.drained())
+            });
+        if complete && drained {
+            break now;
+        }
+        if t >= deadline {
+            break now;
+        }
+        t += Duration::from_millis(SLICE_MS);
+    };
+
+    // End-state.
+    let nodes: Vec<NodeEnd> = cluster
+        .nics
+        .iter()
+        .enumerate()
+        .map(|(i, nic)| NodeEnd {
+            node: i as u16,
+            unacked: nic
+                .fw
+                .as_any()
+                .downcast_ref::<ReliableFirmware>()
+                .map_or(0, |fw| fw.unacked_total()),
+            pool_in_use: nic.core.pool.in_use(),
+        })
+        .collect();
+    let expected: Vec<PairExpect> = pairs
+        .iter()
+        .map(|&(s, d)| PairExpect {
+            src: s.0,
+            dst: d.0,
+            messages: trial.traffic.messages,
+            reachable: cluster
+                .engine
+                .topology()
+                .shortest_route(s, d, cluster.engine.alive_filter())
+                .is_some(),
+        })
+        .collect();
+
+    let scan = telemetry.scan();
+    let (resets, last_progress) = oracle::digest_trace(&scan);
+    let obs = Observation {
+        deliveries: log.borrow().clone(),
+        expected,
+        nodes,
+        resets,
+        last_progress,
+    };
+    let violations = oracle::check(&obs);
+    let stats = cluster.engine.stats();
+
+    let outcome = TrialOutcome {
+        campaign: trial.campaign.clone(),
+        index: trial.index,
+        seed: trial.seed,
+        violations,
+        delivered: unique_delivered(&obs.deliveries),
+        expected: expected_total,
+        path_resets: stats.path_resets,
+        generation_bumps: scan.count(TraceKind::GenerationBump) as u64,
+        finished_at_ns: finished_at.nanos(),
+    };
+    (outcome, scan)
+}
+
+/// The result of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Campaign name.
+    pub name: String,
+    /// Per-trial outcomes, in trial-index order regardless of how many
+    /// worker threads ran them.
+    pub trials: Vec<TrialOutcome>,
+}
+
+impl CampaignOutcome {
+    /// Trials that violated an invariant, in index order.
+    pub fn failures(&self) -> impl Iterator<Item = &TrialOutcome> {
+        self.trials.iter().filter(|t| !t.passed())
+    }
+
+    /// Byte-stable multi-line report: one verdict line per trial.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        for t in &self.trials {
+            s.push_str(&t.verdict_line());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Run `trials` sampled trials of `campaign` on `jobs` worker threads.
+///
+/// Work is handed out by atomic index; results land in an index-addressed
+/// slot vector, so the outcome vector — and therefore the report — is
+/// byte-identical for any `jobs >= 1`.
+pub fn run_campaign(campaign: &Campaign, trials: u32, jobs: usize) -> CampaignOutcome {
+    let trials = trials.max(1);
+    let jobs = jobs.clamp(1, 64);
+    let mut slots: Vec<Option<TrialOutcome>> = (0..trials).map(|_| None).collect();
+
+    if jobs == 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_trial(&campaign.sample(i as u32)));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..jobs.min(trials as usize) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trials as usize {
+                        break;
+                    }
+                    let outcome = run_trial(&campaign.sample(i as u32));
+                    results.lock()[i] = Some(outcome);
+                });
+            }
+        })
+        .expect("chaos worker panicked");
+    }
+
+    CampaignOutcome {
+        name: campaign.name.clone(),
+        trials: slots
+            .into_iter()
+            .map(|s| s.expect("every trial slot filled"))
+            .collect(),
+    }
+}

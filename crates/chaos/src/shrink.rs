@@ -1,0 +1,177 @@
+//! Failing-schedule shrinker.
+//!
+//! Given a trial that violates an invariant, greedily minimize it while
+//! it keeps failing *the same way* (at least one violation kind from the
+//! original failure), producing a small deterministic repro: fewer fault
+//! actions, fewer messages, shorter window, milder wire faults. The
+//! shrink loop is sequential and every candidate run is a pure function
+//! of the candidate trial, so the shrunk repro is byte-identical no
+//! matter how many jobs found the failure.
+//!
+//! This is ddmin-lite: chunked removal over the fault schedule (halving
+//! granularity), then scalar halving on the other dimensions. Runs are
+//! capped so shrinking a pathological trial cannot stall a campaign.
+
+use std::collections::BTreeSet;
+
+use crate::campaign::Trial;
+use crate::oracle::ViolationKind;
+use crate::runner::{run_trial, TrialOutcome};
+
+/// Outcome of shrinking one failing trial.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized trial (a valid repro file via `Trial::to_text`).
+    pub trial: Trial,
+    /// The minimized trial's outcome (still failing).
+    pub outcome: TrialOutcome,
+    /// Candidate executions spent (including the baseline run).
+    pub runs: u32,
+}
+
+struct Shrinker {
+    kinds: BTreeSet<ViolationKind>,
+    runs: u32,
+    max_runs: u32,
+}
+
+impl Shrinker {
+    /// Run a candidate; `Some(outcome)` iff it reproduces one of the
+    /// original violation kinds and the run budget allows it.
+    fn try_candidate(&mut self, t: &Trial) -> Option<TrialOutcome> {
+        if self.runs >= self.max_runs {
+            return None;
+        }
+        self.runs += 1;
+        let o = run_trial(t);
+        if o.violations.iter().any(|v| self.kinds.contains(&v.kind)) {
+            Some(o)
+        } else {
+            None
+        }
+    }
+}
+
+/// Greedily minimize a failing trial. `max_runs` caps total candidate
+/// executions (48 is plenty for campaign-sized schedules).
+///
+/// Returns `Err` with the passing outcome if the trial does not fail in
+/// the first place.
+pub fn shrink(trial: &Trial, max_runs: u32) -> Result<ShrinkResult, Box<TrialOutcome>> {
+    let base = run_trial(trial);
+    if base.passed() {
+        return Err(Box::new(base));
+    }
+    let mut sh = Shrinker {
+        kinds: base.violations.iter().map(|v| v.kind).collect(),
+        runs: 1,
+        max_runs: max_runs.max(2),
+    };
+    let mut cur = trial.clone();
+    let mut cur_out = base;
+
+    // 1. Chunked removal over the fault schedule, halving granularity.
+    let mut chunk = cur.plan.actions.len().div_ceil(2);
+    while chunk >= 1 && !cur.plan.actions.is_empty() {
+        let mut start = 0;
+        while start < cur.plan.actions.len() {
+            let end = (start + chunk).min(cur.plan.actions.len());
+            let mut cand = cur.clone();
+            cand.plan.actions.drain(start..end);
+            match sh.try_candidate(&cand) {
+                Some(o) => {
+                    cur = cand;
+                    cur_out = o;
+                    // Same offset now holds the next chunk; retry there.
+                }
+                None => start = end,
+            }
+            if sh.runs >= sh.max_runs {
+                break;
+            }
+        }
+        if chunk == 1 || sh.runs >= sh.max_runs {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // 2. Fewer messages per stream.
+    while cur.traffic.messages > 1 {
+        let mut cand = cur.clone();
+        cand.traffic.messages = (cur.traffic.messages / 2).max(1);
+        match sh.try_candidate(&cand) {
+            Some(o) => {
+                cur = cand;
+                cur_out = o;
+            }
+            None => break,
+        }
+    }
+
+    // 3. Shorter fault window.
+    while cur.duration_ms > 2 {
+        let mut cand = cur.clone();
+        cand.duration_ms = (cur.duration_ms / 2).max(2);
+        match sh.try_candidate(&cand) {
+            Some(o) => {
+                cur = cand;
+                cur_out = o;
+            }
+            None => break,
+        }
+    }
+
+    // 4. Milder wire faults: drop each knob to zero if possible, else
+    // halve while the failure persists.
+    for knob in 0..3usize {
+        let read = |t: &Trial| match knob {
+            0 => t.wire.loss_prob,
+            1 => t.wire.corrupt_prob,
+            _ => f64::from(u8::from(t.wire.burst.is_some())),
+        };
+        let write = |t: &mut Trial, v: f64| match knob {
+            0 => t.wire.loss_prob = v,
+            1 => t.wire.corrupt_prob = v,
+            _ => {
+                if v == 0.0 {
+                    t.wire.burst = None;
+                }
+            }
+        };
+        if read(&cur) == 0.0 {
+            continue;
+        }
+        let mut cand = cur.clone();
+        write(&mut cand, 0.0);
+        if let Some(o) = sh.try_candidate(&cand) {
+            cur = cand;
+            cur_out = o;
+            continue;
+        }
+        if knob == 2 {
+            continue; // burst is on/off only
+        }
+        loop {
+            let v = read(&cur) / 2.0;
+            if v < 1e-4 {
+                break;
+            }
+            let mut cand = cur.clone();
+            write(&mut cand, v);
+            match sh.try_candidate(&cand) {
+                Some(o) => {
+                    cur = cand;
+                    cur_out = o;
+                }
+                None => break,
+            }
+        }
+    }
+
+    Ok(ShrinkResult {
+        trial: cur,
+        outcome: cur_out,
+        runs: sh.runs,
+    })
+}

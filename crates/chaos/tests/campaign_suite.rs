@@ -1,0 +1,61 @@
+//! The curated campaign suite must hold every invariant. The quick
+//! versions here keep plain `cargo test` fast; the full suite (all trials
+//! of every campaign, as CI's release gate runs it) is `#[ignore]`d and
+//! run with `cargo test --release -p san-chaos -- --ignored`.
+
+use san_chaos::{run_campaign, Campaign};
+
+fn load(name: &str) -> Campaign {
+    let path = format!("{}/campaigns/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Campaign::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn assert_clean(name: &str, trials: u32) {
+    let campaign = load(name);
+    let outcome = run_campaign(&campaign, trials, 4);
+    assert!(
+        outcome.failures().next().is_none(),
+        "campaign '{name}' violated invariants:\n{}",
+        outcome.report()
+    );
+}
+
+#[test]
+fn smoke_quick() {
+    assert_clean("smoke", 4);
+}
+
+#[test]
+fn transient_quick() {
+    assert_clean("transient", 4);
+}
+
+#[test]
+fn permanent_quick() {
+    assert_clean("permanent", 4);
+}
+
+#[test]
+fn mixed_quick() {
+    assert_clean("mixed", 4);
+}
+
+#[test]
+fn reincarnation_quick() {
+    assert_clean("reincarnation", 4);
+}
+
+#[test]
+#[ignore = "full curated suite (80 trials); run in release via scripts/check.sh or --ignored"]
+fn full_curated_suite() {
+    for name in ["smoke", "transient", "permanent", "mixed", "reincarnation"] {
+        let campaign = load(name);
+        let outcome = run_campaign(&campaign, campaign.trials, 8);
+        assert!(
+            outcome.failures().next().is_none(),
+            "campaign '{name}' violated invariants:\n{}",
+            outcome.report()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The chaos engine's determinism contract: verdicts are a pure function
+//! of the campaign and trial index — the number of worker threads must
+//! never change a byte of the report, and a failing schedule must shrink
+//! to the same minimal repro every time.
+
+use san_chaos::{run_campaign, shrink, Campaign};
+
+fn load(name: &str) -> Campaign {
+    let path = format!("{}/campaigns/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Campaign::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn passing_campaign_report_identical_across_thread_counts() {
+    let campaign = load("smoke");
+    let serial = run_campaign(&campaign, 6, 1);
+    let parallel = run_campaign(&campaign, 6, 8);
+    assert_eq!(serial.report(), parallel.report());
+    assert!(serial.failures().next().is_none(), "{}", serial.report());
+}
+
+#[test]
+fn failing_campaign_report_identical_across_thread_counts() {
+    // The unprotected campaign (no retransmission protocol) must fail its
+    // invariants — and fail identically on 1 and 8 threads.
+    let campaign = load("unprotected");
+    let serial = run_campaign(&campaign, 3, 1);
+    let parallel = run_campaign(&campaign, 3, 8);
+    assert_eq!(serial.report(), parallel.report());
+    assert!(serial.failures().next().is_some(), "{}", serial.report());
+}
+
+#[test]
+fn shrink_is_reproducible() {
+    let campaign = load("unprotected");
+    let outcome = run_campaign(&campaign, 3, 1);
+    let first = outcome.failures().next().expect("unprotected must fail");
+    let trial = campaign.sample(first.index);
+    let a = shrink(&trial, 24).expect("failure must reproduce");
+    let b = shrink(&trial, 24).expect("failure must reproduce");
+    // Same minimal schedule, byte for byte — the repro file a user gets
+    // today matches the one a CI run got yesterday.
+    assert_eq!(a.trial.to_text(), b.trial.to_text());
+    // And the shrunk trial still fails when replayed.
+    let replay = san_chaos::run_trial(&a.trial);
+    assert!(!replay.passed(), "shrunk repro must still fail");
+}

@@ -1,0 +1,176 @@
+//! Oracle self-tests: hand-built observations with known defects must
+//! trigger exactly the advertised invariant, and a clean observation must
+//! trigger none. These pin the oracle's semantics so campaign verdicts
+//! stay trustworthy as the protocol evolves.
+
+use san_chaos::oracle::{Delivery, NodeEnd, Observation, PairExpect, ResetRecord};
+use san_chaos::{check, ViolationKind};
+
+/// A delivery with only the fields under test varying.
+fn d(src: u16, dst: u16, msg_id: u64, seq: u32, generation: u16, at_ns: u64) -> Delivery {
+    Delivery {
+        at_ns,
+        src,
+        dst,
+        msg_id,
+        seq,
+        generation,
+        corrupted: false,
+    }
+}
+
+/// A healthy single-pair observation: 3 messages, in order, generation 0,
+/// everything drained.
+fn clean() -> Observation {
+    Observation {
+        deliveries: vec![
+            d(0, 1, 0, 0, 0, 1_000),
+            d(0, 1, 1, 1, 0, 2_000),
+            d(0, 1, 2, 2, 0, 3_000),
+        ],
+        expected: vec![PairExpect {
+            src: 0,
+            dst: 1,
+            messages: 3,
+            reachable: true,
+        }],
+        nodes: vec![
+            NodeEnd {
+                node: 0,
+                unacked: 0,
+                pool_in_use: 0,
+            },
+            NodeEnd {
+                node: 1,
+                unacked: 0,
+                pool_in_use: 0,
+            },
+        ],
+        resets: Vec::new(),
+        last_progress: vec![(0, 3_000)],
+    }
+}
+
+fn kinds(obs: &Observation) -> Vec<ViolationKind> {
+    let mut ks: Vec<ViolationKind> = check(obs).into_iter().map(|v| v.kind).collect();
+    ks.dedup();
+    ks
+}
+
+#[test]
+fn clean_observation_passes() {
+    assert!(check(&clean()).is_empty());
+}
+
+#[test]
+fn duplicate_within_generation_flagged() {
+    let mut obs = clean();
+    // seq 1 deposited a second time after seq 2.
+    obs.deliveries.push(d(0, 1, 1, 1, 0, 4_000));
+    assert!(kinds(&obs).contains(&ViolationKind::DuplicateDelivery));
+}
+
+#[test]
+fn skipped_sequence_flagged_out_of_order() {
+    let mut obs = clean();
+    // seq 1 vanishes from the deposit order: 0, 2.
+    obs.deliveries.remove(1);
+    // Completeness owes msg 1 too; order must flag the seq gap itself.
+    assert!(kinds(&obs).contains(&ViolationKind::OutOfOrderDelivery));
+}
+
+#[test]
+fn stale_generation_after_newer_flagged_out_of_order() {
+    let obs = Observation {
+        deliveries: vec![
+            d(0, 1, 0, 0, 2, 1_000),
+            // Generation 1 resurfaces after generation 2 was adopted.
+            d(0, 1, 1, 0, 1, 2_000),
+            d(0, 1, 2, 1, 1, 3_000),
+        ],
+        ..clean()
+    };
+    assert!(kinds(&obs).contains(&ViolationKind::OutOfOrderDelivery));
+}
+
+#[test]
+fn generation_bump_mid_stream_is_legal() {
+    // A remap renumbers from zero in a newer generation: not a violation.
+    let obs = Observation {
+        deliveries: vec![
+            d(0, 1, 0, 0, 0, 1_000),
+            d(0, 1, 1, 0, 1, 2_000),
+            d(0, 1, 2, 1, 1, 3_000),
+        ],
+        ..clean()
+    };
+    assert!(check(&obs).is_empty());
+}
+
+#[test]
+fn corrupted_payload_flagged() {
+    let mut obs = clean();
+    obs.deliveries[1].corrupted = true;
+    assert!(kinds(&obs).contains(&ViolationKind::CorruptDelivered));
+}
+
+#[test]
+fn missing_delivery_flagged_when_reachable() {
+    let mut obs = clean();
+    obs.deliveries.pop();
+    assert!(kinds(&obs).contains(&ViolationKind::MissingDelivery));
+}
+
+#[test]
+fn missing_delivery_excused_when_partitioned() {
+    let mut obs = clean();
+    obs.deliveries.pop();
+    obs.expected[0].reachable = false;
+    assert!(!kinds(&obs).contains(&ViolationKind::MissingDelivery));
+}
+
+#[test]
+fn leaked_retrans_queue_flagged() {
+    let mut obs = clean();
+    obs.nodes[0].unacked = 3;
+    assert!(kinds(&obs).contains(&ViolationKind::LeakedRetransBuffer));
+}
+
+#[test]
+fn leaked_send_buffers_flagged() {
+    let mut obs = clean();
+    obs.nodes[0].pool_in_use = 2;
+    assert!(kinds(&obs).contains(&ViolationKind::LeakedRetransBuffer));
+}
+
+#[test]
+fn leak_not_owed_while_traffic_incomplete() {
+    // Retransmission state during an incomplete run is legitimate.
+    let mut obs = clean();
+    obs.deliveries.pop();
+    obs.nodes[0].unacked = 3;
+    assert!(!kinds(&obs).contains(&ViolationKind::LeakedRetransBuffer));
+}
+
+#[test]
+fn stall_after_path_reset_flagged() {
+    let mut obs = clean();
+    obs.deliveries.pop(); // sender 0 still owes msg 2
+    obs.resets = vec![ResetRecord {
+        src: 0,
+        at_ns: 10_000,
+    }];
+    obs.last_progress = vec![(0, 3_000)]; // nothing after the reset
+    assert!(kinds(&obs).contains(&ViolationKind::StalledAfterPathReset));
+}
+
+#[test]
+fn reset_with_later_progress_is_recovery() {
+    let mut obs = clean();
+    obs.resets = vec![ResetRecord {
+        src: 0,
+        at_ns: 2_500,
+    }];
+    obs.last_progress = vec![(0, 3_000)]; // delivered past the reset
+    assert!(check(&obs).is_empty());
+}

@@ -37,6 +37,20 @@ pub const TOKEN_MAPPER_BASE: u64 = 1 << 32;
 /// Timer tokens at or above this are per-packet expiries (the AM-II
 /// ablation): `TOKEN_PKT_BASE | dst << 32 | seq`.
 pub const TOKEN_PKT_BASE: u64 = 1 << 48;
+/// Timer tokens at or above this retry an on-demand mapping run that ended
+/// in an (untrusted) unreachable verdict: `TOKEN_REMAP_RETRY_BASE | dst`.
+pub const TOKEN_REMAP_RETRY_BASE: u64 = 1 << 49;
+
+/// How many consecutive unreachable verdicts the firmware accepts before it
+/// believes the mapper and drops the traffic queued toward the destination.
+/// Mapping probes travel the same wormhole fabric as data: under load (and
+/// especially when several NICs map at once) whole probe batches can be
+/// lost to contention or probe-vs-probe deadlock, and a deadlocked probe
+/// pins its channels until the fabric's path-reset timer reaps it — so one
+/// run's worth of silence is weak evidence. The retry budget is sized so
+/// the widening backoff (2^k timer periods) outlives a full Myrinet-scale
+/// path-reset window (~62 ms) before the final verdict is accepted.
+const MAX_MAP_ATTEMPTS: u32 = 7;
 
 /// The reliable firmware (retransmission + optional on-demand mapping).
 pub struct ReliableFirmware {
@@ -90,6 +104,21 @@ impl ReliableFirmware {
         &self.receivers[src.idx()]
     }
 
+    /// Total buffers parked in retransmission queues across all peers —
+    /// the end-state drain check used by invariant oracles.
+    pub fn unacked_total(&self) -> usize {
+        self.senders.iter().map(|s| s.retrans_q.len()).sum()
+    }
+
+    /// True when every retransmission queue has drained, no destination is
+    /// mid-mapping and no remap retry is pending: the firmware holds no
+    /// state that still owes work.
+    pub fn drained(&self) -> bool {
+        self.senders
+            .iter()
+            .all(|s| s.retrans_q.is_empty() && !s.mapping && s.map_attempts == 0)
+    }
+
     /// Pre-position the sequence space toward `dst` (testing hook: exercise
     /// wrap-around without sending 2³² packets). The receiving side must be
     /// positioned identically with [`ReliableFirmware::force_receiver_seq`].
@@ -139,6 +168,8 @@ impl ReliableFirmware {
         let n_freed = freed.len();
         if !freed.is_empty() {
             s.last_progress = ctx.now();
+            s.map_attempts = 0;
+            s.remap_backoff_until = Time::ZERO;
             for b in freed {
                 core.pool.release(b);
             }
@@ -309,6 +340,62 @@ impl ReliableFirmware {
         self.mapper.request(core, ctx, dst);
     }
 
+    /// Backoff before the `attempt`-th remap retry. Exponential in the
+    /// attempt (so consecutive tries eventually straddle the fabric's
+    /// path-reset window, which is what clears a probe deadlock), plus a
+    /// deterministic per-(node, attempt) spread: perm-failure detection
+    /// synchronizes every sender that lost the same switch, and identically
+    /// timed retries would re-create the exact probe collision that spoiled
+    /// the first verdict.
+    fn remap_backoff(&self, node: NodeId, attempt: u32) -> san_sim::Duration {
+        let unit = self
+            .cfg
+            .retx_timeout
+            .max(san_sim::Duration::from_micros(100));
+        let base = unit * (1u64 << attempt.min(6));
+        // SplitMix64-style finalizer over (node, attempt).
+        let mut h = ((node.0 as u64) << 32) ^ (attempt as u64) ^ 0x9E37_79B9_7F4A_7C15;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        base + san_sim::Duration::from_nanos(h % (unit * 4).nanos().max(1))
+    }
+
+    /// A scheduled remap retry for `dst` fired.
+    fn on_remap_retry(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+        if self.senders[dst.idx()].mapping {
+            // A newer mapping run is active; its outcome owns the held
+            // descriptors.
+            return;
+        }
+        let descs = self.mapper.release_descriptors(dst);
+        let s = &self.senders[dst.idx()];
+        if s.map_attempts == 0 || core.routes.get(dst).is_some() {
+            // Stale retry: progress resumed (acks reset the attempt count)
+            // or the route came back via side discovery. The episode is
+            // over, but descriptors parked in the mapper must go back to
+            // the normal send path or they are lost — re-queue them; if the
+            // route is still missing they re-trigger mapping as a fresh
+            // episode with a fresh budget.
+            if !descs.is_empty() {
+                for d in descs {
+                    core.pending.push_back(d);
+                }
+                core.request_pump();
+            }
+            return;
+        }
+        if s.retrans_q.is_empty() && descs.is_empty() {
+            // Nothing owed toward dst anymore; forget the episode.
+            self.senders[dst.idx()].map_attempts = 0;
+            return;
+        }
+        for d in descs {
+            self.mapper.hold_descriptor(d);
+        }
+        self.start_remap(core, ctx, dst);
+    }
+
     /// Mapping finished for `dst`: either re-route + new generation, or give
     /// up and drop everything queued toward it (§4.2).
     fn finish_remap(
@@ -337,6 +424,8 @@ impl ReliableFirmware {
                 }
                 s.last_progress = ctx.now();
                 s.retx_busy_until = Time::ZERO;
+                s.map_attempts = 0;
+                s.remap_backoff_until = Time::ZERO;
                 ft_trace(
                     core,
                     ctx.now(),
@@ -352,17 +441,47 @@ impl ReliableFirmware {
             None => {
                 // Unreachable: drop pending packets (paper: "the node is
                 // labeled as unreachable and any pending packets are
-                // dropped").
+                // dropped") and post error completions so the host can own
+                // end-to-end recovery. The retry budget restarts — a future
+                // episode (after a repair) deserves fresh evidence.
+                s.map_attempts = 0;
+                s.remap_backoff_until = Time::ZERO;
                 let bufs: Vec<BufId> = s.retrans_q.drain(..).collect();
+                let mut failed: Vec<u64> = Vec::with_capacity(bufs.len());
                 for b in bufs {
+                    failed.push(core.pool.pkt(b).msg_id);
                     core.pool.release(b);
                 }
                 core.stats.unroutable.hit();
                 // Descriptors still pending toward dst are dropped too.
+                failed.extend(
+                    core.pending
+                        .iter()
+                        .filter(|d| d.dst == dst)
+                        .map(|d| d.msg_id),
+                );
                 core.pending.retain(|d| d.dst != dst);
+                notify_send_failed(core, ctx, dst, failed);
                 core.request_pump();
             }
         }
+    }
+}
+
+/// Post error completions to the host for sends dropped as unreachable.
+/// Unconditional (not gated on `SendDesc::notify`): a host that opted out
+/// of success interrupts still needs to hear about errors to own
+/// end-to-end recovery.
+fn notify_send_failed(core: &NicCore, ctx: &mut NicCtx, dst: NodeId, mut msg_ids: Vec<u64>) {
+    msg_ids.sort_unstable();
+    msg_ids.dedup();
+    let seen = ctx.now() + core.timing.host_notify;
+    let node = core.node;
+    for msg_id in msg_ids {
+        ctx.sim.schedule(
+            seen,
+            san_nic::ClusterEvent::Host(node, san_nic::HostEvent::SendFailed { msg_id, dst }),
+        );
     }
 }
 
@@ -545,6 +664,11 @@ impl Firmware for ReliableFirmware {
     }
 
     fn on_timer(&mut self, core: &mut NicCore, ctx: &mut NicCtx, token: u64) {
+        if token >= TOKEN_REMAP_RETRY_BASE {
+            let dst = NodeId((token & 0xFFFF) as u16);
+            self.on_remap_retry(core, ctx, dst);
+            return;
+        }
         if token >= TOKEN_PKT_BASE {
             // Per-packet expiry (AM-II ablation): the check costs CPU even
             // when the packet has long been acknowledged.
@@ -617,6 +741,7 @@ impl Firmware for ReliableFirmware {
                 // progress for the whole threshold ⇒ remap.
                 if self.cfg.enable_mapping
                     && !s.mapping
+                    && now >= s.remap_backoff_until
                     && now.since(s.last_progress) >= self.cfg.perm_fail_threshold
                 {
                     self.start_remap(core, ctx, dst);
@@ -658,7 +783,10 @@ impl Firmware for ReliableFirmware {
         // communicate with another NIC ... it starts mapping the network").
         let dst = desc.dst;
         self.mapper.hold_descriptor(desc);
-        if !self.senders[dst.idx()].mapping {
+        let s = &self.senders[dst.idx()];
+        // During a retry backoff the scheduled retry owns the restart; the
+        // descriptor just waits with the rest.
+        if !s.mapping && ctx.now() >= s.remap_backoff_until {
             self.senders[dst.idx()].mapping = true;
             self.mapper.request(core, ctx, dst);
         }
@@ -682,17 +810,51 @@ impl ReliableFirmware {
                 }
                 MapOutcome::TargetResolved { dst, route } => {
                     let descs = self.mapper.release_descriptors(dst);
-                    let reachable = route.is_some();
-                    self.finish_remap(core, ctx, dst, route);
-                    if reachable {
+                    if route.is_some() {
+                        self.finish_remap(core, ctx, dst, route);
                         for d in descs {
                             core.pending.push_back(d);
                         }
+                        core.request_pump();
+                        continue;
+                    }
+                    self.senders[dst.idx()].map_attempts += 1;
+                    let attempt = self.senders[dst.idx()].map_attempts;
+                    let owes = !self.senders[dst.idx()].retrans_q.is_empty() || !descs.is_empty();
+                    if owes && attempt < MAX_MAP_ATTEMPTS {
+                        // Don't believe a single silent run while traffic is
+                        // still queued: keep everything and try again after a
+                        // backoff (see MAX_MAP_ATTEMPTS).
+                        let until = ctx.now() + self.remap_backoff(core.node, attempt);
+                        let s = &mut self.senders[dst.idx()];
+                        s.mapping = false;
+                        s.remap_backoff_until = until;
+                        for d in descs {
+                            self.mapper.hold_descriptor(d);
+                        }
+                        ctx.sim.schedule(
+                            until,
+                            san_nic::ClusterEvent::Nic(
+                                core.node,
+                                san_nic::NicEvent::Timer {
+                                    token: TOKEN_REMAP_RETRY_BASE | dst.0 as u64,
+                                },
+                            ),
+                        );
                     } else {
-                        // Unreachable: the held descriptors are dropped with
-                        // the rest of the pending traffic (re-posting them
-                        // would re-trigger mapping forever).
+                        // Verdict confirmed across the retry budget (or
+                        // nothing is queued): accept unreachable. The held
+                        // descriptors are dropped with the rest of the
+                        // pending traffic (re-posting them would re-trigger
+                        // mapping forever).
+                        self.finish_remap(core, ctx, dst, None);
                         core.stats.unroutable.add(descs.len() as u64);
+                        notify_send_failed(
+                            core,
+                            ctx,
+                            dst,
+                            descs.iter().map(|d| d.msg_id).collect(),
+                        );
                     }
                     core.request_pump();
                 }

@@ -33,6 +33,15 @@ pub struct SenderState {
     pub retx_busy_until: Time,
     /// The destination is currently being (re)mapped; hold retransmissions.
     pub mapping: bool,
+    /// Consecutive mapping runs that ended in an unreachable verdict with
+    /// traffic still queued. Probe batches share the fabric with everything
+    /// else, so a verdict can be spoiled by probe loss or probe-vs-probe
+    /// deadlock; the firmware retries before believing it.
+    pub map_attempts: u32,
+    /// Do not restart mapping before this time (widening backoff between
+    /// unreachable verdicts, so synchronized senders desynchronize instead
+    /// of re-colliding their probe storms).
+    pub remap_backoff_until: Time,
 }
 
 impl Default for SenderState {
@@ -45,6 +54,8 @@ impl Default for SenderState {
             last_progress: Time::ZERO,
             retx_busy_until: Time::ZERO,
             mapping: false,
+            map_attempts: 0,
+            remap_backoff_until: Time::ZERO,
         }
     }
 }

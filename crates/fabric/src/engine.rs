@@ -425,13 +425,7 @@ impl Engine {
         let faults_active = match self.faults.burst {
             None => true,
             Some(b) => {
-                if self.burst_bad {
-                    if self.fault_rng.chance(b.p_leave) {
-                        self.burst_bad = false;
-                    }
-                } else if self.fault_rng.chance(b.p_enter) {
-                    self.burst_bad = true;
-                }
+                self.burst_bad = b.step(self.burst_bad, &mut self.fault_rng);
                 self.burst_bad
             }
         };

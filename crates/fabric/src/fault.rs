@@ -16,7 +16,7 @@
 //! 3. **Permanent faults** ([`FaultPlan`]) — scheduled link/switch deaths and
 //!    repairs, compiled into fabric events at simulation start.
 
-use san_sim::{Sim, Time};
+use san_sim::{Sim, SimRng, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::FabricEvent;
@@ -58,6 +58,17 @@ impl BurstModel {
     /// Mean burst length in packets.
     pub fn mean_burst_len(&self) -> f64 {
         1.0 / self.p_leave
+    }
+    /// Advance the channel by one packet from state `bad` (true = bad),
+    /// returning the new state. This is the per-packet transition the
+    /// fabric engine applies at injection; it lives here so statistical
+    /// tests exercise the production chain, not a re-derivation.
+    pub fn step(&self, bad: bool, rng: &mut SimRng) -> bool {
+        if bad {
+            !rng.chance(self.p_leave)
+        } else {
+            rng.chance(self.p_enter)
+        }
     }
 }
 
@@ -142,6 +153,18 @@ impl PermanentFault {
         }
     }
 
+    /// Total tie-break key for same-instant actions: deaths apply before
+    /// repairs (so a down+up pair at the same tick leaves the component
+    /// alive — the repair is the later intent), and the remaining fields
+    /// make the ordering canonical regardless of listing order.
+    fn rank(&self) -> (u8, u8, u32) {
+        match *self {
+            PermanentFault::LinkDown { link, .. } => (0, 0, link),
+            PermanentFault::SwitchDown { switch, .. } => (0, 1, switch as u32),
+            PermanentFault::LinkUp { link, .. } => (1, 0, link),
+        }
+    }
+
     /// The fabric event this fault compiles to.
     pub fn event(&self) -> FabricEvent {
         match *self {
@@ -196,8 +219,16 @@ impl FaultPlan {
     }
 
     /// Schedule every action into the simulation.
+    ///
+    /// Same-instant events apply in the order scheduled (the event queue
+    /// breaks time ties by insertion order), so actions are sorted by
+    /// (time, death-before-repair) first: a repair listed *before* a death
+    /// at the same tick would otherwise win by Vec position and leave the
+    /// link dead.
     pub fn arm<E: From<FabricEvent>>(&self, sim: &mut Sim<E>) {
-        for a in &self.actions {
+        let mut actions = self.actions.clone();
+        actions.sort_by_key(|a| (a.at(), a.rank()));
+        for a in &actions {
             sim.schedule(a.at(), a.event().into());
         }
     }
@@ -212,6 +243,54 @@ mod tests {
         assert!(TransientFaults::none().is_none());
         assert!(!TransientFaults::loss(0.1).is_none());
         assert_eq!(TransientFaults::corruption(0.2).corrupt_prob, 0.2);
+    }
+
+    #[test]
+    fn same_tick_repair_and_death_apply_death_first() {
+        // A repair listed *before* a death at the same instant: the armed
+        // schedule must still apply death → repair, leaving the link alive.
+        let t = Time::from_millis(3);
+        let plan = FaultPlan::new()
+            .link_up(t, LinkId(5))
+            .link_down(t, LinkId(5));
+        let mut sim: Sim<FabricEvent> = Sim::new(0);
+        plan.arm(&mut sim);
+        let (t0, first) = sim.pop().unwrap();
+        let (t1, second) = sim.pop().unwrap();
+        assert_eq!((t0, t1), (t, t));
+        assert!(
+            matches!(first, FabricEvent::LinkDown { link } if link == LinkId(5)),
+            "death must be scheduled first"
+        );
+        assert!(matches!(second, FabricEvent::LinkUp { link } if link == LinkId(5)));
+    }
+
+    #[test]
+    fn same_tick_ordering_is_deterministic_under_permutation() {
+        // Both listing orders compile to the identical schedule.
+        let t = Time::from_millis(1);
+        let a = FaultPlan::new()
+            .link_down(t, LinkId(2))
+            .link_up(t, LinkId(2))
+            .switch_down(t, SwitchId(0));
+        let b = FaultPlan::new()
+            .link_up(t, LinkId(2))
+            .switch_down(t, SwitchId(0))
+            .link_down(t, LinkId(2));
+        let drain = |plan: &FaultPlan| {
+            let mut sim: Sim<FabricEvent> = Sim::new(0);
+            plan.arm(&mut sim);
+            let mut out = Vec::new();
+            while let Some((at, ev)) = sim.pop() {
+                out.push(format!("{at:?}/{ev:?}"));
+            }
+            out
+        };
+        assert_eq!(drain(&a), drain(&b));
+        // Deaths (in listed order) precede the repair.
+        assert!(drain(&a)[0].contains("LinkDown"));
+        assert!(drain(&a)[1].contains("SwitchDown"));
+        assert!(drain(&a)[2].contains("LinkUp"));
     }
 
     #[test]
@@ -235,6 +314,68 @@ mod tests {
 mod burst_tests {
     use super::*;
 
+    /// Run the chain for `n` packets and return (empirical bad fraction,
+    /// empirical mean burst length over completed bursts).
+    fn empirical_moments(b: BurstModel, seed: u64, n: usize) -> (f64, f64) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut bad = false;
+        let mut bad_packets = 0usize;
+        let mut bursts = 0usize;
+        for _ in 0..n {
+            let was_bad = bad;
+            bad = b.step(bad, &mut rng);
+            if bad {
+                bad_packets += 1;
+                if !was_bad {
+                    bursts += 1;
+                }
+            }
+        }
+        let frac = bad_packets as f64 / n as f64;
+        let mean_len = if bursts == 0 {
+            0.0
+        } else {
+            bad_packets as f64 / bursts as f64
+        };
+        (frac, mean_len)
+    }
+
+    #[test]
+    fn degenerate_never_enter_stays_good() {
+        // p_enter = 0: the channel never leaves the good state.
+        let b = BurstModel {
+            p_enter: 0.0,
+            p_leave: 0.5,
+        };
+        assert_eq!(b.bad_fraction(), 0.0);
+        let (frac, _) = empirical_moments(b, 17, 10_000);
+        assert_eq!(frac, 0.0, "p_enter=0 must never produce a bad packet");
+    }
+
+    #[test]
+    fn degenerate_instant_leave_gives_unit_bursts() {
+        // p_leave = 1: every burst is exactly one packet long.
+        let b = BurstModel {
+            p_enter: 0.3,
+            p_leave: 1.0,
+        };
+        assert_eq!(b.mean_burst_len(), 1.0);
+        let mut rng = SimRng::seed_from(23);
+        let mut bad = false;
+        let mut prev_bad = false;
+        let mut saw_bad = false;
+        for _ in 0..10_000 {
+            bad = b.step(bad, &mut rng);
+            assert!(
+                !(bad && prev_bad),
+                "p_leave=1 forbids two consecutive bad packets"
+            );
+            saw_bad |= bad;
+            prev_bad = bad;
+        }
+        assert!(saw_bad, "p_enter=0.3 must enter the bad state sometimes");
+    }
+
     #[test]
     fn burst_parameters_have_the_right_moments() {
         let f = TransientFaults::bursty_loss(0.01, 10.0);
@@ -251,5 +392,57 @@ mod burst_tests {
     #[should_panic]
     fn bursty_loss_rejects_bad_rates() {
         let _ = TransientFaults::bursty_loss(1.5, 10.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// The analytic moments — `bad_fraction()` and
+            /// `mean_burst_len()` — must match the empirical frequencies of
+            /// the sampled Gilbert–Elliott chain within statistical
+            /// tolerance, for arbitrary parameters and seeds.
+            #[test]
+            fn analytic_moments_match_sampled_chain(
+                p_enter in 0.02f64..0.25,
+                p_leave in 0.25f64..0.95,
+                seed in 0u64..10_000,
+            ) {
+                let b = BurstModel { p_enter, p_leave };
+                let n = 120_000;
+                let (frac, mean_len) = empirical_moments(b, seed, n);
+                let want_frac = b.bad_fraction();
+                let want_len = b.mean_burst_len();
+                // Bursty chains mix slowly, so allow a generous (but still
+                // regression-catching) 20% relative band.
+                prop_assert!(
+                    (frac - want_frac).abs() / want_frac < 0.20,
+                    "bad fraction: empirical {frac:.4} vs analytic {want_frac:.4}"
+                );
+                prop_assert!(
+                    (mean_len - want_len).abs() / want_len < 0.20,
+                    "burst length: empirical {mean_len:.3} vs analytic {want_len:.3}"
+                );
+            }
+
+            /// Degenerate corners sampled across seeds: p_enter=0 never
+            /// goes bad; p_leave=1 caps every burst at one packet.
+            #[test]
+            fn degenerate_corners_behave(seed in 0u64..10_000) {
+                let never = BurstModel { p_enter: 0.0, p_leave: 0.7 };
+                let (frac, _) = empirical_moments(never, seed, 5_000);
+                prop_assert_eq!(frac, 0.0);
+
+                let unit = BurstModel { p_enter: 0.4, p_leave: 1.0 };
+                let (_, mean_len) = empirical_moments(unit, seed, 20_000);
+                prop_assert!(
+                    (mean_len - 1.0).abs() < 1e-12,
+                    "every burst must be exactly 1 packet, got {mean_len}"
+                );
+            }
+        }
     }
 }

@@ -80,6 +80,12 @@ impl SendPool {
         self.free.len()
     }
 
+    /// Buffers currently held (allocated and not yet released) — zero
+    /// after a clean protocol drain, so oracles use it to detect leaks.
+    pub fn in_use(&self) -> usize {
+        self.bufs.len() - self.free.len()
+    }
+
     /// Fraction of buffers free, in `[0,1]` (drives sender-based feedback).
     pub fn free_fraction(&self) -> f64 {
         self.free.len() as f64 / self.bufs.len() as f64

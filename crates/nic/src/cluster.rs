@@ -69,6 +69,16 @@ pub enum HostEvent {
         /// The message id from the descriptor.
         msg_id: u64,
     },
+    /// The NIC gave up on a send: the destination stayed unreachable
+    /// across the firmware's whole remap-retry budget and the packets
+    /// were dropped. End-to-end recovery (re-posting once the fabric
+    /// heals) is the host's decision, not the NIC's.
+    SendFailed {
+        /// The message id from the descriptor.
+        msg_id: u64,
+        /// The unreachable destination.
+        dst: NodeId,
+    },
 }
 
 /// The cluster-wide event type.
@@ -141,6 +151,13 @@ pub trait HostAgent {
     fn on_message(&mut self, ctx: &mut HostCtx, pkt: Packet);
     /// A send's host buffer is reusable.
     fn on_send_done(&mut self, ctx: &mut HostCtx, msg_id: u64);
+    /// A send was dropped: the NIC declared `dst` unreachable after
+    /// exhausting its remap retries. Unlike `on_send_done`, failure
+    /// completions are always delivered (regardless of `SendDesc::notify`)
+    /// — a host that opted out of success interrupts still needs to hear
+    /// about errors to own end-to-end recovery. Default: ignore, matching
+    /// the paper's "pending packets are dropped" baseline.
+    fn on_send_failed(&mut self, _ctx: &mut HostCtx, _msg_id: u64, _dst: NodeId) {}
 }
 
 /// A do-nothing agent for nodes that only react (e.g. pure receivers whose
@@ -377,6 +394,9 @@ impl Cluster {
                     HostEvent::Deliver { pkt } => self.hosts[node.idx()].on_message(&mut ctx, *pkt),
                     HostEvent::SendDone { msg_id } => {
                         self.hosts[node.idx()].on_send_done(&mut ctx, msg_id)
+                    }
+                    HostEvent::SendFailed { msg_id, dst } => {
+                        self.hosts[node.idx()].on_send_failed(&mut ctx, msg_id, dst)
                     }
                 }
             }

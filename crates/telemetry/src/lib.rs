@@ -40,7 +40,7 @@ pub use metrics::{
     Counter, Gauge, HistogramHandle, MetricKind, MetricValue, RegistryError, Snapshot,
     SnapshotEntry, SummaryHandle,
 };
-pub use trace::{Layer, TraceEvent, TraceFilter, TraceKind};
+pub use trace::{Layer, TraceEvent, TraceFilter, TraceKind, TraceScan};
 
 use trace::{Recorder, Ring};
 
@@ -179,6 +179,13 @@ impl Telemetry {
             Recorder::Off => 0,
             Recorder::On(ring) => ring.overwritten(),
         }
+    }
+
+    /// Drain the ring into a [`TraceScan`] for post-hoc queries (by kind,
+    /// stream, or time window). Carries the overwrite count so consumers
+    /// can tell whether the history is complete.
+    pub fn scan(&self) -> TraceScan {
+        TraceScan::new(self.events(), self.overwritten_events())
     }
 
     /// Drop all recorded events (e.g. after a warmup phase).

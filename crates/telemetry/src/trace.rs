@@ -247,6 +247,68 @@ impl Default for TraceFilter {
     }
 }
 
+/// Post-hoc queries over a drained trace.
+///
+/// Consumers (invariant oracles, reports) drain the ring once with
+/// [`crate::Telemetry::scan`] and then slice the owned event list by kind,
+/// packet stream, or time window without re-walking the ring. All queries
+/// preserve recording (oldest-first) order.
+#[derive(Debug, Clone)]
+pub struct TraceScan {
+    events: Vec<TraceEvent>,
+    /// Events the ring overwrote before the scan: when nonzero the oldest
+    /// part of the history is missing and completeness-style conclusions
+    /// ("X never happened") are unsound.
+    pub truncated: u64,
+}
+
+impl TraceScan {
+    /// Wrap an already-drained event list (`truncated` as reported by the
+    /// ring at drain time).
+    pub fn new(events: Vec<TraceEvent>, truncated: u64) -> Self {
+        Self { events, truncated }
+    }
+
+    /// Every event, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind, oldest first.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Packet-scoped events of one (src, dst) stream, oldest first.
+    pub fn for_pair(&self, src: u16, dst: u16) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.kind.is_packet_scoped() && e.src == src && e.dst == dst)
+    }
+
+    /// How many events of `kind` were recorded.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Is there an event at or after `at_ns` satisfying `pred`?
+    pub fn any_since(&self, at_ns: u64, mut pred: impl FnMut(&TraceEvent) -> bool) -> bool {
+        self.events.iter().any(|e| e.at_ns >= at_ns && pred(e))
+    }
+
+    /// The distinct (src, dst) streams that have packet-scoped events,
+    /// in first-appearance order.
+    pub fn pairs(&self) -> Vec<(u16, u16)> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            if e.kind.is_packet_scoped() && !out.contains(&(e.src, e.dst)) {
+                out.push((e.src, e.dst));
+            }
+        }
+        out
+    }
+}
+
 /// One ring slot: a `TraceEvent` packed into four relaxed atomic words.
 ///
 /// Relaxed `AtomicU64` stores and loads compile to plain `mov`s on every

@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== chaos smoke campaign (invariant gate)"
+cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/smoke.json --trials 8 --jobs 2
+
 echo "All checks passed."
