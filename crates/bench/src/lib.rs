@@ -16,6 +16,7 @@
 //! | `fig9`   | Figure 9 — application execution-time breakdowns |
 //! | `table3` | Table 3 — on-demand mapping probes and time vs hops |
 //! | `ablate` | design-choice ablations (DESIGN.md §5) |
+//! | `adaptive` | Figure 6 rerun with the RTT-driven threshold + damping on |
 //!
 //! Every binary accepts `--quick` (reduced volume; the default) or `--full`
 //! (paper-scale volumes — minutes of CPU). Output is aligned text plus

@@ -310,6 +310,15 @@ pub struct ProtoSpec {
     pub perm_fail_ms: u64,
     /// Send buffers per NIC.
     pub send_bufs: u16,
+    /// Per-destination adaptive retransmission threshold (SRTT + 4·RTTVAR
+    /// with Karn's rule) instead of the fixed timer.
+    pub adaptive_rto: bool,
+    /// Retransmit-storm damping (AIMD clamp on the replayed window).
+    pub damping: bool,
+    /// Host-level end-to-end recovery: re-post messages the NIC fails as
+    /// unreachable, with bounded exponential backoff. Off models a host
+    /// that treats `SendFailed` as final (the paper's silent drop).
+    pub host_recovery: bool,
 }
 
 impl Default for ProtoSpec {
@@ -320,6 +329,9 @@ impl Default for ProtoSpec {
             retx_timeout_us: 1_000,
             perm_fail_ms: 50,
             send_bufs: 32,
+            adaptive_rto: false,
+            damping: false,
+            host_recovery: true,
         }
     }
 }
@@ -331,6 +343,8 @@ impl ProtoSpec {
             retx_timeout: Duration::from_micros(self.retx_timeout_us),
             perm_fail_threshold: Duration::from_millis(self.perm_fail_ms),
             enable_mapping: self.mapping,
+            adaptive_rto: self.adaptive_rto,
+            window_damping: self.damping,
             ..ProtocolConfig::default()
         }
     }
@@ -342,6 +356,9 @@ impl ProtoSpec {
             ("retx_timeout_us", Json::Int(self.retx_timeout_us)),
             ("perm_fail_ms", Json::Int(self.perm_fail_ms)),
             ("send_bufs", Json::Int(self.send_bufs as u64)),
+            ("adaptive_rto", self.adaptive_rto.into()),
+            ("damping", self.damping.into()),
+            ("host_recovery", self.host_recovery.into()),
         ])
     }
 
@@ -371,6 +388,18 @@ impl ProtoSpec {
                 .and_then(Json::as_u64)
                 .unwrap_or(d.send_bufs as u64)
                 .clamp(2, 128) as u16,
+            adaptive_rto: v
+                .get("adaptive_rto")
+                .and_then(Json::as_bool)
+                .unwrap_or(d.adaptive_rto),
+            damping: v
+                .get("damping")
+                .and_then(Json::as_bool)
+                .unwrap_or(d.damping),
+            host_recovery: v
+                .get("host_recovery")
+                .and_then(Json::as_bool)
+                .unwrap_or(d.host_recovery),
         })
     }
 }

@@ -22,6 +22,10 @@
 //! 5. **Bounded deadlock recovery**: every path reset is followed by
 //!    packet-level progress from the same source (unless that source has
 //!    nothing left to deliver).
+//! 6. **End-to-end recovery**: when host-level recovery is on, no message
+//!    that the NIC failed with `SendFailed` (remap-budget exhaustion) may
+//!    stay undelivered once end-state connectivity allows it — the stream
+//!    tail survives the outage because the host re-posts it.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -96,6 +100,11 @@ pub struct Observation {
     /// Per source node: the latest packet-scoped trace activity
     /// (injection, retransmit, deposit, …) attributable to that sender.
     pub last_progress: Vec<(u16, u64)>,
+    /// Every `SendFailed` completion the hosts saw: (src, dst, msg_id).
+    pub send_failed: Vec<(u16, u16, u64)>,
+    /// Whether the hosts ran the end-to-end recovery policy (invariant 6
+    /// is only owed when they did).
+    pub host_recovery: bool,
 }
 
 /// Which invariant a violation breaks.
@@ -114,6 +123,9 @@ pub enum ViolationKind {
     LeakedRetransBuffer,
     /// A path reset was never followed by sender progress.
     StalledAfterPathReset,
+    /// With host recovery on, a `SendFailed` message stayed undelivered
+    /// although end-state connectivity allowed re-posting it.
+    AbandonedAfterSendFailed,
 }
 
 impl ViolationKind {
@@ -126,6 +138,7 @@ impl ViolationKind {
             ViolationKind::MissingDelivery => "missing_delivery",
             ViolationKind::LeakedRetransBuffer => "leaked_retrans_buffer",
             ViolationKind::StalledAfterPathReset => "stalled_after_path_reset",
+            ViolationKind::AbandonedAfterSendFailed => "abandoned_after_send_failed",
         }
     }
 }
@@ -192,6 +205,7 @@ pub fn check(obs: &Observation) -> Vec<Violation> {
     check_completeness(obs, &mut out);
     check_drain(obs, &mut out);
     check_reset_progress(obs, &mut out);
+    check_abandoned(obs, &mut out);
     out
 }
 
@@ -368,6 +382,57 @@ fn check_drain(obs: &Observation, out: &mut Vec<Violation>) {
                 detail: format!(
                     "{} send buffers still allocated after all traffic delivered",
                     n.pool_in_use
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 6: with host recovery on, every `SendFailed` message is
+/// eventually delivered once end-state connectivity allows it. This is
+/// sharper than plain completeness: it pins the loss to a remap-budget
+/// exhaustion the host was supposed to outlive, which is exactly the
+/// stream-tail-survives-the-outage guarantee the recovery policy makes.
+fn check_abandoned(obs: &Observation, out: &mut Vec<Violation>) {
+    if !obs.host_recovery {
+        return; // silent-drop hosts owe nothing after SendFailed
+    }
+    let mut failed = obs.send_failed.clone();
+    failed.sort_unstable();
+    failed.dedup();
+    let mut pairs: Vec<(u16, u16)> = failed.iter().map(|&(s, d, _)| (s, d)).collect();
+    pairs.dedup();
+    for (src, dst) in pairs {
+        let reachable = obs
+            .expected
+            .iter()
+            .any(|pe| pe.src == src && pe.dst == dst && pe.reachable);
+        if !reachable {
+            continue; // connectivity never restored: nothing owed
+        }
+        let got: BTreeSet<u64> = obs
+            .deliveries
+            .iter()
+            .filter(|d| d.src == src && d.dst == dst)
+            .map(|d| d.msg_id)
+            .collect();
+        let lost: Vec<u64> = failed
+            .iter()
+            .filter(|&&(s, d, m)| s == src && d == dst && !got.contains(&m))
+            .map(|&(_, _, m)| m)
+            .collect();
+        if !lost.is_empty() {
+            let head: Vec<String> = lost.iter().take(6).map(u64::to_string).collect();
+            out.push(Violation {
+                kind: ViolationKind::AbandonedAfterSendFailed,
+                src,
+                dst,
+                detail: format!(
+                    "{} SendFailed message(s) never re-delivered despite recovery \
+                     and restored connectivity (first: {}{})",
+                    lost.len(),
+                    head.join(", "),
+                    if lost.len() > head.len() { ", …" } else { "" }
                 ),
             });
         }

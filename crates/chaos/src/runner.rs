@@ -9,6 +9,7 @@
 //! runner only changes wall-clock time, never results.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -40,16 +41,27 @@ const SLICE_MS: u64 = 5;
 /// Shared delivery log (single-threaded within one trial).
 type DeliveryLog = Rc<RefCell<Vec<Delivery>>>;
 
+/// Shared `SendFailed` log: (src, dst, msg_id) per completion, in
+/// notification order.
+type FailureLog = Rc<RefCell<Vec<(u16, u16, u64)>>>;
+
 /// Host agent for chaos trials: optionally streams one message sequence
-/// to a destination, records everything deposited locally, and re-posts
-/// sends the NIC fails as unreachable (end-to-end recovery: the transport
-/// gives up after its remap-retry budget; outliving a long outage is the
-/// host's job).
+/// to a destination, records everything deposited locally, and — when
+/// `recover` is on — re-posts sends the NIC fails as unreachable with
+/// bounded exponential backoff (end-to-end recovery: the transport gives
+/// up after its remap-retry budget; outliving a long outage is the host's
+/// job). With `recover` off the host treats `SendFailed` as final, which
+/// is the paper's silent drop.
 struct ChaosHost {
+    me: NodeId,
     send: Option<(NodeId, u64)>,
     bytes: u32,
     log: DeliveryLog,
     failed: Vec<(NodeId, u64)>,
+    /// Re-posts already spent per msg_id.
+    attempts: HashMap<u64, u32>,
+    recover: bool,
+    failures: FailureLog,
 }
 
 /// Wake token for the initial stream post.
@@ -59,7 +71,13 @@ const WAKE_REPOST: u64 = 1;
 
 /// Host-level retry pacing: long enough to not hammer the NIC with
 /// back-to-back mapping episodes, short compared to the drain grace.
+/// Doubles per repost of the same message, up to `REPOST_DELAY << 5`.
 const REPOST_DELAY: Duration = Duration::from_millis(1);
+
+/// Re-post budget per message: with the NIC's own remap-retry budget in
+/// front of every attempt this outlives any outage a survivable campaign
+/// can schedule, while still bounding a truly-partitioned stream.
+const MAX_REPOSTS: u32 = 16;
 
 impl HostAgent for ChaosHost {
     fn on_start(&mut self, ctx: &mut HostCtx) {
@@ -94,8 +112,18 @@ impl HostAgent for ChaosHost {
     }
 
     fn on_send_failed(&mut self, ctx: &mut HostCtx, msg_id: u64, dst: NodeId) {
+        self.failures.borrow_mut().push((self.me.0, dst.0, msg_id));
+        if !self.recover {
+            return;
+        }
+        let a = self.attempts.entry(msg_id).or_insert(0);
+        if *a >= MAX_REPOSTS {
+            return; // budget spent: abandon (the oracle will notice)
+        }
+        *a += 1;
+        let delay = REPOST_DELAY * (1u64 << (*a - 1).min(5));
         if self.failed.is_empty() {
-            ctx.wake_in(REPOST_DELAY, WAKE_REPOST);
+            ctx.wake_in(delay, WAKE_REPOST);
         }
         self.failed.push((dst, msg_id));
     }
@@ -132,6 +160,10 @@ pub struct TrialOutcome {
     pub expected: u64,
     /// Fabric path resets during the run.
     pub path_resets: u64,
+    /// `SendFailed` completions surfaced to hosts (remap-budget
+    /// exhaustions); nonzero proves a recovery campaign actually forced
+    /// the transport to give up.
+    pub send_failed: u64,
     /// Generation bumps (remaps) during the run.
     pub generation_bumps: u64,
     /// Simulated time when the run settled or hit its deadline.
@@ -148,7 +180,7 @@ impl TrialOutcome {
     /// determinism comparisons).
     pub fn verdict_line(&self) -> String {
         let mut line = format!(
-            "{}[{:03}] seed={:#018x} delivered={}/{} resets={} bumps={} t={}ns {}",
+            "{}[{:03}] seed={:#018x} delivered={}/{} resets={} bumps={} failed={} t={}ns {}",
             self.campaign,
             self.index,
             self.seed,
@@ -156,6 +188,7 @@ impl TrialOutcome {
             self.expected,
             self.path_resets,
             self.generation_bumps,
+            self.send_failed,
             self.finished_at_ns,
             if self.passed() { "PASS" } else { "FAIL" },
         );
@@ -199,6 +232,7 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
     };
 
     let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
+    let failures: FailureLog = Rc::new(RefCell::new(Vec::new()));
     let hosts: Vec<Box<dyn HostAgent>> = built
         .hosts
         .iter()
@@ -208,10 +242,14 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
                 .find(|&&(s, _)| s == h)
                 .map(|&(_, d)| (d, trial.traffic.messages));
             Box::new(ChaosHost {
+                me: h,
                 send,
                 bytes: trial.traffic.bytes,
                 log: log.clone(),
                 failed: Vec::new(),
+                attempts: HashMap::new(),
+                recover: trial.protocol.host_recovery,
+                failures: failures.clone(),
             })
         })
         .collect();
@@ -299,6 +337,8 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         nodes,
         resets,
         last_progress,
+        send_failed: failures.borrow().clone(),
+        host_recovery: trial.protocol.host_recovery,
     };
     let violations = oracle::check(&obs);
     let stats = cluster.engine.stats();
@@ -311,6 +351,7 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         delivered: unique_delivered(&obs.deliveries),
         expected: expected_total,
         path_resets: stats.path_resets,
+        send_failed: obs.send_failed.len() as u64,
         generation_bumps: scan.count(TraceKind::GenerationBump) as u64,
         finished_at_ns: finished_at.nanos(),
     };

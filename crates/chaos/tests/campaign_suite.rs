@@ -47,9 +47,56 @@ fn reincarnation_quick() {
 }
 
 #[test]
-#[ignore = "full curated suite (80 trials); run in release via scripts/check.sh or --ignored"]
+fn recovery_quick() {
+    // Beyond holding the invariants, the quick slice must actually force
+    // remap-budget exhaustion in at least one trial — otherwise the
+    // end-to-end recovery invariant is checked vacuously.
+    let campaign = load("recovery");
+    let outcome = run_campaign(&campaign, 4, 4);
+    assert!(
+        outcome.failures().next().is_none(),
+        "campaign 'recovery' violated invariants:\n{}",
+        outcome.report()
+    );
+    assert!(
+        outcome.trials.iter().any(|t| t.send_failed > 0),
+        "recovery campaign never exhausted the remap budget:\n{}",
+        outcome.report()
+    );
+}
+
+#[test]
+fn reincarnation_hot_quick() {
+    // The storm at its original (pre-retune) load: adaptive RTO + window
+    // damping must carry it without a single host-level bailout — the
+    // fixed-timer protocol at this load only completes by burning
+    // thousands of path resets and SendFailed re-posts.
+    let campaign = load("reincarnation_hot");
+    let outcome = run_campaign(&campaign, 4, 4);
+    assert!(
+        outcome.failures().next().is_none(),
+        "campaign 'reincarnation_hot' violated invariants:\n{}",
+        outcome.report()
+    );
+    assert!(
+        outcome.trials.iter().all(|t| t.send_failed == 0),
+        "adaptive stack needed host-level recovery at storm load:\n{}",
+        outcome.report()
+    );
+}
+
+#[test]
+#[ignore = "full curated suite (136 trials); run in release via scripts/check.sh or --ignored"]
 fn full_curated_suite() {
-    for name in ["smoke", "transient", "permanent", "mixed", "reincarnation"] {
+    for name in [
+        "smoke",
+        "transient",
+        "permanent",
+        "mixed",
+        "reincarnation",
+        "recovery",
+        "reincarnation_hot",
+    ] {
         let campaign = load(name);
         let outcome = run_campaign(&campaign, campaign.trials, 8);
         assert!(

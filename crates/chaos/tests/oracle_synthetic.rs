@@ -48,6 +48,8 @@ fn clean() -> Observation {
         ],
         resets: Vec::new(),
         last_progress: vec![(0, 3_000)],
+        send_failed: Vec::new(),
+        host_recovery: true,
     }
 }
 
@@ -173,4 +175,43 @@ fn reset_with_later_progress_is_recovery() {
     }];
     obs.last_progress = vec![(0, 3_000)]; // delivered past the reset
     assert!(check(&obs).is_empty());
+}
+
+#[test]
+fn abandoned_send_failed_flagged_when_recovery_on() {
+    let mut obs = clean();
+    // msg 2 got a SendFailed and then never arrived, although end-state
+    // connectivity allowed the host to re-post it.
+    obs.deliveries.pop();
+    obs.send_failed = vec![(0, 1, 2)];
+    assert!(kinds(&obs).contains(&ViolationKind::AbandonedAfterSendFailed));
+}
+
+#[test]
+fn redelivered_send_failed_is_recovery() {
+    // The whole point of the policy: the failure happened, the host
+    // re-posted, the message landed — no violation.
+    let mut obs = clean();
+    obs.send_failed = vec![(0, 1, 2)];
+    assert!(check(&obs).is_empty());
+}
+
+#[test]
+fn abandoned_send_failed_excused_without_recovery() {
+    // A silent-drop host owes nothing after SendFailed (completeness may
+    // still fire, but the recovery invariant must not).
+    let mut obs = clean();
+    obs.deliveries.pop();
+    obs.send_failed = vec![(0, 1, 2)];
+    obs.host_recovery = false;
+    assert!(!kinds(&obs).contains(&ViolationKind::AbandonedAfterSendFailed));
+}
+
+#[test]
+fn abandoned_send_failed_excused_when_partitioned() {
+    let mut obs = clean();
+    obs.deliveries.pop();
+    obs.send_failed = vec![(0, 1, 2)];
+    obs.expected[0].reachable = false;
+    assert!(!kinds(&obs).contains(&ViolationKind::AbandonedAfterSendFailed));
 }

@@ -86,6 +86,32 @@ pub struct ProtocolConfig {
     /// deliberately omits this (§4.1.1, no receiver buffering); Figure 8's
     /// q=128/1e-2 collapse is attributed to its absence.
     pub selective_retransmission: bool,
+    /// EXTENSION: adaptive retransmission control. The firmware estimates a
+    /// smoothed per-destination RTT (plus variance) from ACK round trips,
+    /// excluding samples from retransmitted packets (Karn's rule), and ages
+    /// each queue against `SRTT + 4·RTTVAR` (clamped to
+    /// [`rto_min`, `rto_max`], doubled per consecutive expiry) instead of
+    /// the fixed `retx_timeout`. The paper's *single* periodic scan timer
+    /// is kept — only the per-queue age threshold (and the scan's own
+    /// period, which follows the smallest estimate) adapts. Off by default:
+    /// the fixed-timer behavior of the paper is the baseline for every
+    /// sweep and ablation.
+    pub adaptive_rto: bool,
+    /// Lower clamp for the adaptive age threshold and scan period. Must
+    /// exceed the steady-state cumulative-ACK lag or clean traffic is
+    /// retransmitted spuriously (the paper's 10 µs-timer failure mode).
+    pub rto_min: Duration,
+    /// Upper clamp for the adaptive age threshold (including backoff).
+    pub rto_max: Duration,
+    /// EXTENSION: retransmit-storm damping. A timeout-triggered go-back-N
+    /// replay halves the per-destination outstanding window (packets
+    /// allowed on the wire); clean cumulative ACKs reopen it
+    /// multiplicatively. Excess packets stay queued and flow as the window
+    /// reopens, so a saturated channel degrades gracefully instead of
+    /// collapsing past the congestion knee. Off by default (paper
+    /// baseline: the whole queue replays and every new packet transmits
+    /// immediately).
+    pub window_damping: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -100,6 +126,10 @@ impl Default for ProtocolConfig {
             per_packet_timers: false,
             reliable_reception: false,
             selective_retransmission: false,
+            adaptive_rto: false,
+            rto_min: Duration::from_micros(200),
+            rto_max: Duration::from_secs(1),
+            window_damping: false,
         }
     }
 }
@@ -125,6 +155,18 @@ impl ProtocolConfig {
     /// Enable on-demand mapping.
     pub fn with_mapping(mut self) -> Self {
         self.enable_mapping = true;
+        self
+    }
+
+    /// Enable adaptive RTT-driven retransmission control.
+    pub fn with_adaptive_rto(mut self) -> Self {
+        self.adaptive_rto = true;
+        self
+    }
+
+    /// Enable retransmit-storm damping.
+    pub fn with_window_damping(mut self) -> Self {
+        self.window_damping = true;
         self
     }
 
@@ -205,6 +247,22 @@ mod tests {
             1,
             "k=0 clamps to 1"
         );
+    }
+
+    #[test]
+    fn adaptive_knobs_default_off() {
+        // Paper-faithful baseline: every extension knob is off by default,
+        // so existing sweeps and ablations are unaffected.
+        let c = ProtocolConfig::default();
+        assert!(!c.adaptive_rto);
+        assert!(!c.window_damping);
+        assert!(ProtocolConfig::default().with_adaptive_rto().adaptive_rto);
+        assert!(
+            ProtocolConfig::default()
+                .with_window_damping()
+                .window_damping
+        );
+        assert!(c.rto_min < c.rto_max);
     }
 
     #[test]

@@ -22,13 +22,13 @@
 
 use san_fabric::{NodeId, Packet, PacketFlags, PacketKind, Route};
 use san_nic::{BufId, Firmware, NicCore, NicCtx, SendDesc};
-use san_sim::Time;
-use san_telemetry::TraceKind;
+use san_sim::{Duration, Time};
+use san_telemetry::{Gauge, TraceKind};
 
 use crate::config::{MapperConfig, ProtocolConfig};
 use crate::ft_trace;
 use crate::mapper::{MapOutcome, Mapper};
-use crate::proto::{ReceiverState, RxVerdict, SenderState};
+use crate::proto::{ReceiverState, RxVerdict, SenderState, MIN_CWND};
 
 /// Timer token: the retransmission scan.
 pub const TOKEN_RETX: u64 = 0;
@@ -52,6 +52,17 @@ pub const TOKEN_REMAP_RETRY_BASE: u64 = 1 << 49;
 /// path-reset window (~62 ms) before the final verdict is accepted.
 const MAX_MAP_ATTEMPTS: u32 = 7;
 
+/// Per-destination adaptive-control gauges (`ft.node.<n>.dst.<d>.*`),
+/// registered only when adaptive RTO or window damping is enabled.
+struct DstGauges {
+    /// Current age threshold for the destination's queue, µs.
+    rto_us: Gauge,
+    /// Consecutive-expiry backoff exponent.
+    backoff: Gauge,
+    /// Outstanding-window clamp (pool capacity when fully open).
+    cwnd: Gauge,
+}
+
 /// The reliable firmware (retransmission + optional on-demand mapping).
 pub struct ReliableFirmware {
     cfg: ProtocolConfig,
@@ -64,6 +75,9 @@ pub struct ReliableFirmware {
     /// Data packets processed by the injector so far (drop-interval clock).
     tx_counter: u64,
     n_nodes: usize,
+    /// Per-destination RTO/backoff/window gauges; `None` unless an adaptive
+    /// extension is on (the paper baseline registers nothing extra).
+    gauges: Option<Vec<DstGauges>>,
 }
 
 /// Bound on buffered out-of-order packets per source in the selective
@@ -81,6 +95,7 @@ impl ReliableFirmware {
             mapper: Mapper::new(mapper_cfg),
             tx_counter: 0,
             n_nodes,
+            gauges: None,
         }
     }
 
@@ -132,6 +147,53 @@ impl ReliableFirmware {
         self.receivers[src.idx()].expected = expected;
     }
 
+    /// Interval until the next periodic scan. Fixed mode: the configured
+    /// timer, exactly as in the paper. Adaptive mode: the scan follows the
+    /// *smallest* per-destination estimate (no backoff — backoff widens the
+    /// age threshold, not the scan), so a 1 s configured timer no longer
+    /// means 1 s of blindness; before any RTT sample exists the floor
+    /// `rto_min` is used, because the first samples arrive within the first
+    /// round trips — long before the first loss needs detecting.
+    fn scan_period(&self) -> Duration {
+        if !self.cfg.adaptive_rto {
+            return self.cfg.retx_timeout;
+        }
+        self.senders
+            .iter()
+            .filter_map(|s| s.rtt.base_threshold(self.cfg.rto_min, self.cfg.rto_max))
+            .min()
+            .unwrap_or(self.cfg.rto_min)
+    }
+
+    /// Age past which `dst`'s queue head counts as lost. Fixed mode: the
+    /// configured timer. Adaptive mode: SRTT + 4·RTTVAR clamped to
+    /// [`rto_min`, `rto_max`], doubled per consecutive expiry (Karn).
+    fn age_threshold(&self, dst: NodeId) -> Duration {
+        if !self.cfg.adaptive_rto {
+            return self.cfg.retx_timeout;
+        }
+        self.senders[dst.idx()].rtt.threshold(
+            self.cfg.retx_timeout,
+            self.cfg.rto_min,
+            self.cfg.rto_max,
+        )
+    }
+
+    /// Publish `dst`'s adaptive-control state to its telemetry gauges.
+    fn publish_gauges(&self, dst: NodeId) {
+        let Some(gs) = &self.gauges else { return };
+        let g = &gs[dst.idx()];
+        let s = &self.senders[dst.idx()];
+        g.rto_us
+            .set((self.age_threshold(dst).nanos() / 1_000) as i64);
+        g.backoff.set(s.rtt.backoff() as i64);
+        g.cwnd.set(if s.cwnd == u32::MAX {
+            -1
+        } else {
+            s.cwnd as i64
+        });
+    }
+
     fn arm_timer(&self, core: &NicCore, ctx: &mut NicCtx) {
         let node = core.node;
         // Self-pacing: the timer handler runs *on* the LANai, so the next
@@ -139,7 +201,7 @@ impl ReliableFirmware {
         // current one queued. Without this, a 10 µs timer on a saturated
         // NIC stacks retransmission storms faster than they can execute
         // (and the event queue grows without bound).
-        let at = core.cpu.free_at().max(ctx.now()) + self.cfg.retx_timeout;
+        let at = core.cpu.free_at().max(ctx.now()) + self.scan_period();
         ctx.sim.schedule(
             at,
             san_nic::ClusterEvent::Nic(node, san_nic::NicEvent::Timer { token: TOKEN_RETX }),
@@ -170,10 +232,38 @@ impl ReliableFirmware {
             s.last_progress = ctx.now();
             s.map_attempts = 0;
             s.remap_backoff_until = Time::ZERO;
+            // A cumulative ACK only ever frees transmitted packets (parked
+            // ones were never on the wire), but keep the invariant explicit.
+            s.unsent_tail = s.unsent_tail.min(s.retrans_q.len());
+            // Karn's rule: the newest acknowledged packet yields an RTT
+            // sample only if it was sequenced *after* the last go-back-N
+            // replay — an ACK covering a retransmitted seq is ambiguous
+            // (first copy or second?) and must not feed the estimator.
+            // A clean round trip also ends any backoff episode and reopens
+            // the damped window.
+            let newest = *freed.last().unwrap();
+            let (newest_seq, sent_at) = (core.pool.pkt(newest).seq, core.pool.last_tx(newest));
+            let clean = s.sample_eligible(newest_seq) && sent_at > Time::ZERO;
+            if clean {
+                if self.cfg.adaptive_rto {
+                    s.rtt.sample(ctx.now().since(sent_at));
+                }
+                if self.cfg.window_damping && s.cwnd != u32::MAX {
+                    s.cwnd = s
+                        .cwnd
+                        .saturating_mul(2)
+                        .min(core.pool.capacity() as u32)
+                        .max(MIN_CWND);
+                }
+            }
             for b in freed {
                 core.pool.release(b);
             }
             core.request_pump();
+            if self.cfg.window_damping {
+                self.fill_window(core, ctx, peer);
+            }
+            self.publish_gauges(peer);
         }
         ft_trace(
             core,
@@ -288,14 +378,32 @@ impl ReliableFirmware {
             self.arm_pkt_timer(core, ctx, dst, seq);
         }
         if n > 0 {
-            self.senders[dst.idx()].retx_busy_until = core.net_tx.free_at();
+            let s = &mut self.senders[dst.idx()];
+            s.retx_busy_until = core.net_tx.free_at();
+            // Karn's rule: resent seqs are ambiguous; only callers on the
+            // timeout path reach here, so the expiry backoff widens too.
+            s.karn_barrier = s.next_seq;
+            if self.cfg.adaptive_rto {
+                s.rtt.bump_backoff();
+            }
         }
     }
 
-    /// Retransmit every unacknowledged packet to `dst`, in order, from SRAM
+    /// Retransmit the unacknowledged window to `dst`, in order, from SRAM
     /// (go-back-N). The last one requests an ACK so recovery completes even
     /// with no further traffic.
-    fn retransmit_queue(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+    ///
+    /// `timeout` marks a loss-triggered replay (periodic scan or per-packet
+    /// expiry) as opposed to an opportunistic one (path reset, fresh route
+    /// after a remap): only real timeouts widen the adaptive backoff and
+    /// clamp the damped window.
+    fn retransmit_queue(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        dst: NodeId,
+        timeout: bool,
+    ) {
         let now = ctx.now();
         let s = &mut self.senders[dst.idx()];
         if s.retrans_q.is_empty() || s.mapping {
@@ -306,8 +414,25 @@ impl ReliableFirmware {
         if now < s.retx_busy_until {
             return;
         }
-        let bufs: Vec<BufId> = s.retrans_q.iter().copied().collect();
-        let n = bufs.len();
+        // Karn's rule bookkeeping: every sequence number assigned so far is
+        // now ambiguous for RTT sampling (the replay re-sends it).
+        s.karn_barrier = s.next_seq;
+        if timeout && self.cfg.adaptive_rto {
+            s.rtt.bump_backoff();
+        }
+        if timeout && self.cfg.window_damping {
+            // Multiplicative decrease: a loss halves the outstanding window.
+            s.cwnd = ((s.in_flight() as u32) / 2).max(MIN_CWND);
+        }
+        // With damping on, replay only the head of the queue up to the
+        // window; the suffix parks and flows back out as ACKs reopen it.
+        let n = if self.cfg.window_damping {
+            (s.cwnd as usize).min(s.retrans_q.len())
+        } else {
+            s.retrans_q.len()
+        };
+        s.unsent_tail = s.retrans_q.len() - n;
+        let bufs: Vec<BufId> = s.retrans_q.iter().take(n).copied().collect();
         for (i, b) in bufs.iter().enumerate() {
             let t = core.cpu.acquire(now, core.timing.retx_per_pkt);
             if i + 1 == n {
@@ -331,6 +456,57 @@ impl ReliableFirmware {
             self.arm_pkt_timer(core, ctx, dst, seq);
         }
         self.senders[dst.idx()].retx_busy_until = core.net_tx.free_at();
+        self.publish_gauges(dst);
+    }
+
+    /// Transmit parked packets (window-damping suffix) while the reopened
+    /// window has room. Packets the injector or a replay never put on the
+    /// wire count as first transmissions: they pass the error injector and
+    /// the tx counters exactly as they would have on the normal send path.
+    fn fill_window(&mut self, core: &mut NicCore, ctx: &mut NicCtx, dst: NodeId) {
+        let now = ctx.now();
+        loop {
+            let s = &self.senders[dst.idx()];
+            if s.unsent_tail == 0 || s.mapping || (s.in_flight() as u32) >= s.cwnd {
+                break;
+            }
+            let idx = s.retrans_q.len() - s.unsent_tail;
+            let b = s.retrans_q[idx];
+            let s = &mut self.senders[dst.idx()];
+            s.unsent_tail -= 1;
+            // Request an ACK from the last packet the window lets through:
+            // if the window fills right here, reopening depends on it.
+            let window_edge = s.unsent_tail == 0 || (s.in_flight() as u32) >= s.cwnd;
+            let first_time = core.pool.last_tx(b) == Time::ZERO;
+            let t = core.cpu.acquire(now, core.timing.retx_per_pkt);
+            if window_edge {
+                core.pool.pkt_mut(b).flags.set(PacketFlags::ACK_REQUEST);
+            }
+            let (seq, generation) = {
+                let p = core.pool.pkt(b);
+                (p.seq, p.generation)
+            };
+            if first_time {
+                // First trip to the wire: the paper's injector clock ticks
+                // here, not at descriptor-post time.
+                self.tx_counter += 1;
+                if let Some(interval) = self.cfg.drop_interval {
+                    if self.tx_counter.is_multiple_of(interval) {
+                        core.stats.injected_drops.hit();
+                        ft_trace(core, now, TraceKind::PacketDropped, dst, generation, seq, 0);
+                        core.pool.mark_tx(b, now);
+                        self.arm_pkt_timer(core, ctx, dst, seq);
+                        continue;
+                    }
+                }
+                core.stats.packets_tx.hit();
+            } else {
+                core.stats.retransmits.hit();
+                ft_trace(core, now, TraceKind::Retransmit, dst, generation, seq, 0);
+            }
+            core.transmit_from(ctx, b, t);
+            self.arm_pkt_timer(core, ctx, dst, seq);
+        }
     }
 
     /// Declare `dst`'s route permanently failed and start on-demand mapping.
@@ -398,12 +574,20 @@ impl ReliableFirmware {
 
     /// Mapping finished for `dst`: either re-route + new generation, or give
     /// up and drop everything queued toward it (§4.2).
+    ///
+    /// `also_failed`: msg ids of descriptors the mapper was holding for
+    /// `dst`, dropped along with the queue on the unreachable verdict. They
+    /// are folded into the *same* failure notification as the queued and
+    /// pending packets, so a message whose segments straddle the
+    /// retransmission queue and the mapper's hold list still produces
+    /// exactly one `SendFailed` per `msg_id`.
     fn finish_remap(
         &mut self,
         core: &mut NicCore,
         ctx: &mut NicCtx,
         dst: NodeId,
         route: Option<Route>,
+        also_failed: Vec<u64>,
     ) {
         let s = &mut self.senders[dst.idx()];
         s.mapping = false;
@@ -435,7 +619,8 @@ impl ReliableFirmware {
                     0,
                     bufs.len() as u64,
                 );
-                self.retransmit_queue(core, ctx, dst);
+                debug_assert!(also_failed.is_empty());
+                self.retransmit_queue(core, ctx, dst, false);
                 core.request_pump();
             }
             None => {
@@ -447,7 +632,9 @@ impl ReliableFirmware {
                 s.map_attempts = 0;
                 s.remap_backoff_until = Time::ZERO;
                 let bufs: Vec<BufId> = s.retrans_q.drain(..).collect();
-                let mut failed: Vec<u64> = Vec::with_capacity(bufs.len());
+                s.unsent_tail = 0;
+                let mut failed = also_failed;
+                failed.reserve(bufs.len());
                 for b in bufs {
                     failed.push(core.pool.pkt(b).msg_id);
                     core.pool.release(b);
@@ -495,6 +682,21 @@ impl Firmware for ReliableFirmware {
         // The mapper is built before the NIC exists; re-home its stats onto
         // the simulation's registry now that the telemetry handle is known.
         self.mapper.register_metrics(&core.telemetry, core.node);
+        if self.cfg.adaptive_rto || self.cfg.window_damping {
+            let me = core.node.0;
+            self.gauges = Some(
+                (0..self.n_nodes)
+                    .map(|d| {
+                        let base = format!("ft.node.{me}.dst.{d}");
+                        DstGauges {
+                            rto_us: core.telemetry.gauge(&format!("{base}.rto_us")),
+                            backoff: core.telemetry.gauge(&format!("{base}.backoff")),
+                            cwnd: core.telemetry.gauge(&format!("{base}.cwnd")),
+                        }
+                    })
+                    .collect(),
+            );
+        }
         self.arm_timer(core, ctx);
     }
 
@@ -551,6 +753,19 @@ impl Firmware for ReliableFirmware {
         }
         if piggy {
             ft_trace(core, now, TraceKind::AckSent, dst, ack_gen, ack_seq, 1);
+        }
+
+        // Window damping: if the outstanding window is full (or older
+        // packets are already parked — FIFO), the packet joins the parked
+        // suffix instead of the wire. It flows out via `fill_window` as
+        // ACKs reopen the window; the injector clock ticks there, on its
+        // real first transmission.
+        if self.cfg.window_damping {
+            let s = &mut self.senders[dst.idx()];
+            if s.unsent_tail > 0 || (s.in_flight() as u32) > s.cwnd {
+                s.unsent_tail += 1;
+                return;
+            }
         }
 
         // The paper's error injector: suppress every Nth first transmission.
@@ -697,7 +912,7 @@ impl Firmware for ReliableFirmware {
                     if self.cfg.selective_retransmission {
                         self.retransmit_aged(core, ctx, dst);
                     } else {
-                        self.retransmit_queue(core, ctx, dst);
+                        self.retransmit_queue(core, ctx, dst, true);
                     }
                 } else {
                     // Something ahead of this packet was (re)sent recently;
@@ -733,10 +948,13 @@ impl Firmware for ReliableFirmware {
             core.timing.timer_scan_base + core.timing.timer_scan_per_queue * active.len() as u64;
         core.cpu.acquire(now, scan_cost);
         for dst in active {
+            // Adaptive mode ages each queue against its own estimate; fixed
+            // mode against the configured timer (identical to the seed).
+            let threshold = self.age_threshold(dst);
             let s = &self.senders[dst.idx()];
             let head = *s.retrans_q.front().unwrap();
             let age = now.since(core.pool.last_tx(head));
-            if age >= self.cfg.retx_timeout {
+            if age >= threshold {
                 // Permanent-failure check first (§4): no acknowledged
                 // progress for the whole threshold ⇒ remap.
                 if self.cfg.enable_mapping
@@ -752,7 +970,7 @@ impl Firmware for ReliableFirmware {
                 } else if self.cfg.selective_retransmission {
                     self.retransmit_aged(core, ctx, dst);
                 } else {
-                    self.retransmit_queue(core, ctx, dst);
+                    self.retransmit_queue(core, ctx, dst, true);
                 }
             }
         }
@@ -766,7 +984,9 @@ impl Firmware for ReliableFirmware {
         if pkt.kind == PacketKind::Data || pkt.kind == PacketKind::Raw {
             let dst = pkt.dst;
             self.senders[dst.idx()].retx_busy_until = Time::ZERO;
-            self.retransmit_queue(core, ctx, dst);
+            // Not a timeout: the fabric told us exactly what happened, so
+            // the RTO backoff and the damped window are left alone.
+            self.retransmit_queue(core, ctx, dst, false);
         }
     }
 
@@ -811,7 +1031,7 @@ impl ReliableFirmware {
                 MapOutcome::TargetResolved { dst, route } => {
                     let descs = self.mapper.release_descriptors(dst);
                     if route.is_some() {
-                        self.finish_remap(core, ctx, dst, route);
+                        self.finish_remap(core, ctx, dst, route, Vec::new());
                         for d in descs {
                             core.pending.push_back(d);
                         }
@@ -846,15 +1066,13 @@ impl ReliableFirmware {
                         // nothing is queued): accept unreachable. The held
                         // descriptors are dropped with the rest of the
                         // pending traffic (re-posting them would re-trigger
-                        // mapping forever).
-                        self.finish_remap(core, ctx, dst, None);
+                        // mapping forever). Their msg ids travel *into*
+                        // `finish_remap` so a message split across the hold
+                        // list and the retransmission queue fails once, not
+                        // twice.
                         core.stats.unroutable.add(descs.len() as u64);
-                        notify_send_failed(
-                            core,
-                            ctx,
-                            dst,
-                            descs.iter().map(|d| d.msg_id).collect(),
-                        );
+                        let held: Vec<u64> = descs.iter().map(|d| d.msg_id).collect();
+                        self.finish_remap(core, ctx, dst, None, held);
                     }
                     core.request_pump();
                 }

@@ -63,5 +63,5 @@ pub(crate) fn ft_trace(
 pub use config::{FeedbackPolicy, MapperConfig, ProtocolConfig};
 pub use firmware::ReliableFirmware;
 pub use mapper::{MapStats, Mapper};
-pub use proto::{ReceiverState, SenderState};
+pub use proto::{ReceiverState, RttEstimator, SenderState, MAX_RTO_BACKOFF, MIN_CWND};
 pub use seq::{gen_newer, seq_leq, seq_lt};

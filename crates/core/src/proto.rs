@@ -8,9 +8,100 @@
 use std::collections::VecDeque;
 
 use san_nic::BufId;
-use san_sim::Time;
+use san_sim::{Duration, Time};
 
 use crate::seq::{gen_newer, seq_leq};
+
+/// Cap on the consecutive-expiry backoff shift: the threshold never grows
+/// by more than 2⁶ over the base estimate (the clamp to `rto_max` binds
+/// first anyway).
+pub const MAX_RTO_BACKOFF: u32 = 6;
+
+/// Smallest damped outstanding window. Never below 2: one packet in
+/// flight plus one carrying the ACK request keeps the ACK clock alive
+/// even at full clamp.
+pub const MIN_CWND: u32 = 2;
+
+/// Per-destination adaptive-RTO state (EXTENSION): Jacobson smoothed
+/// RTT/variance in the RFC 6298 shape, with Karn's rule enforced by the
+/// caller (only samples from never-retransmitted packets are fed in) and
+/// an exponential backoff shift bumped on consecutive queue expiries.
+///
+/// Pure bookkeeping — no simulation side effects — so it can be carried
+/// unconditionally without perturbing the fixed-timer baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RttEstimator {
+    /// Smoothed RTT in nanoseconds; `None` until the first clean sample.
+    srtt_ns: Option<u64>,
+    /// Mean deviation in nanoseconds.
+    rttvar_ns: u64,
+    /// Consecutive-expiry backoff shift (doubles the threshold per step).
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Feed one clean round-trip sample (SRTT ← 7/8·SRTT + 1/8·sample,
+    /// RTTVAR ← 3/4·RTTVAR + 1/4·|SRTT − sample|). A clean round trip is
+    /// also the only thing that ends a backoff episode.
+    pub fn sample(&mut self, rtt: Duration) {
+        let r = rtt.nanos();
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2;
+            }
+            Some(srtt) => {
+                let err = srtt.abs_diff(r);
+                self.rttvar_ns = (3 * self.rttvar_ns + err) / 4;
+                self.srtt_ns = Some((7 * srtt + r) / 8);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// The base age threshold `SRTT + 4·RTTVAR` clamped to `[lo, hi]`, or
+    /// `None` before the first sample.
+    pub fn base_threshold(&self, lo: Duration, hi: Duration) -> Option<Duration> {
+        let srtt = self.srtt_ns?;
+        let raw = srtt.saturating_add(4 * self.rttvar_ns);
+        Some(Duration::from_nanos(
+            raw.clamp(lo.nanos(), hi.nanos().max(lo.nanos())),
+        ))
+    }
+
+    /// The effective threshold: the base (or `fallback` before the first
+    /// sample, clamped the same way) shifted left by the backoff, never
+    /// exceeding `hi`.
+    pub fn threshold(&self, fallback: Duration, lo: Duration, hi: Duration) -> Duration {
+        let base = self.base_threshold(lo, hi).unwrap_or_else(|| {
+            Duration::from_nanos(
+                fallback
+                    .nanos()
+                    .clamp(lo.nanos(), hi.nanos().max(lo.nanos())),
+            )
+        });
+        let shifted = base
+            .nanos()
+            .saturating_mul(1u64 << self.backoff.min(MAX_RTO_BACKOFF));
+        Duration::from_nanos(shifted.min(hi.nanos().max(base.nanos())))
+    }
+
+    /// A queue expiry fired and the window was replayed: double the
+    /// threshold for the next round (capped).
+    pub fn bump_backoff(&mut self) {
+        self.backoff = (self.backoff + 1).min(MAX_RTO_BACKOFF);
+    }
+
+    /// Current backoff shift (for gauges and tests).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Smoothed RTT, if a sample has been taken (for gauges and tests).
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt_ns.map(Duration::from_nanos)
+    }
+}
 
 /// Send-side state toward one destination node.
 #[derive(Debug)]
@@ -42,6 +133,20 @@ pub struct SenderState {
     /// unreachable verdicts, so synchronized senders desynchronize instead
     /// of re-colliding their probe storms).
     pub remap_backoff_until: Time,
+    /// Adaptive-RTO estimator toward this destination (EXTENSION; inert
+    /// bookkeeping when `adaptive_rto` is off).
+    pub rtt: RttEstimator,
+    /// Karn's rule: sequence numbers below this were covered by a
+    /// retransmission in the current generation, so an ACK for them is
+    /// ambiguous and must not produce an RTT sample.
+    pub karn_barrier: u32,
+    /// Damped outstanding window: packets allowed on the wire toward this
+    /// destination. Effectively unbounded until a timeout halves it
+    /// (EXTENSION; only enforced when `window_damping` is on).
+    pub cwnd: u32,
+    /// Tail entries of `retrans_q` parked by the damped window, awaiting
+    /// (re)transmission as it reopens. Always a suffix of the queue.
+    pub unsent_tail: usize,
 }
 
 impl Default for SenderState {
@@ -56,6 +161,10 @@ impl Default for SenderState {
             mapping: false,
             map_attempts: 0,
             remap_backoff_until: Time::ZERO,
+            rtt: RttEstimator::default(),
+            karn_barrier: 0,
+            cwnd: u32::MAX,
+            unsent_tail: 0,
         }
     }
 }
@@ -75,6 +184,19 @@ impl SenderState {
         self.next_seq = 0;
         self.since_ack_req = 0;
         self.retx_busy_until = Time::ZERO;
+        // The sequence space restarts, so the Karn barrier restarts with it.
+        self.karn_barrier = 0;
+    }
+
+    /// Packets currently on the wire (transmitted and unacknowledged):
+    /// the retransmission queue minus its window-parked suffix.
+    pub fn in_flight(&self) -> usize {
+        self.retrans_q.len() - self.unsent_tail
+    }
+
+    /// Karn eligibility: may an ACK covering `seq` produce an RTT sample?
+    pub fn sample_eligible(&self, seq: u32) -> bool {
+        seq_leq(self.karn_barrier, seq)
     }
 
     /// Pop every buffer acknowledged by the cumulative `ack_seq` (same
@@ -216,6 +338,71 @@ mod tests {
         let freed = s.take_acked(4, 0, seq_of);
         assert_eq!(freed.len(), 2);
         assert!(s.retrans_q.is_empty());
+    }
+
+    #[test]
+    fn estimator_converges_and_clamps() {
+        let mut e = RttEstimator::default();
+        let lo = Duration::from_micros(200);
+        let hi = Duration::from_secs(1);
+        // Before any sample the fallback rules, clamped into [lo, hi].
+        assert_eq!(e.base_threshold(lo, hi), None);
+        assert_eq!(e.threshold(Duration::from_secs(5), lo, hi), hi);
+        assert_eq!(e.threshold(Duration::from_micros(10), lo, hi), lo);
+        // First sample seeds SRTT = sample, RTTVAR = sample/2.
+        e.sample(Duration::from_micros(400));
+        assert_eq!(e.srtt(), Some(Duration::from_micros(400)));
+        // base = 400 + 4*200 = 1200 µs.
+        assert_eq!(e.base_threshold(lo, hi), Some(Duration::from_micros(1200)));
+        // Repeated identical samples shrink the variance toward zero, so
+        // the threshold converges toward SRTT (clamped below by lo).
+        for _ in 0..64 {
+            e.sample(Duration::from_micros(400));
+        }
+        let t = e.base_threshold(lo, hi).unwrap();
+        assert!(t < Duration::from_micros(500), "converged: {t:?}");
+        assert!(t >= lo);
+    }
+
+    #[test]
+    fn backoff_doubles_threshold_and_resets_on_clean_sample() {
+        let mut e = RttEstimator::default();
+        let lo = Duration::from_micros(100);
+        let hi = Duration::from_secs(1);
+        e.sample(Duration::from_micros(300));
+        let base = e.threshold(Duration::ZERO, lo, hi);
+        e.bump_backoff();
+        assert_eq!(e.threshold(Duration::ZERO, lo, hi), base * 2);
+        e.bump_backoff();
+        assert_eq!(e.threshold(Duration::ZERO, lo, hi), base * 4);
+        // The shift saturates...
+        for _ in 0..40 {
+            e.bump_backoff();
+        }
+        assert_eq!(e.backoff(), MAX_RTO_BACKOFF);
+        // ...and never exceeds the upper clamp.
+        assert!(e.threshold(Duration::ZERO, lo, hi) <= hi);
+        // Only a clean-ACK round trip (a new sample) ends the episode.
+        e.sample(Duration::from_micros(300));
+        assert_eq!(e.backoff(), 0);
+    }
+
+    #[test]
+    fn karn_barrier_excludes_retransmitted_seqs() {
+        let mut s = SenderState::default();
+        for _ in 0..10 {
+            s.take_seq();
+        }
+        // A go-back-N replay makes every assigned seq ambiguous.
+        s.karn_barrier = s.next_seq;
+        assert!(!s.sample_eligible(3));
+        assert!(!s.sample_eligible(9));
+        // Packets sequenced after the replay are clean again.
+        let fresh = s.take_seq();
+        assert!(s.sample_eligible(fresh));
+        // A new generation restarts the sequence space and the barrier.
+        s.new_generation();
+        assert!(s.sample_eligible(0));
     }
 
     #[test]

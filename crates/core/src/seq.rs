@@ -75,5 +75,52 @@ mod proptests {
             prop_assert!(seq_lt(x, y));
             prop_assert!(!seq_lt(y, x));
         }
+
+        /// Generation comparison survives u16 wrap: a reincarnated path
+        /// that bumps the generation by any plausible amount (remaps are
+        /// rare events — far fewer than 2¹⁵ outstanding at once) is seen
+        /// as newer from *any* starting generation, including across the
+        /// wrap point.
+        #[test]
+        fn generation_shift_invariance(cur in any::<u16>(), d in 1u16..(1 << 15)) {
+            let g = cur.wrapping_add(d);
+            prop_assert!(gen_newer(g, cur), "bumped generation is newer");
+            prop_assert!(!gen_newer(cur, g), "never newer in reverse");
+            prop_assert!(!gen_newer(cur, cur), "irreflexive");
+        }
+
+        /// The exactly-once acceptance argument near the wrap: a receiver
+        /// expecting `expected` accepts seq == expected, rejects the
+        /// previous half-window as duplicates (seq_lt(seq, expected)) and
+        /// the next half-window as out-of-order — for every `expected`,
+        /// including u32::MAX → 0.
+        #[test]
+        fn seq_window_partition_across_wrap(
+            expected in any::<u32>(),
+            back in 1u32..(1 << 30),
+            ahead in 1u32..(1 << 30),
+        ) {
+            let dup = expected.wrapping_sub(back);
+            let future = expected.wrapping_add(ahead);
+            prop_assert!(seq_lt(dup, expected), "older seqs classify as duplicates");
+            prop_assert!(!seq_lt(expected, expected), "the expected seq is accepted");
+            prop_assert!(seq_lt(expected, future), "newer seqs classify as gaps");
+        }
+
+        /// Cumulative-ACK coverage is shift-invariant across the wrap: an
+        /// ACK for `base + k` frees exactly the seqs `base..=base+k` out of
+        /// a window starting at `base`, no matter where `base` sits.
+        #[test]
+        fn cumulative_ack_coverage_wraps(
+            base in any::<u32>(),
+            window in 1u32..256,
+            k in 0u32..256,
+        ) {
+            let ack = base.wrapping_add(k);
+            let covered = (0..window)
+                .filter(|&i| seq_leq(base.wrapping_add(i), ack))
+                .count() as u32;
+            prop_assert_eq!(covered, (k + 1).min(window));
+        }
     }
 }

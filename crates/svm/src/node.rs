@@ -22,6 +22,9 @@ use crate::runner::TimeBreakdown;
 pub const PAGE_BYTES: u32 = 4096;
 /// Per-source slot inside every node's control export.
 pub const CTRL_SLOT: u32 = 64 * 1024;
+/// Wake token reserved for end-to-end retry pacing (process wake tokens are
+/// local indices, far below this).
+const RETRY_TOKEN: u64 = 1 << 32;
 
 /// Requests an application process can issue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +165,7 @@ impl SvmNode {
         bodies: Vec<crate::ProcBody>,
         shared: Rc<RefCell<SvmShared>>,
         telemetry: &san_telemetry::Telemetry,
+        recovery: Option<san_vmmc::RecoveryConfig>,
     ) -> Self {
         assert_eq!(bodies.len(), procs_per_node);
         let procs = bodies
@@ -182,13 +186,17 @@ impl SvmNode {
         let valid: BTreeSet<u32> = (0..n_pages)
             .filter(|p| p % n_nodes as u32 == node.0 as u32)
             .collect();
+        let mut vmmc = VmmcLib::with_telemetry(node, telemetry);
+        if let Some(r) = recovery {
+            vmmc.enable_recovery(r);
+        }
         Self {
             node,
             n_nodes,
             procs_per_node,
             total_procs: n_nodes * procs_per_node,
             n_pages,
-            vmmc: VmmcLib::with_telemetry(node, telemetry),
+            vmmc,
             metrics: SvmMetrics::register(telemetry, node),
             ctrl: ExportId(0),
             procs,
@@ -608,6 +616,14 @@ impl HostAgent for SvmNode {
     }
 
     fn on_wake(&mut self, ctx: &mut HostCtx, token: u64) {
+        if token == RETRY_TOKEN {
+            // End-to-end recovery pacing: re-post everything whose backoff
+            // elapsed and re-arm for the next due retry.
+            if let Some(next) = self.vmmc.flush_retries(ctx) {
+                ctx.wake_in(next, RETRY_TOKEN);
+            }
+            return;
+        }
         self.drive(ctx, token as usize, None);
     }
 
@@ -625,4 +641,14 @@ impl HostAgent for SvmNode {
     }
 
     fn on_send_done(&mut self, _ctx: &mut HostCtx, _msg_id: u64) {}
+
+    fn on_send_failed(&mut self, ctx: &mut HostCtx, msg_id: u64, _dst: NodeId) {
+        // The NIC exhausted its remap budget and dropped the message. With
+        // a recovery policy installed, schedule a backoff-paced re-post
+        // (same msg_id — idempotent at the receiver); without one, this is
+        // the paper's silent drop.
+        if let Some(delay) = self.vmmc.on_send_failed(ctx.now(), msg_id) {
+            ctx.wake_in(delay, RETRY_TOKEN);
+        }
+    }
 }

@@ -6,7 +6,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use san_fabric::{topology, NodeId};
+use san_fabric::engine::FabricEvent;
+use san_fabric::{topology, Endpoint, NodeId};
 use san_ft::{MapperConfig, ProtocolConfig, ReliableFirmware};
 use san_nic::{Cluster, ClusterConfig, HostAgent, UnreliableFirmware};
 use san_sim::{Duration, Time};
@@ -45,6 +46,18 @@ impl TimeBreakdown {
 /// One process's program.
 pub type ProcBody = Box<dyn FnOnce(&mut SvmIo) + Send>;
 
+/// A host-uplink outage injected into the run: node `node`'s link to the
+/// switch goes down at `down` and comes back at `up`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFlap {
+    /// Which node's uplink to flap.
+    pub node: usize,
+    /// When the link dies.
+    pub down: Time,
+    /// When it is repaired.
+    pub up: Time,
+}
+
 /// SVM run configuration.
 #[derive(Debug, Clone)]
 pub struct SvmConfig {
@@ -58,6 +71,11 @@ pub struct SvmConfig {
     pub cluster: ClusterConfig,
     /// Reliability protocol; `None` runs the no-fault-tolerance firmware.
     pub proto: Option<ProtocolConfig>,
+    /// Host-level end-to-end recovery policy for `SendFailed` completions;
+    /// `None` keeps the paper's silent-drop baseline.
+    pub recovery: Option<san_vmmc::RecoveryConfig>,
+    /// Host-uplink outages to inject during the run.
+    pub flaps: Vec<LinkFlap>,
     /// Give up after this much simulated time.
     pub deadline: Time,
 }
@@ -70,6 +88,8 @@ impl Default for SvmConfig {
             pages: 1024,
             cluster: ClusterConfig::default(),
             proto: Some(ProtocolConfig::default()),
+            recovery: None,
+            flaps: Vec::new(),
             deadline: Time::from_secs(300),
         }
     }
@@ -112,6 +132,16 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
     let total = cfg.nodes * cfg.procs_per_node;
     assert_eq!(bodies.len(), total, "one body per process");
     let (topo, _hosts) = topology::star(cfg.nodes);
+    let flap_links: Vec<_> = cfg
+        .flaps
+        .iter()
+        .map(|f| {
+            let link = topo
+                .link_at(Endpoint::Host(NodeId(f.node as u16)))
+                .expect("flapped node has an uplink");
+            (*f, link)
+        })
+        .collect();
     let shared = Rc::new(RefCell::new(SvmShared::default()));
 
     let mut bodies: Vec<Option<ProcBody>> = bodies.into_iter().map(Some).collect();
@@ -129,6 +159,7 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
                 node_bodies,
                 shared.clone(),
                 &telemetry,
+                cfg.recovery.clone(),
             )) as Box<dyn HostAgent>
         })
         .collect();
@@ -149,6 +180,14 @@ pub fn run_svm(cfg: SvmConfig, bodies: Vec<ProcBody>) -> SvmReport {
         hosts,
     );
     cluster.install_shortest_routes();
+    for (f, link) in flap_links {
+        cluster
+            .sim
+            .schedule(f.down, FabricEvent::LinkDown { link }.into());
+        cluster
+            .sim
+            .schedule(f.up, FabricEvent::LinkUp { link }.into());
+    }
 
     // Run in slices until every process finished (the periodic retransmission
     // timer keeps the queue non-empty forever, so we cannot run to idle).
@@ -459,5 +498,68 @@ mod fairness_tests {
             overlap > 500_000,
             "independent locks must overlap ≥0.5ms: [{a0},{a1}] vs [{b0},{b1}]"
         );
+    }
+
+    /// End-to-end host recovery: an uplink outage long enough to exhaust the
+    /// NIC's remap-retry budget drops SVM protocol messages with a
+    /// `SendFailed` completion. Without a recovery policy the application
+    /// deadlocks (the paper's silent drop); with one, the host re-posts the
+    /// failed message after the repair and the run completes exactly.
+    #[test]
+    fn host_recovery_survives_remap_budget_exhaustion() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let run = |recovery: Option<san_vmmc::RecoveryConfig>| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let bodies: Vec<ProcBody> = (0..2)
+                .map(|_| {
+                    let c = counter.clone();
+                    Box::new(move |io: &mut SvmIo| {
+                        let mut svm = Svm::new(io);
+                        for _ in 0..20 {
+                            svm.acquire(0);
+                            svm.write(0);
+                            let v = c.load(Ordering::Relaxed);
+                            svm.compute(Duration::from_millis(10));
+                            c.store(v + 1, Ordering::Relaxed);
+                            svm.release(0);
+                        }
+                        svm.barrier();
+                    }) as ProcBody
+                })
+                .collect();
+            let cfg = SvmConfig {
+                nodes: 2,
+                procs_per_node: 1,
+                proto: Some(ProtocolConfig {
+                    perm_fail_threshold: Duration::from_millis(2),
+                    ..ProtocolConfig::default().with_mapping()
+                }),
+                recovery,
+                // Node 1 unreachable from 2 ms to 400 ms: every sender's
+                // remap-retry budget (~145 ms per cycle) exhausts
+                // mid-outage, so in-flight lock traffic is dropped with a
+                // SendFailed completion on both sides of the dead link.
+                flaps: vec![LinkFlap {
+                    node: 1,
+                    down: Time::from_millis(2),
+                    up: Time::from_millis(400),
+                }],
+                deadline: Time::from_secs(5),
+                ..SvmConfig::default()
+            };
+            let report = run_svm(cfg, bodies);
+            (report.completed, counter.load(Ordering::Relaxed))
+        };
+
+        let (completed, _) = run(None);
+        assert!(
+            !completed,
+            "without host recovery the dropped lock message must deadlock the run"
+        );
+        let (completed, count) = run(Some(san_vmmc::RecoveryConfig::default()));
+        assert!(completed, "host recovery must re-post and finish the run");
+        assert_eq!(count, 40, "mutual exclusion preserved across recovery");
     }
 }

@@ -18,13 +18,13 @@
 //!   reset after a permanent failure; deposits are idempotent, and this
 //!   layer additionally swallows duplicate *notifications*.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bytes::Bytes;
 use san_fabric::{NodeId, Packet, PacketFlags, PacketKind};
 use san_nic::vmmc_consts::{PIO_LIMIT, SEGMENT_BYTES};
 use san_nic::{HostCtx, SendDesc};
-use san_sim::Time;
+use san_sim::{Duration, Time};
 use san_telemetry::{Counter, Telemetry};
 
 /// Identifier of an exported buffer on its owning host.
@@ -82,6 +82,11 @@ pub struct VmmcStats {
     pub protection_drops: Counter,
     /// Duplicate message notifications swallowed.
     pub dup_msgs: Counter,
+    /// End-to-end recovery: messages re-posted after a `SendFailed`.
+    pub reposts: Counter,
+    /// End-to-end recovery: messages given up on (attempt budget spent or
+    /// no longer retained).
+    pub abandoned: Counter,
 }
 
 impl VmmcStats {
@@ -95,8 +100,57 @@ impl VmmcStats {
             msgs_received: v("msgs_received"),
             protection_drops: v("protection_drops"),
             dup_msgs: v("dup_msgs"),
+            reposts: v("reposts"),
+            abandoned: v("abandoned"),
         }
     }
+}
+
+/// Host-level end-to-end recovery policy: what to do when the NIC reports
+/// `SendFailed` (destination unreachable across the whole remap budget).
+/// The paper's baseline is silent drop; with a policy installed the library
+/// re-posts the message — bounded attempts, exponential backoff — once the
+/// caller drives [`VmmcLib::flush_retries`] at the returned times. Re-posts
+/// reuse the original `msg_id`, so the receiver's exact dedup makes them
+/// idempotent even when the first copy (or part of it) did land.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Re-posts allowed per message before it is abandoned.
+    pub max_attempts: u32,
+    /// Backoff before the first re-post; doubles per subsequent failure of
+    /// the same message.
+    pub base_backoff: Duration,
+    /// How many recent sends to retain for possible re-posting. Memory
+    /// bound; a failure arriving for an evicted message is abandoned.
+    pub retain: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(500),
+            retain: 4096,
+        }
+    }
+}
+
+/// A send retained for possible end-to-end re-posting.
+#[derive(Debug)]
+struct RetainedSend {
+    to: ImportHandle,
+    offset: u32,
+    len: u32,
+    data: Option<Bytes>,
+    attempts: u32,
+    /// Scheduled re-post time after a failure; `None` while in flight.
+    due: Option<Time>,
+}
+
+#[derive(Debug)]
+struct RecoveryState {
+    cfg: RecoveryConfig,
+    retained: BTreeMap<u64, RetainedSend>,
 }
 
 #[derive(Debug, Default)]
@@ -105,6 +159,52 @@ struct Assembly {
     export: ExportId,
     first_offset: u32,
     seen_offsets: Vec<u32>,
+}
+
+/// Bound on out-of-order completion ids tracked per source. Exceeding it
+/// (possible only when thousands of abandoned gaps accumulate) degrades to
+/// the high-water behavior for the evicted gap.
+const COMPLETED_ABOVE_CAP: usize = 4096;
+
+/// Exactly which message ids from one source have completed. Ids complete
+/// in order on a healthy stream (one contiguous prefix, nothing stored);
+/// end-to-end re-posting after a `SendFailed` can complete an *older* id
+/// after a newer one, so the contiguous prefix is supplemented by an exact
+/// set of out-of-order completions — this is what makes same-`msg_id`
+/// re-posts idempotent instead of falsely swallowed.
+#[derive(Debug, Default)]
+struct CompletedIds {
+    /// Smallest id not known to be complete (prefix `0..next` is done).
+    next: u64,
+    /// Completed ids beyond the contiguous prefix.
+    above: BTreeSet<u64>,
+}
+
+impl CompletedIds {
+    fn contains(&self, id: u64) -> bool {
+        id < self.next || self.above.contains(&id)
+    }
+
+    fn insert(&mut self, id: u64) {
+        if id < self.next {
+            return;
+        }
+        if id == self.next {
+            self.next += 1;
+            while self.above.remove(&self.next) {
+                self.next += 1;
+            }
+        } else {
+            self.above.insert(id);
+            if self.above.len() > COMPLETED_ABOVE_CAP {
+                let evicted = self.above.pop_first().unwrap();
+                self.next = self.next.max(evicted + 1);
+                while self.above.remove(&self.next) {
+                    self.next += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Per-host VMMC library state. Host agents embed one and feed it arriving
@@ -116,9 +216,10 @@ pub struct VmmcLib {
     next_msg_id: u64,
     assembling: HashMap<(NodeId, u64), Assembly>,
     /// Completed msg ids per peer, for dedup across generation-reset
-    /// redelivery. Message ids per (src → this node) stream only grow, so a
-    /// high-water mark plus the in-progress set is exact.
-    completed_upto: HashMap<NodeId, u64>,
+    /// redelivery and end-to-end re-posting.
+    completed: HashMap<NodeId, CompletedIds>,
+    /// End-to-end recovery policy; `None` = the paper's silent-drop default.
+    recovery: Option<RecoveryState>,
     /// Statistics.
     pub stats: VmmcStats,
 }
@@ -137,7 +238,8 @@ impl VmmcLib {
             exports: Vec::new(),
             next_msg_id: 0,
             assembling: HashMap::new(),
-            completed_upto: HashMap::new(),
+            completed: HashMap::new(),
+            recovery: None,
             stats: VmmcStats::registered(tel, node),
         }
     }
@@ -145,6 +247,81 @@ impl VmmcLib {
     /// Owner host.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Install an end-to-end recovery policy: sends are retained and, on a
+    /// `SendFailed` completion, re-posted with bounded, backoff-paced
+    /// attempts (drive with [`VmmcLib::on_send_failed`] +
+    /// [`VmmcLib::flush_retries`]).
+    pub fn enable_recovery(&mut self, cfg: RecoveryConfig) {
+        self.recovery = Some(RecoveryState {
+            cfg,
+            retained: BTreeMap::new(),
+        });
+    }
+
+    /// Is an end-to-end recovery policy installed?
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Messages currently awaiting a scheduled re-post.
+    pub fn retries_pending(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| {
+            r.retained.values().filter(|p| p.due.is_some()).count()
+        })
+    }
+
+    /// The NIC reported `msg_id` dropped as unreachable. Schedules a
+    /// re-post (exponential backoff, bounded attempts) and returns the
+    /// backoff delay — the caller must arrange a [`VmmcLib::flush_retries`]
+    /// call after it elapses. Returns `None` when the message is abandoned
+    /// (budget spent, not retained, or no recovery policy).
+    pub fn on_send_failed(&mut self, now: Time, msg_id: u64) -> Option<Duration> {
+        let r = self.recovery.as_mut()?;
+        let Some(p) = r.retained.get_mut(&msg_id) else {
+            self.stats.abandoned.hit();
+            return None;
+        };
+        if p.attempts >= r.cfg.max_attempts {
+            r.retained.remove(&msg_id);
+            self.stats.abandoned.hit();
+            return None;
+        }
+        p.attempts += 1;
+        let delay = r.cfg.base_backoff * (1u64 << (p.attempts - 1).min(16));
+        p.due = Some(now + delay);
+        Some(delay)
+    }
+
+    /// Re-post every message whose backoff has elapsed (same `msg_id`: the
+    /// receiver's exact dedup makes redelivery idempotent). Returns the
+    /// time until the earliest still-pending retry, if any.
+    pub fn flush_retries(&mut self, ctx: &mut HostCtx) -> Option<Duration> {
+        let now = ctx.now();
+        let Some(r) = &mut self.recovery else {
+            return None;
+        };
+        let due_now: Vec<u64> = r
+            .retained
+            .iter()
+            .filter(|(_, p)| p.due.is_some_and(|t| t <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due_now {
+            let r = self.recovery.as_mut().unwrap();
+            let p = r.retained.get_mut(&id).unwrap();
+            p.due = None;
+            let (to, offset, len, data) = (p.to, p.offset, p.len, p.data.clone());
+            self.stats.reposts.hit();
+            self.post_segments(ctx, to, offset, len, data.as_ref(), id);
+        }
+        let r = self.recovery.as_ref().unwrap();
+        r.retained
+            .values()
+            .filter_map(|p| p.due)
+            .min()
+            .map(|t| t.since(now))
     }
 
     /// Export a receive region of `size` bytes. `allow` restricts which
@@ -232,6 +409,37 @@ impl VmmcLib {
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         self.stats.msgs_sent.hit();
+        if let Some(r) = &mut self.recovery {
+            r.retained.insert(
+                msg_id,
+                RetainedSend {
+                    to,
+                    offset,
+                    len,
+                    data: data.clone(),
+                    attempts: 0,
+                    due: None,
+                },
+            );
+            while r.retained.len() > r.cfg.retain {
+                r.retained.pop_first();
+            }
+        }
+        self.post_segments(ctx, to, offset, len, data.as_ref(), msg_id);
+        msg_id
+    }
+
+    /// Segment a message and post its descriptors (shared by first sends
+    /// and recovery re-posts, which reuse the original `msg_id`).
+    fn post_segments(
+        &mut self,
+        ctx: &mut HostCtx,
+        to: ImportHandle,
+        offset: u32,
+        len: u32,
+        data: Option<&Bytes>,
+        msg_id: u64,
+    ) {
         let posted_at = ctx.now();
         let mut off = 0u32;
         loop {
@@ -246,7 +454,7 @@ impl VmmcLib {
             // Real bytes may cover only a prefix of the message (padded
             // sends): each segment carries whatever real bytes fall in its
             // range.
-            let payload = match &data {
+            let payload = match data {
                 Some(d) if len > 0 => {
                     let start = (off as usize).min(d.len());
                     let end = ((off + seg) as usize).min(d.len());
@@ -280,7 +488,6 @@ impl VmmcLib {
                 break;
             }
         }
-        msg_id
     }
 
     /// Feed one deposited packet; returns the completed message when this
@@ -307,9 +514,11 @@ impl VmmcLib {
             return None;
         }
         // Duplicate of an already-completed message (redelivery across a
-        // generation reset): deposit is idempotent, notification swallowed.
-        if let Some(&upto) = self.completed_upto.get(&pkt.src) {
-            if pkt.msg_id <= upto && !self.assembling.contains_key(&(pkt.src, pkt.msg_id)) {
+        // generation reset, or an end-to-end re-post of a message whose
+        // first copy did land): deposit is idempotent, notification
+        // swallowed.
+        if let Some(c) = self.completed.get(&pkt.src) {
+            if c.contains(pkt.msg_id) && !self.assembling.contains_key(&(pkt.src, pkt.msg_id)) {
                 self.stats.dup_msgs.hit();
                 return None;
             }
@@ -343,8 +552,10 @@ impl VmmcLib {
             return None;
         }
         let a = self.assembling.remove(&key).unwrap();
-        let upto = self.completed_upto.entry(pkt.src).or_insert(0);
-        *upto = (*upto).max(pkt.msg_id);
+        self.completed
+            .entry(pkt.src)
+            .or_default()
+            .insert(pkt.msg_id);
         self.stats.msgs_received.hit();
         Some(DeliveredMsg {
             src: pkt.src,
@@ -464,6 +675,79 @@ mod tests {
         assert!(lib.on_packet(&seg(2, 0, 4096, 4096, 8192, e.0)).is_some());
         assert!(lib.on_packet(&seg(1, 0, 4096, 4096, 8192, e.0)).is_some());
         assert_eq!(lib.stats.msgs_received.get(), 2);
+    }
+
+    #[test]
+    fn out_of_order_completion_not_swallowed() {
+        // End-to-end recovery can complete an *older* id after a newer one
+        // (msg 0 re-posted after msg 1 already landed). The old high-water
+        // dedup would have swallowed msg 0 forever; the exact set must not.
+        let mut lib = VmmcLib::new(NodeId(0));
+        let e = lib.export(64, None);
+        assert!(lib.on_packet(&seg(1, 1, 0, 8, 8, e.0)).is_some());
+        assert!(
+            lib.on_packet(&seg(1, 0, 0, 8, 8, e.0)).is_some(),
+            "older id completing late is a fresh message, not a duplicate"
+        );
+        // Both are now dedup'd.
+        assert!(lib.on_packet(&seg(1, 0, 0, 8, 8, e.0)).is_none());
+        assert!(lib.on_packet(&seg(1, 1, 0, 8, 8, e.0)).is_none());
+        assert_eq!(lib.stats.dup_msgs.get(), 2);
+    }
+
+    #[test]
+    fn completed_ids_prefix_merging() {
+        let mut c = CompletedIds::default();
+        c.insert(2);
+        c.insert(1);
+        assert!(!c.contains(0));
+        assert!(c.contains(1) && c.contains(2));
+        c.insert(0);
+        assert_eq!(c.next, 3, "gap filled, prefix merges");
+        assert!(c.above.is_empty());
+    }
+
+    #[test]
+    fn failed_send_without_policy_or_retention_is_abandoned() {
+        let mut lib = VmmcLib::new(NodeId(0));
+        // No policy installed: silent-drop baseline.
+        assert_eq!(lib.on_send_failed(Time::ZERO, 3), None);
+        assert_eq!(lib.stats.abandoned.get(), 0, "baseline: not even counted");
+        // Policy installed but the message was never retained (evicted or
+        // pre-policy): abandoned explicitly.
+        lib.enable_recovery(RecoveryConfig::default());
+        assert_eq!(lib.on_send_failed(Time::ZERO, 3), None);
+        assert_eq!(lib.stats.abandoned.get(), 1);
+    }
+
+    #[test]
+    fn failed_send_backoff_doubles_until_budget() {
+        let mut lib = VmmcLib::new(NodeId(0));
+        lib.enable_recovery(RecoveryConfig {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            retain: 8,
+        });
+        // Retain a message by hand (send_inner needs a live cluster ctx).
+        lib.recovery.as_mut().unwrap().retained.insert(
+            7,
+            RetainedSend {
+                to: VmmcLib::import(NodeId(1), ExportId(0), 64),
+                offset: 0,
+                len: 8,
+                data: None,
+                attempts: 0,
+                due: None,
+            },
+        );
+        let now = Time::from_millis(1);
+        assert_eq!(lib.on_send_failed(now, 7), Some(Duration::from_micros(100)));
+        assert_eq!(lib.on_send_failed(now, 7), Some(Duration::from_micros(200)));
+        assert_eq!(lib.on_send_failed(now, 7), Some(Duration::from_micros(400)));
+        assert_eq!(lib.retries_pending(), 1);
+        assert_eq!(lib.on_send_failed(now, 7), None, "budget spent");
+        assert_eq!(lib.stats.abandoned.get(), 1);
+        assert_eq!(lib.retries_pending(), 0, "abandoned message dropped");
     }
 
     #[test]

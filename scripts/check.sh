@@ -17,4 +17,17 @@ cargo test --workspace -q
 echo "== chaos smoke campaign (invariant gate)"
 cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/smoke.json --trials 8 --jobs 2
 
+echo "== chaos recovery campaign (end-to-end recovery gate)"
+cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/recovery.json --trials 4 --jobs 2
+
+echo "== negative control (unprotected baseline MUST fail)"
+# The oracle gate is only trustworthy if it can still prove a loss: the
+# intentionally unprotected campaign has to violate completeness. A pass
+# here means the invariant checker has gone blind.
+if cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/unprotected.json --trials 2 --jobs 2 --no-shrink > /dev/null 2>&1; then
+    echo "ERROR: unprotected baseline campaign passed — the oracle is not detecting losses" >&2
+    exit 1
+fi
+echo "unprotected baseline failed as expected (oracle alive)"
+
 echo "All checks passed."
