@@ -17,6 +17,7 @@
 //! | `table3` | Table 3 — on-demand mapping probes and time vs hops |
 //! | `ablate` | design-choice ablations (DESIGN.md §5) |
 //! | `adaptive` | Figure 6 rerun with the RTT-driven threshold + damping on |
+//! | `scale_map` | Table 3 beyond 4 hops — on-demand (planner-hinted) vs full-map reconfiguration on 128-host atlas fabrics (`--smoke` = small-fabric CI gate) |
 //!
 //! Every binary accepts `--quick` (reduced volume; the default) or `--full`
 //! (paper-scale volumes — minutes of CPU). Output is aligned text plus

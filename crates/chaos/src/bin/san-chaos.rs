@@ -206,12 +206,7 @@ fn cmd_list(args: &[String]) -> ExitCode {
                 "{:<16} trials={:<4} topo={:<10} {}",
                 c.name,
                 c.trials,
-                match c.topology {
-                    san_chaos::TopologySpec::Pair => "pair".to_string(),
-                    san_chaos::TopologySpec::Chain(k) => format!("chain:{k}"),
-                    san_chaos::TopologySpec::Star(n) => format!("star:{n}"),
-                    san_chaos::TopologySpec::Testbed(h) => format!("testbed:{h}"),
-                },
+                c.topology.atlas_spec().format(),
                 c.description
             ),
             Err(e) => println!("{:<16} (unreadable: {e})", f.display()),

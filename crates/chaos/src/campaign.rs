@@ -10,9 +10,10 @@
 //! index)`, never on thread timing, so the parallel runner can hand out
 //! indices in any order.
 
-use san_fabric::{topology, FaultPlan, LinkId, NodeId, SwitchId, Topology, TransientFaults};
+use san_fabric::{FaultPlan, LinkId, NodeId, SwitchId, Topology, TransientFaults};
 use san_ft::ProtocolConfig;
 use san_sim::{Duration, SimRng, Time};
+use san_topo::{validate, TopoSpec as AtlasSpec};
 
 use crate::json::Json;
 
@@ -86,7 +87,11 @@ impl Span {
     }
 }
 
-/// Which canonical topology a trial runs on.
+/// Which topology a trial runs on. The canonical shapes keep their legacy
+/// names (and curated fault-candidate sets); `Atlas` opens the whole
+/// `san-topo` generator family (`fat_tree:k`, `torus2d:RxCxH`,
+/// `regular:NxDxH:SEED`, `spare_tree:FxDxH:S`, …) with candidate sets
+/// derived by structural analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologySpec {
     /// Two hosts, one switch.
@@ -98,6 +103,11 @@ pub enum TopologySpec {
     /// The Figure 2 mapping testbed with `hosts_per_switch` hosts per
     /// switch (redundant fabric: no single link is a point of failure).
     Testbed(u16),
+    /// Any `san-topo` atlas shape, by its spec. Flappable/killable
+    /// candidates come from [`validate::survivable_links`] /
+    /// [`validate::survivable_switches`]; traffic runs between up to 8
+    /// evenly spaced hosts.
+    Atlas(AtlasSpec),
 }
 
 /// A topology instantiated for one trial, with the fault-injection
@@ -118,49 +128,50 @@ pub struct BuiltTopo {
 }
 
 impl TopologySpec {
+    /// The atlas spec this resolves to — all wiring construction is
+    /// delegated to `san-topo`, so a chaos trial and a `scale_map` bench
+    /// run on byte-identical fabrics for the same spec string.
+    pub fn atlas_spec(&self) -> AtlasSpec {
+        match *self {
+            TopologySpec::Pair => AtlasSpec::Pair,
+            TopologySpec::Chain(k) => AtlasSpec::Chain(k),
+            TopologySpec::Star(n) => AtlasSpec::Star(n),
+            TopologySpec::Testbed(h) => AtlasSpec::Testbed(h),
+            TopologySpec::Atlas(s) => s,
+        }
+    }
+
+    /// Resolve deferred parameters (e.g. `regular:…:0`'s sample-time seed)
+    /// against a trial seed. Canonical shapes are unchanged.
+    pub fn resolved(&self, seed: u64) -> TopologySpec {
+        match *self {
+            TopologySpec::Atlas(s) => TopologySpec::Atlas(s.resolved(seed)),
+            other => other,
+        }
+    }
+
     /// Instantiate the wiring and candidate sets.
     pub fn build(&self) -> BuiltTopo {
+        let fab = self.atlas_spec().build();
         match *self {
-            TopologySpec::Pair => {
-                let (topo, a, b) = topology::pair_via_switch();
-                let flappable = topo.links().map(|(id, _)| id).collect();
+            TopologySpec::Pair | TopologySpec::Chain(_) | TopologySpec::Star(_) => {
+                // Every link is flappable: flaps come with a scheduled
+                // repair, so even a single-path fabric recovers.
+                let flappable = fab.topo.links().map(|(id, _)| id).collect();
                 BuiltTopo {
-                    topo,
-                    hosts: vec![a, b],
-                    traffic_hosts: vec![a, b],
+                    traffic_hosts: fab.hosts.clone(),
+                    hosts: fab.hosts,
                     flappable,
+                    topo: fab.topo,
                     killable: Vec::new(),
                 }
             }
-            TopologySpec::Chain(k) => {
-                let (topo, a, b) = topology::chain(k.max(1) as usize);
-                let flappable = topo.links().map(|(id, _)| id).collect();
-                BuiltTopo {
-                    topo,
-                    hosts: vec![a, b],
-                    traffic_hosts: vec![a, b],
-                    flappable,
-                    killable: Vec::new(),
-                }
-            }
-            TopologySpec::Star(n) => {
-                let (topo, hosts) = topology::star(n.clamp(2, 16) as usize);
-                let flappable = topo.links().map(|(id, _)| id).collect();
-                BuiltTopo {
-                    traffic_hosts: hosts.clone(),
-                    hosts,
-                    flappable,
-                    topo,
-                    killable: Vec::new(),
-                }
-            }
-            TopologySpec::Testbed(h) => {
-                let tb = topology::paper_mapping_testbed(h.clamp(1, 6) as usize);
+            TopologySpec::Testbed(_) => {
                 // hosts[i] hangs off switches[i % 4]; switches 2 and 3 are
                 // the leaves, wired to *both* cores, so leaf-host traffic
                 // survives any one core death and any one redundant-link
-                // flap.
-                let traffic_hosts = tb
+                // flap. The atlas reports the redundant links as spares.
+                let traffic_hosts = fab
                     .hosts
                     .iter()
                     .copied()
@@ -169,11 +180,30 @@ impl TopologySpec {
                     .map(|(_, h)| h)
                     .collect();
                 BuiltTopo {
-                    topo: tb.topo,
-                    hosts: tb.hosts,
                     traffic_hosts,
-                    flappable: tb.redundant_links,
-                    killable: vec![tb.switches[0], tb.switches[1]],
+                    hosts: fab.hosts,
+                    flappable: fab.spare_links,
+                    killable: vec![fab.switches[0], fab.switches[1]],
+                    topo: fab.topo,
+                }
+            }
+            TopologySpec::Atlas(_) => {
+                // Structural analysis replaces curated sets: links and
+                // host-less switches whose single death keeps all hosts
+                // connected. A fabric with no redundancy falls back to
+                // flapping any link (repairs make that survivable too).
+                let mut flappable = validate::survivable_links(&fab.topo);
+                if flappable.is_empty() {
+                    flappable = fab.topo.links().map(|(id, _)| id).collect();
+                }
+                let killable = validate::survivable_switches(&fab.topo);
+                let traffic_hosts = validate::sample_hosts(&fab.hosts, 8);
+                BuiltTopo {
+                    traffic_hosts,
+                    hosts: fab.hosts,
+                    flappable,
+                    killable,
+                    topo: fab.topo,
                 }
             }
         }
@@ -185,6 +215,7 @@ impl TopologySpec {
             TopologySpec::Chain(k) => format!("chain:{k}").into(),
             TopologySpec::Star(n) => format!("star:{n}").into(),
             TopologySpec::Testbed(h) => format!("testbed:{h}").into(),
+            TopologySpec::Atlas(s) => s.format().into(),
         }
     }
 
@@ -204,7 +235,8 @@ impl TopologySpec {
             "chain" => Ok(TopologySpec::Chain(arg_u16("chain")?)),
             "star" => Ok(TopologySpec::Star(arg_u16("star")?)),
             "testbed" => Ok(TopologySpec::Testbed(arg_u16("testbed")?)),
-            _ => Err(format!("unknown topology '{s}'")),
+            // Everything else is an atlas spec string (fat_tree:8, …).
+            _ => AtlasSpec::parse(s).map(TopologySpec::Atlas),
         }
     }
 }
@@ -319,6 +351,11 @@ pub struct ProtoSpec {
     /// unreachable, with bounded exponential backoff. Off models a host
     /// that treats `SendFailed` as final (the paper's silent drop).
     pub host_recovery: bool,
+    /// Install UP*/DOWN* routes instead of shortest routes. Required for
+    /// campaigns on cyclic atlas fabrics (tori): minimal routes there form
+    /// channel cycles, and wormhole data traffic would deadlock on its own
+    /// without any injected fault.
+    pub updown_routes: bool,
 }
 
 impl Default for ProtoSpec {
@@ -332,6 +369,7 @@ impl Default for ProtoSpec {
             adaptive_rto: false,
             damping: false,
             host_recovery: true,
+            updown_routes: false,
         }
     }
 }
@@ -359,6 +397,7 @@ impl ProtoSpec {
             ("adaptive_rto", self.adaptive_rto.into()),
             ("damping", self.damping.into()),
             ("host_recovery", self.host_recovery.into()),
+            ("updown_routes", self.updown_routes.into()),
         ])
     }
 
@@ -400,6 +439,10 @@ impl ProtoSpec {
                 .get("host_recovery")
                 .and_then(Json::as_bool)
                 .unwrap_or(d.host_recovery),
+            updown_routes: v
+                .get("updown_routes")
+                .and_then(Json::as_bool)
+                .unwrap_or(d.updown_routes),
         })
     }
 }
@@ -504,7 +547,11 @@ impl Campaign {
     pub fn sample(&self, index: u32) -> Trial {
         let seed = mix_seed(self.seed, index as u64);
         let mut rng = SimRng::seed_from(seed);
-        let built = self.topology.build();
+        // Resolve deferred atlas parameters (sample-time seeds) so the
+        // recorded trial re-builds the exact same wiring from its repro
+        // file alone.
+        let topology = self.topology.resolved(seed);
+        let built = topology.build();
         let window_ns = self.duration_ms.max(2) * 1_000_000;
 
         // Wire-level transient faults.
@@ -571,7 +618,7 @@ impl Campaign {
             campaign: self.name.clone(),
             index,
             seed,
-            topology: self.topology,
+            topology,
             traffic: self.traffic,
             protocol: self.protocol,
             wire,

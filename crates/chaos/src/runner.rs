@@ -23,7 +23,9 @@ use san_nic::{
 use san_sim::{Duration, Time};
 use san_telemetry::{Telemetry, TraceKind};
 
-use crate::campaign::{mix_seed, Campaign, Trial};
+use san_topo::planner::candidate_routes;
+
+use crate::campaign::{mix_seed, Campaign, TopologySpec, Trial};
 use crate::oracle::{self, Delivery, NodeEnd, Observation, PairExpect, Violation};
 
 /// Trace-ring capacity per trial: big enough that the tail of a run
@@ -255,6 +257,35 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         .collect();
 
     let proto = trial.protocol;
+    // Atlas fabrics get a topology-aware mapper: the real port budget
+    // (probing 16 ports on a 5-port torus switch is 11 guaranteed silences
+    // per phase), a sighting budget that scales with the fabric, and paced
+    // loop probes (a full concurrent batch deadlocks itself on cyclic
+    // fabrics). The canonical shapes keep the paper's testbed defaults so
+    // legacy campaigns replay byte-identically.
+    let mapper_cfg = match trial.topology {
+        TopologySpec::Atlas(_) => MapperConfig {
+            max_ports: built.topo.max_switch_ports().max(1),
+            max_switch_sightings: (built.topo.num_switches() * 4).max(64),
+            loop_probe_window: 2,
+            ..MapperConfig::default()
+        },
+        _ => MapperConfig::default(),
+    };
+    // Planner hints: give every traffic endpoint the san-topo candidate
+    // set for its peer (both directions — ACK paths fail too). After a
+    // permanent failure the mapper verifies these with one host probe
+    // each before paying for a blind BFS exploration.
+    let hints: Vec<(NodeId, NodeId, Vec<san_fabric::Route>)> = if proto.reliable && proto.mapping {
+        pairs
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .map(|(s, d)| (s, d, candidate_routes(&built.topo, s, d, 4, |_| true)))
+            .filter(|(_, _, c)| !c.is_empty())
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut cluster = Cluster::new(
         built.topo,
         cfg,
@@ -262,7 +293,7 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
             if proto.reliable {
                 Box::new(ReliableFirmware::new(
                     proto.protocol_config(),
-                    MapperConfig::default(),
+                    mapper_cfg.clone(),
                     n,
                 ))
             } else {
@@ -271,7 +302,20 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         },
         hosts,
     );
-    cluster.install_shortest_routes();
+    if trial.protocol.updown_routes {
+        cluster.install_updown_routes();
+    } else {
+        cluster.install_shortest_routes();
+    }
+    for (src, dst, routes) in hints {
+        if let Some(fw) = cluster.nics[src.0 as usize]
+            .fw
+            .as_any_mut()
+            .downcast_mut::<ReliableFirmware>()
+        {
+            fw.offer_route_candidates(dst, routes);
+        }
+    }
     cluster
         .engine
         .set_transient_faults(trial.wire, mix_seed(trial.seed, 1));

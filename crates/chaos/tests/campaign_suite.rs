@@ -66,6 +66,21 @@ fn recovery_quick() {
 }
 
 #[test]
+fn atlas_quick() {
+    // The fabric and its fault-candidate sets come from san-topo's
+    // generators and structural analysis — no curated lists — and the
+    // mapper recovers from the switch kill via planner-hint candidates.
+    assert_clean("atlas", 3);
+}
+
+#[test]
+fn atlas_torus_quick() {
+    // Cyclic atlas fabric on an UP*/DOWN* table: deadlock-free by
+    // construction, so transient flaps are pure retransmission work.
+    assert_clean("atlas_torus", 3);
+}
+
+#[test]
 fn reincarnation_hot_quick() {
     // The storm at its original (pre-retune) load: adaptive RTO + window
     // damping must carry it without a single host-level bailout — the
@@ -86,7 +101,7 @@ fn reincarnation_hot_quick() {
 }
 
 #[test]
-#[ignore = "full curated suite (136 trials); run in release via scripts/check.sh or --ignored"]
+#[ignore = "full curated suite (124 trials); run in release via scripts/check.sh or --ignored"]
 fn full_curated_suite() {
     for name in [
         "smoke",
@@ -96,6 +111,8 @@ fn full_curated_suite() {
         "reincarnation",
         "recovery",
         "reincarnation_hot",
+        "atlas",
+        "atlas_torus",
     ] {
         let campaign = load(name);
         let outcome = run_campaign(&campaign, campaign.trials, 8);

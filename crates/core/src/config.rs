@@ -204,6 +204,20 @@ pub struct MapperConfig {
     /// Run identity checks to distinguish a re-encountered switch from a
     /// new one (switches carry no identity on the wire, §6.2).
     pub identity_checks: bool,
+    /// Exploration budget: a run that sights more switches than this gives
+    /// up (only reachable when identity resolution keeps mis-classifying,
+    /// e.g. under probe loss in a dense cyclic fabric). Large fabrics —
+    /// the `topo` atlas goes to hundreds of switches — need this raised
+    /// above the testbed default.
+    pub max_switch_sightings: usize,
+    /// Most loop probes allowed in flight at once. A full concurrent batch
+    /// (the default, `usize::MAX`) matches the paper's testbed behaviour;
+    /// on large cyclic fabrics the non-looping probes of a batch wander the
+    /// redundant paths and deadlock *each other*, and the path-reset timer
+    /// (~62 ms) fires long after the 400 µs batch deadline misread the loss
+    /// as "nothing there". A small window (1–2) removes probe–probe cycles
+    /// at the cost of one batch deadline per window-full.
+    pub loop_probe_window: usize,
 }
 
 impl Default for MapperConfig {
@@ -212,6 +226,8 @@ impl Default for MapperConfig {
             probe_timeout: Duration::from_micros(400),
             max_ports: 16,
             identity_checks: true,
+            max_switch_sightings: 64,
+            loop_probe_window: usize::MAX,
         }
     }
 }

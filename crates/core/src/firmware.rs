@@ -109,6 +109,13 @@ impl ReliableFirmware {
         self.mapper.stats()
     }
 
+    /// Offer candidate routes for `dst` to the on-demand mapper (from an
+    /// external planner such as the `topo` route cache). The next mapping
+    /// run for `dst` verifies them before falling back to exploration.
+    pub fn offer_route_candidates(&mut self, dst: NodeId, routes: Vec<Route>) {
+        self.mapper.offer_candidates(dst, routes);
+    }
+
     /// Send-side state toward `dst` (for tests and reports).
     pub fn sender(&self, dst: NodeId) -> &SenderState {
         &self.senders[dst.idx()]
@@ -981,16 +988,35 @@ impl Firmware for ReliableFirmware {
         // The fabric dropped a stuck packet of ours (deadlock recovery). The
         // copy is still in the retransmission queue; retransmit immediately
         // rather than waiting a full timer period.
-        if pkt.kind == PacketKind::Data || pkt.kind == PacketKind::Raw {
-            let dst = pkt.dst;
-            self.senders[dst.idx()].retx_busy_until = Time::ZERO;
-            // Not a timeout: the fabric told us exactly what happened, so
-            // the RTO backoff and the damped window are left alone.
-            self.retransmit_queue(core, ctx, dst, false);
+        match pkt.kind {
+            PacketKind::Data | PacketKind::Raw => {
+                let dst = pkt.dst;
+                self.senders[dst.idx()].retx_busy_until = Time::ZERO;
+                // Not a timeout: the fabric told us exactly what happened,
+                // so the RTO backoff and the damped window are left alone.
+                self.retransmit_queue(core, ctx, dst, false);
+            }
+            // A probe died in a probe-probe deadlock: silence would be
+            // misread as "nothing behind that port", so resend it.
+            PacketKind::ProbeHost | PacketKind::ProbeLoop => {
+                self.mapper.on_path_reset(core, ctx, &pkt);
+            }
+            // One of our probe replies died; the prober would misread the
+            // silence. Replay it as-is (route and identity are unchanged).
+            PacketKind::ProbeReply => {
+                let t = core.cpu.acquire(ctx.now(), core.timing.probe_proc);
+                core.stats.probe_replies_tx.hit();
+                core.transmit_unpooled_from(ctx, pkt, t);
+            }
+            _ => {}
         }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 

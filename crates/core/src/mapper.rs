@@ -72,6 +72,8 @@ pub struct MapStats {
     pub host_probes: Counter,
     /// Switch (loop + identity) probes sent (all runs).
     pub switch_probes: Counter,
+    /// Runs resolved by a planner-supplied hint route (no exploration).
+    pub hint_resolved: Counter,
     /// Host probes in the most recent completed run.
     pub last_host_probes: u64,
     /// Switch probes in the most recent completed run.
@@ -94,6 +96,7 @@ impl MapStats {
             unreachable: tel.counter(&m("unreachable")),
             host_probes: tel.counter(&m("host_probes")),
             switch_probes: tel.counter(&m("switch_probes")),
+            hint_resolved: tel.counter(&m("hint_resolved")),
             last_host_probes: 0,
             last_switch_probes: 0,
             last_time_ms: 0.0,
@@ -118,6 +121,10 @@ struct KnownSwitch {
 
 #[derive(Debug, Clone, Copy)]
 enum ProbeTag {
+    /// Host probe along a planner-supplied candidate route (hint phase).
+    HintAt {
+        i: usize,
+    },
     HostAt {
         idx: usize,
         port: u8,
@@ -136,6 +143,11 @@ enum ProbeTag {
 
 #[derive(Debug, Clone, Copy)]
 enum Phase {
+    /// Verify planner-supplied candidate routes before any exploration: one
+    /// host probe per candidate; the target answering ends the run at
+    /// hint-probe cost. Silence on all of them falls back to [`Phase::Hosts`]
+    /// from scratch.
+    Hint,
     Hosts {
         idx: usize,
     },
@@ -174,12 +186,12 @@ struct MapRun {
     /// Per-port replies of the phase in progress (Hosts / Signature).
     sig_scratch: Vec<Option<NodeId>>,
     my_port: Option<u8>,
+    /// The candidate routes of the hint phase, by probe index.
+    hint_routes: Vec<Route>,
+    /// Loop probes of the current phase not yet on the wire (paced by
+    /// `loop_probe_window`); drained one window-full per batch deadline.
+    pending: VecDeque<(PacketKind, Route, ProbeTag)>,
 }
-
-/// Exploration budget: more switch sightings than this aborts the run (only
-/// reachable if identity resolution keeps mis-classifying, e.g. under probe
-/// loss in a dense cyclic fabric).
-const MAX_SWITCH_SIGHTINGS: usize = 64;
 
 /// The on-demand mapper of one NIC.
 #[derive(Debug)]
@@ -192,6 +204,9 @@ pub struct Mapper {
     /// before the batch deadline): a late reply still names a host and its
     /// route — free knowledge worth caching.
     late_probes: HashMap<u64, Route>,
+    /// Planner-supplied candidate routes, consumed by the next run for
+    /// their destination (see [`Mapper::offer_candidates`]).
+    hints: HashMap<NodeId, Vec<Route>>,
     next_token: u64,
     next_batch: u64,
     stats: MapStats,
@@ -206,6 +221,7 @@ impl Mapper {
             waiting: VecDeque::new(),
             held: HashMap::new(),
             late_probes: HashMap::new(),
+            hints: HashMap::new(),
             next_token: 1,
             next_batch: 1,
             stats: MapStats::default(),
@@ -232,6 +248,21 @@ impl Mapper {
     /// Park a descriptor until its destination's mapping resolves.
     pub fn hold_descriptor(&mut self, desc: SendDesc) {
         self.held.entry(desc.dst).or_default().push(desc);
+    }
+
+    /// Offer candidate routes for `dst` from an external planner (e.g. the
+    /// `topo` crate's route cache). The next mapping run for `dst` verifies
+    /// them with one host probe each *before* exploring: a live candidate
+    /// resolves the run at hint cost, all-silent falls back to the normal
+    /// exploration. Candidates are consumed by that run; routes longer than
+    /// the source-route budget are dropped here.
+    pub fn offer_candidates(&mut self, dst: NodeId, routes: Vec<Route>) {
+        let routes: Vec<Route> = routes.into_iter().filter(|r| r.len() <= MAX_HOPS).collect();
+        if routes.is_empty() {
+            self.hints.remove(&dst);
+        } else {
+            self.hints.insert(dst, routes);
+        }
     }
 
     /// Take back the descriptors parked for `dst`.
@@ -277,8 +308,13 @@ impl Mapper {
             identity_hits: Vec::new(),
             sig_scratch: Vec::new(),
             my_port: None,
+            hint_routes: Vec::new(),
+            pending: VecDeque::new(),
         });
-        self.start_hosts_phase(core, ctx, 0);
+        match self.hints.remove(&dst) {
+            Some(routes) => self.start_hint_phase(core, ctx, routes),
+            None => self.start_hosts_phase(core, ctx, 0),
+        }
     }
 
     // -- probe emission -----------------------------------------------------
@@ -317,6 +353,21 @@ impl Mapper {
         core.transmit_unpooled_from(ctx, p, t);
     }
 
+    /// Put the next window-full of queued loop probes on the wire.
+    fn pump_pending(&mut self, core: &mut NicCore, ctx: &mut NicCtx) {
+        let window = self.cfg.loop_probe_window.max(1);
+        loop {
+            let run = self.run.as_mut().expect("pumping outside a run");
+            if run.outstanding.len() >= window {
+                break;
+            }
+            let Some((kind, route, tag)) = run.pending.pop_front() else {
+                break;
+            };
+            self.send_probe(core, ctx, kind, route, tag);
+        }
+    }
+
     fn arm_batch_deadline(&mut self, core: &NicCore, ctx: &mut NicCtx) {
         let batch = self.next_batch;
         self.next_batch += 1;
@@ -331,6 +382,24 @@ impl Mapper {
                 },
             ),
         );
+    }
+
+    fn start_hint_phase(&mut self, core: &mut NicCore, ctx: &mut NicCtx, routes: Vec<Route>) {
+        {
+            let run = self.run.as_mut().unwrap();
+            run.phase = Phase::Hint;
+            run.hint_routes = routes.clone();
+        }
+        for (i, route) in routes.into_iter().enumerate() {
+            self.send_probe(
+                core,
+                ctx,
+                PacketKind::ProbeHost,
+                route,
+                ProbeTag::HintAt { i },
+            );
+        }
+        self.arm_batch_deadline(core, ctx);
     }
 
     fn start_hosts_phase(&mut self, core: &mut NicCore, ctx: &mut NicCtx, idx: usize) {
@@ -380,17 +449,14 @@ impl Mapper {
         }
         // route_to + [port, q] + reverse_from must fit.
         if route_to.len() + 2 + reverse.len() <= MAX_HOPS {
+            let run = self.run.as_mut().unwrap();
             for q in 0..self.cfg.max_ports {
                 let route = route_to.then(port).then(q).join(&reverse);
-                self.send_probe(
-                    core,
-                    ctx,
-                    PacketKind::ProbeLoop,
-                    route,
-                    ProbeTag::LoopQ { q },
-                );
+                run.pending
+                    .push_back((PacketKind::ProbeLoop, route, ProbeTag::LoopQ { q }));
             }
         }
+        self.pump_pending(core, ctx);
         self.arm_batch_deadline(core, ctx);
     }
 
@@ -457,16 +523,63 @@ impl Mapper {
                 .map(|(ki, k)| (ki, candidate_route.join(&k.reverse_from)))
                 .collect()
         };
-        for (ki, route) in probes {
-            self.send_probe(
-                core,
-                ctx,
-                PacketKind::ProbeLoop,
-                route,
-                ProbeTag::IdentityOf { k: ki },
-            );
+        {
+            let run = self.run.as_mut().unwrap();
+            for (ki, route) in probes {
+                run.pending.push_back((
+                    PacketKind::ProbeLoop,
+                    route,
+                    ProbeTag::IdentityOf { k: ki },
+                ));
+            }
         }
+        self.pump_pending(core, ctx);
         self.arm_batch_deadline(core, ctx);
+    }
+
+    /// One of our probes was dropped by deadlock recovery (path reset).
+    /// Concurrent loop probes can deadlock each other in cyclic fabrics —
+    /// at testbed scale this never fires, but on large tori it is routine.
+    /// A dropped probe would read as *silence*, which the mapper interprets
+    /// as "nothing there"; since the fabric told us exactly which packet
+    /// died, retransmit it instead (counted as an extra probe). Returns
+    /// whether the packet was one of this mapper's outstanding probes.
+    pub fn on_path_reset(&mut self, core: &mut NicCore, ctx: &mut NicCtx, pkt: &Packet) -> bool {
+        let Some(run) = self.run.as_mut() else {
+            return false;
+        };
+        if !run.outstanding.contains_key(&pkt.msg_id) {
+            return false;
+        }
+        match pkt.kind {
+            PacketKind::ProbeHost => {
+                run.host_probes += 1;
+                self.stats.host_probes.hit();
+            }
+            PacketKind::ProbeLoop => {
+                run.switch_probes += 1;
+                self.stats.switch_probes.hit();
+            }
+            _ => return false,
+        }
+        let target = run.target;
+        let mut p = Packet::new(core.node, core.node, pkt.kind);
+        p.route = pkt.route;
+        p.msg_id = pkt.msg_id;
+        p.payload_len = 8;
+        let t = core.cpu.acquire(ctx.now(), core.timing.probe_proc);
+        core.stats.probes_tx.hit();
+        ft_trace(
+            core,
+            ctx.now(),
+            TraceKind::ProbeSent,
+            target,
+            0,
+            0,
+            pkt.msg_id,
+        );
+        core.transmit_unpooled_from(ctx, p, t);
+        true
     }
 
     // -- results ------------------------------------------------------------
@@ -485,6 +598,19 @@ impl Mapper {
             return self.late_probe_result(core, pkt);
         };
         match (pkt.kind, tag) {
+            (PacketKind::ProbeReply, ProbeTag::HintAt { i }) => {
+                let who = pkt.src;
+                if who == core.node {
+                    return Vec::new();
+                }
+                let route = run.hint_routes[i];
+                let mut outs = vec![MapOutcome::RouteFound { dst: who, route }];
+                if who == run.target {
+                    self.stats.hint_resolved.hit();
+                    outs.extend(self.finish_run(core, ctx, Some(route)));
+                }
+                outs
+            }
             (PacketKind::ProbeReply, ProbeTag::HostAt { idx, port }) => {
                 let who = pkt.src;
                 let route = run.switches[idx].route_to.then(port);
@@ -531,13 +657,30 @@ impl Mapper {
             }
             (PacketKind::ProbeLoop, ProbeTag::LoopQ { q }) => {
                 run.loop_hits.push(q);
+                self.refill_window(core, ctx);
                 Vec::new()
             }
             (PacketKind::ProbeLoop, ProbeTag::IdentityOf { k }) => {
                 run.identity_hits.push(k);
+                self.refill_window(core, ctx);
                 Vec::new()
             }
             _ => Vec::new(),
+        }
+    }
+
+    /// Every in-flight probe of a paced phase has answered but more are
+    /// queued: refill the window now instead of waiting out the deadline
+    /// (the fresh deadline supersedes the old batch). Only silence pays
+    /// the full `probe_timeout`.
+    fn refill_window(&mut self, core: &mut NicCore, ctx: &mut NicCtx) {
+        let ready = self
+            .run
+            .as_ref()
+            .is_some_and(|r| r.outstanding.is_empty() && !r.pending.is_empty());
+        if ready {
+            self.pump_pending(core, ctx);
+            self.arm_batch_deadline(core, ctx);
         }
     }
 
@@ -579,7 +722,22 @@ impl Mapper {
         // Anything still outstanding has timed out; silence is the signal
         // (the scratch signature keeps `None` for unanswered ports).
         run.outstanding.clear();
+        if !run.pending.is_empty() {
+            // Paced phase with probes still queued: put the next
+            // window-full on the wire under a fresh deadline before
+            // concluding anything.
+            self.pump_pending(core, ctx);
+            self.arm_batch_deadline(core, ctx);
+            return Vec::new();
+        }
+        let run = self.run.as_mut().unwrap();
         match run.phase {
+            Phase::Hint => {
+                // Every candidate stayed silent: the planner's picture is
+                // stale (the failure cut all of them). Explore from scratch.
+                self.start_hosts_phase(core, ctx, 0);
+                Vec::new()
+            }
             Phase::Hosts { idx } => {
                 run.switches[idx].explored_hosts = true;
                 let sig = std::mem::take(&mut run.sig_scratch);
@@ -686,7 +844,7 @@ impl Mapper {
     /// Pick the next piece of work in BFS order.
     fn advance(&mut self, core: &mut NicCore, ctx: &mut NicCtx) -> Vec<MapOutcome> {
         let run = self.run.as_mut().unwrap();
-        if run.switches.len() > MAX_SWITCH_SIGHTINGS {
+        if run.switches.len() > self.cfg.max_switch_sightings {
             return self.finish_run(core, ctx, None);
         }
         // 1. A switch whose ports haven't been host-probed yet?
@@ -716,6 +874,9 @@ impl Mapper {
         self.late_probes.clear();
         for (token, tag) in run.outstanding.drain() {
             match tag {
+                ProbeTag::HintAt { i } => {
+                    self.late_probes.insert(token, run.hint_routes[i]);
+                }
                 ProbeTag::HostAt { idx, port } => {
                     self.late_probes
                         .insert(token, run.switches[idx].route_to.then(port));

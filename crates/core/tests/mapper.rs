@@ -306,3 +306,128 @@ fn identity_checks_cost_probes() {
         "identity checks bound exploration on redundant fabrics: with={with} without={without}"
     );
 }
+
+/// A redundant two-switch fabric for the planner-hint tests: two parallel
+/// inter-switch links, sender on s0, target on s1. Returns the topology,
+/// the two host-to-host candidate routes (one per parallel link) and the
+/// ids needed to kill one of them.
+fn hinted_fabric() -> (
+    san_fabric::Topology,
+    NodeId,
+    Vec<san_fabric::Route>,
+    [san_fabric::LinkId; 2],
+) {
+    let mut topo = san_fabric::Topology::new();
+    let sender = topo.add_host();
+    let dst = topo.add_host();
+    let s0 = topo.add_switch(4);
+    let s1 = topo.add_switch(4);
+    topo.connect_host(sender, s0, 0);
+    topo.connect_host(dst, s1, 0);
+    let l1 = topo.connect_switches(s0, 1, s1, 1);
+    let l2 = topo.connect_switches(s0, 2, s1, 2);
+    let candidates = vec![
+        san_fabric::Route::from_ports(&[1, 0]),
+        san_fabric::Route::from_ports(&[2, 0]),
+    ];
+    let _ = sender;
+    (topo, dst, candidates, [l1, l2])
+}
+
+/// Planner-offered candidates short-circuit exploration: the mapping run
+/// verifies a hint with one host probe per candidate and never probes a
+/// switch.
+#[test]
+fn offered_candidates_resolve_without_exploration() {
+    let (topo, dst, candidates, _links) = hinted_fabric();
+    let ib = inbox();
+    let hosts: Vec<Box<dyn HostAgent>> = vec![
+        Box::new(san_nic::testkit::StreamSender::new(dst, 64, 1)),
+        Box::new(Collector(ib.clone())),
+    ];
+    let mut c = cold_cluster(topo, hosts);
+    c.nics[0]
+        .fw
+        .as_any_mut()
+        .downcast_mut::<ReliableFirmware>()
+        .unwrap()
+        .offer_route_candidates(dst, candidates);
+    assert!(run_until_count(&mut c, &ib, 1, Time::from_secs(1)));
+    let st = fw_of(&c, 0).mapper_stats();
+    assert_eq!(st.hint_resolved.get(), 1, "the hint phase must resolve");
+    assert_eq!(
+        st.last_switch_probes, 0,
+        "no exploration behind a good hint"
+    );
+    assert!(
+        st.last_host_probes <= 2,
+        "one probe per candidate, got {}",
+        st.last_host_probes
+    );
+    assert!(
+        st.last_time_ms < 0.4,
+        "hint resolution beats one batch deadline"
+    );
+}
+
+/// Hints whose routes are all dead are not trusted: the mapper falls back
+/// to exploration and still resolves the destination.
+#[test]
+fn dead_candidates_fall_back_to_exploration() {
+    let (topo, dst, candidates, [l1, _l2]) = hinted_fabric();
+    let ib = inbox();
+    let hosts: Vec<Box<dyn HostAgent>> = vec![
+        Box::new(san_nic::testkit::StreamSender::new(dst, 64, 1)),
+        Box::new(Collector(ib.clone())),
+    ];
+    let mut c = cold_cluster(topo, hosts);
+    // Kill the link the first candidate rides before the stream starts:
+    // its hint probe dies in the fabric, but the second candidate still
+    // resolves the run inside the hint phase — a planner hint only has to
+    // contain ONE live route to skip exploration.
+    c.sim.schedule(
+        Time(1),
+        san_fabric::engine::FabricEvent::LinkDown { link: l1 }.into(),
+    );
+    c.nics[0]
+        .fw
+        .as_any_mut()
+        .downcast_mut::<ReliableFirmware>()
+        .unwrap()
+        .offer_route_candidates(dst, candidates.clone());
+    assert!(run_until_count(&mut c, &ib, 1, Time::from_secs(1)));
+    let st = fw_of(&c, 0).mapper_stats();
+    assert_eq!(st.hint_resolved.get(), 1, "surviving candidate resolves");
+    assert_eq!(st.last_switch_probes, 0);
+
+    // Now kill BOTH links' worth of candidates: offer routes that are all
+    // dead on a fresh cluster and the mapper must fall back to exploring
+    // the real fabric instead of trusting the planner.
+    let (topo, dst, candidates, [l1, _l2]) = hinted_fabric();
+    let ib = inbox();
+    let hosts: Vec<Box<dyn HostAgent>> = vec![
+        Box::new(san_nic::testkit::StreamSender::new(dst, 64, 1)),
+        Box::new(Collector(ib.clone())),
+    ];
+    let mut c = cold_cluster(topo, hosts);
+    c.sim.schedule(
+        Time(1),
+        san_fabric::engine::FabricEvent::LinkDown { link: l1 }.into(),
+    );
+    // Offer only the candidate that rides the killed link, twice: every
+    // hint probe is lost to silence.
+    c.nics[0]
+        .fw
+        .as_any_mut()
+        .downcast_mut::<ReliableFirmware>()
+        .unwrap()
+        .offer_route_candidates(dst, vec![candidates[0], candidates[0]]);
+    assert!(run_until_count(&mut c, &ib, 1, Time::from_secs(5)));
+    let st = fw_of(&c, 0).mapper_stats();
+    assert_eq!(st.hint_resolved.get(), 0, "dead hints must not resolve");
+    assert!(
+        st.last_switch_probes > 0,
+        "fallback exploration probes the fabric"
+    );
+    assert!(st.resolved.get() >= 1, "destination still mapped");
+}

@@ -139,6 +139,11 @@ impl Topology {
     pub fn switch_ports(&self, s: SwitchId) -> u8 {
         self.switches[s.idx()].len() as u8
     }
+    /// Largest port count of any switch — the port budget an on-demand
+    /// mapper has to probe per switch on this fabric.
+    pub fn max_switch_ports(&self) -> u8 {
+        self.switches.iter().map(|p| p.len()).max().unwrap_or(0) as u8
+    }
 
     /// All links, with IDs.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
@@ -146,6 +151,38 @@ impl Topology {
             .iter()
             .enumerate()
             .map(|(i, l)| (LinkId(i as u32), l))
+    }
+
+    /// Lowest unwired port of switch `s`, if any — the generator hook large
+    /// parametric topologies (`san-topo`) use so wiring code never has to
+    /// track port cursors by hand.
+    pub fn free_port(&self, s: SwitchId) -> Option<u8> {
+        (0..self.switch_ports(s)).find(|&p| self.link_at(Endpoint::Switch(s, PortId(p))).is_none())
+    }
+
+    /// Number of wired ports on switch `s`.
+    pub fn wired_ports(&self, s: SwitchId) -> u8 {
+        (0..self.switch_ports(s))
+            .filter(|&p| self.link_at(Endpoint::Switch(s, PortId(p))).is_some())
+            .count() as u8
+    }
+
+    /// The switch port a host hangs off, if it is wired (and wired to a
+    /// switch rather than another host).
+    pub fn switch_of_host(&self, h: NodeId) -> Option<(SwitchId, PortId)> {
+        let link = self.link_at(Endpoint::Host(h))?;
+        self.link(link).other(Endpoint::Host(h)).switch()
+    }
+
+    /// The wired neighbors of switch `s`: `(own port, link, far endpoint)`
+    /// for every connected port, in port order. Validator plumbing for the
+    /// structural checks in `san-topo`.
+    pub fn neighbors(&self, s: SwitchId) -> impl Iterator<Item = (PortId, LinkId, Endpoint)> + '_ {
+        (0..self.switch_ports(s)).filter_map(move |p| {
+            let ep = Endpoint::Switch(s, PortId(p));
+            let link = self.link_at(ep)?;
+            Some((PortId(p), link, self.link(link).other(ep)))
+        })
     }
 
     /// Follow a full source route from `src`; returns the endpoint reached

@@ -7,7 +7,7 @@
 //! no shared mutable state, which is what keeps runs deterministic.
 
 use san_fabric::engine::{Engine, EngineConfig, FabricEvent, FabricOut};
-use san_fabric::{NodeId, Packet, Topology};
+use san_fabric::{NodeId, Packet, Route, Topology};
 use san_sim::{Duration, Sim, Time};
 use san_telemetry::Telemetry;
 
@@ -271,6 +271,25 @@ impl Cluster {
                     .shortest_route(na, nb, |_| true)
                     .unwrap_or_else(|| panic!("no route {na} -> {nb}"));
                 self.nics[a].core.routes.set(nb, r);
+            }
+        }
+    }
+
+    /// Install routes from an external planner: `f(src, dst)` supplies the
+    /// route each NIC loads for each peer (`None` = leave that pair to
+    /// on-demand mapping). This is how the `topo` crate's route planner
+    /// seeds a cluster with multipath-aware tables.
+    pub fn install_routes(&mut self, mut f: impl FnMut(NodeId, NodeId) -> Option<Route>) {
+        let n = self.nics.len();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (na, nb) = (NodeId(a as u16), NodeId(b as u16));
+                if let Some(r) = f(na, nb) {
+                    self.nics[a].core.routes.set(nb, r);
+                }
             }
         }
     }

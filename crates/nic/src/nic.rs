@@ -426,6 +426,10 @@ pub trait Firmware {
     /// Narrowing hook so harnesses can reach firmware-specific state
     /// (e.g. the reliable firmware's mapper statistics).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable narrowing hook — harnesses that feed firmware-specific
+    /// inputs (e.g. planner route hints to the reliable firmware's mapper).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// A NIC: mechanisms + policy.
@@ -672,6 +676,10 @@ impl Firmware for UnreliableFirmware {
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }

@@ -1,0 +1,111 @@
+//! DOT and JSON dumps of a built fabric — inspection and external tooling
+//! (`dot -Tsvg`, jq), no simulation semantics.
+
+use san_fabric::Endpoint;
+
+use crate::atlas::Fabric;
+
+fn endpoint_name(ep: Endpoint) -> String {
+    match ep {
+        Endpoint::Host(h) => format!("h{}", h.idx()),
+        Endpoint::Switch(s, _) => format!("s{}", s.idx()),
+    }
+}
+
+/// Graphviz DOT form: hosts as boxes, switches as circles, links labelled
+/// with the switch ports they occupy.
+pub fn to_dot(fab: &Fabric) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "graph \"{}\" {{\n  layout=neato;\n  overlap=false;\n",
+        fab.spec.format()
+    ));
+    for h in &fab.hosts {
+        out.push_str(&format!(
+            "  h{} [shape=box,label=\"h{}\"];\n",
+            h.idx(),
+            h.idx()
+        ));
+    }
+    for s in &fab.switches {
+        out.push_str(&format!(
+            "  s{} [shape=circle,label=\"s{}/{}\"];\n",
+            s.idx(),
+            s.idx(),
+            fab.topo.switch_ports(*s)
+        ));
+    }
+    for (_, link) in fab.topo.links() {
+        let label = [link.a, link.b]
+            .iter()
+            .filter_map(|ep| ep.switch().map(|(_, p)| p.idx().to_string()))
+            .collect::<Vec<_>>()
+            .join(":");
+        out.push_str(&format!(
+            "  {} -- {} [label=\"{}\"];\n",
+            endpoint_name(link.a),
+            endpoint_name(link.b),
+            label
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// JSON form: spec string, counts, per-switch port budgets and the link
+/// list as `[endpoint, endpoint]` pairs (`"h3"` or `"s2.5"` = switch 2
+/// port 5).
+pub fn to_json(fab: &Fabric) -> String {
+    let ep_json = |ep: Endpoint| -> String {
+        match ep {
+            Endpoint::Host(h) => format!("\"h{}\"", h.idx()),
+            Endpoint::Switch(s, p) => format!("\"s{}.{}\"", s.idx(), p.idx()),
+        }
+    };
+    let ports: Vec<String> = fab
+        .switches
+        .iter()
+        .map(|&s| fab.topo.switch_ports(s).to_string())
+        .collect();
+    let links: Vec<String> = fab
+        .topo
+        .links()
+        .map(|(_, l)| format!("[{},{}]", ep_json(l.a), ep_json(l.b)))
+        .collect();
+    format!(
+        "{{\"spec\":\"{}\",\"class\":\"{}\",\"hosts\":{},\"switch_ports\":[{}],\"links\":[{}],\"fingerprint\":\"{:016x}\"}}",
+        fab.spec.format(),
+        fab.class().name(),
+        fab.hosts.len(),
+        ports.join(","),
+        links.join(","),
+        fab.fingerprint()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::atlas::TopoSpec;
+
+    #[test]
+    fn dot_mentions_every_node() {
+        let f = TopoSpec::Testbed(1).build();
+        let dot = super::to_dot(&f);
+        for h in 0..f.hosts.len() {
+            assert!(dot.contains(&format!("h{h} [")));
+        }
+        for s in 0..f.switches.len() {
+            assert!(dot.contains(&format!("s{s} [")));
+        }
+        assert_eq!(dot.matches(" -- ").count(), f.topo.num_links());
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let f = TopoSpec::Pair.build();
+        let j = super::to_json(&f);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"spec\":\"pair\""));
+        assert!(j.contains("\"hosts\":2"));
+    }
+}

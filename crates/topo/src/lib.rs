@@ -1,0 +1,42 @@
+//! # san-topo — topology atlas, validators and multipath route planner
+//!
+//! The paper evaluates on-demand mapping on a 4-switch testbed; everything
+//! above toy scale needs fabrics that are *generated*, *validated* and
+//! *planned over* instead of hand-wired. This crate adds that layer on top
+//! of `san-fabric`:
+//!
+//! * [`atlas`] — parametric generators behind one [`TopoSpec`] handle:
+//!   fat-tree/Clos(k), 2D/3D tori, random near-d-regular fabrics and
+//!   spare-link-augmented trees, plus the canonical paper shapes (`pair`,
+//!   `chain`, `star`, `testbed`) so every consumer — chaos campaigns,
+//!   benches, tests — builds topologies through the same API. Specs have a
+//!   stable string form (`"fat_tree:8"`, `"torus2d:8x8x2"`) usable in
+//!   campaign JSON and CLI flags.
+//! * [`validate`] — structural checks: host connectivity, port budgets,
+//!   link-disjoint path diversity (a min-cut lower bound), survivable
+//!   link/switch candidate sets for fault injection, and a one-call
+//!   [`validate::check`] that also proves `UpDownMap::build` works.
+//! * [`export`] — DOT and JSON dumps of a built fabric for inspection.
+//! * [`planner`] — ECMP-style equal-cost + link-disjoint k-route sets per
+//!   host pair, a deadlock-freedom verdict via
+//!   `fabric::updown::routes_deadlock_free`, and a [`planner::RouteCache`]
+//!   keyed by (topology fingerprint, alive-link fingerprint) so repeated
+//!   remaps on the same degraded fabric are O(1) lookups.
+//!
+//! The planner's route sets double as *mapper hints*: `san-ft`'s on-demand
+//! mapper accepts candidate routes and verifies them with single host
+//! probes before falling back to its BFS exploration (see
+//! `Mapper::offer_candidates`), which turns a multi-hundred-probe remap on
+//! a 128-host fabric into a handful of probes when a planner (or cache) is
+//! warm.
+
+#![warn(missing_docs)]
+
+pub mod atlas;
+pub mod export;
+pub mod planner;
+pub mod validate;
+
+pub use atlas::{Fabric, TopoClass, TopoSpec};
+pub use planner::{candidate_routes, plan, PlanTable, RouteCache};
+pub use validate::Survey;

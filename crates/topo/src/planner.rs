@@ -1,0 +1,473 @@
+//! The multipath route planner and its degraded-fabric cache.
+//!
+//! For every host pair the planner computes up to k candidate source
+//! routes: the shortest route first, then further equal-cost routes
+//! selected greedily for link diversity, then link-disjoint alternates
+//! (each avoiding every fabric link the earlier candidates used). The
+//! set is a failover list — diversity, not enumeration order, is what
+//! makes it survive a fault. The set is exactly what
+//! the on-demand mapper wants as *hints* after a failure — try the
+//! alternates with single host probes before paying for a BFS exploration
+//! — and what a global controller would install as a full map.
+//!
+//! Deadlock-freedom of a planned table is a *verdict*, not a guarantee:
+//! minimal routes on cyclic fabrics (tori) generally are not
+//! deadlock-free, and the paper's whole point is to recover rather than
+//! avoid. [`PlanTable::deadlock_free`] reuses
+//! `fabric::updown::routes_deadlock_free` so callers can decide.
+//!
+//! [`RouteCache`] memoizes plans keyed by `(topology fingerprint,
+//! alive-set fingerprint)`: repeated remaps on the same degraded fabric
+//! (the common case during a flap storm) are O(1) lookups, and the
+//! hit/miss counters are registered in telemetry when a handle is given.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use san_fabric::route::MAX_HOPS;
+use san_fabric::updown::routes_deadlock_free;
+use san_fabric::{Endpoint, LinkId, NodeId, PortId, Route, SwitchId, Topology};
+use san_telemetry::{Counter, Telemetry};
+
+use crate::atlas::{fingerprint_topology, Fnv};
+use crate::validate::route_links;
+
+/// Up to `k` candidate routes from `from` to `to` over alive links:
+/// the first shortest route, then further equal-cost routes picked
+/// greedily for *link diversity* (fewest fabric links shared with the
+/// already-selected set), then link-disjoint detours. Diversity is the
+/// point of a candidate set — a failover list whose entries all cross the
+/// same link dies as one — so plain enumeration order (which packs all
+/// same-first-hop ECMP routes together) is not used directly. Empty when
+/// the pair is disconnected.
+pub fn candidate_routes(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    alive: impl Fn(LinkId) -> bool + Copy,
+) -> Vec<Route> {
+    if from == to || k == 0 {
+        return Vec::new();
+    }
+    // Enumerate a larger equal-cost pool than requested, then select a
+    // diverse k out of it.
+    let pool_cap = k.saturating_mul(4).clamp(k, 32);
+    let pool = ecmp_routes(topo, from, to, pool_cap, alive);
+    let mut routes: Vec<Route> = Vec::new();
+    let mut used: Vec<LinkId> = Vec::new();
+    while routes.len() < k {
+        let best = pool
+            .iter()
+            .filter(|r| !routes.contains(r))
+            .map(|r| {
+                let links = route_links(topo, from, r).unwrap_or_default();
+                let overlap = links.iter().filter(|l| used.contains(l)).count();
+                (overlap, r)
+            })
+            .min_by_key(|&(overlap, _)| overlap);
+        let Some((_, r)) = best else { break };
+        let fresh: Vec<LinkId> = route_links(topo, from, r)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|l| !used.contains(l))
+            .collect();
+        used.extend(fresh);
+        routes.push(*r);
+    }
+    // Link-disjoint alternates: ban the fabric links every accepted route
+    // uses and re-run shortest path until k or exhaustion.
+    let exempt: Vec<LinkId> = [from, to]
+        .iter()
+        .filter_map(|&h| topo.link_at(Endpoint::Host(h)))
+        .collect();
+    let mut banned: Vec<LinkId> = routes
+        .iter()
+        .flat_map(|r| route_links(topo, from, r).unwrap_or_default())
+        .filter(|l| !exempt.contains(l))
+        .collect();
+    while routes.len() < k {
+        let open = |l: LinkId| alive(l) && (!banned.contains(&l) || exempt.contains(&l));
+        let Some(r) = topo.shortest_route(from, to, open) else {
+            break;
+        };
+        if routes.contains(&r) {
+            break;
+        }
+        banned.extend(
+            route_links(topo, from, &r)
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|l| !exempt.contains(l)),
+        );
+        routes.push(r);
+    }
+    routes
+}
+
+/// All equal-cost shortest routes (up to `k`), enumerated by DFS over the
+/// BFS distance labels in ascending port order — deterministic and
+/// duplicate-free by construction.
+fn ecmp_routes(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    alive: impl Fn(LinkId) -> bool + Copy,
+) -> Vec<Route> {
+    let Some(first) = topo.link_at(Endpoint::Host(from)) else {
+        return Vec::new();
+    };
+    if !alive(first) {
+        return Vec::new();
+    }
+    let Endpoint::Switch(s0, _) = topo.link(first).other(Endpoint::Host(from)) else {
+        return Vec::new(); // host-to-host direct links don't exist
+    };
+    let Some(last) = topo.link_at(Endpoint::Host(to)) else {
+        return Vec::new();
+    };
+    if !alive(last) {
+        return Vec::new();
+    }
+    let Endpoint::Switch(sd, dport) = topo.link(last).other(Endpoint::Host(to)) else {
+        return Vec::new();
+    };
+    // BFS switch-hop distances toward the destination switch.
+    let mut dist = vec![u32::MAX; topo.num_switches()];
+    dist[sd.idx()] = 0;
+    let mut q = VecDeque::from([sd]);
+    while let Some(s) = q.pop_front() {
+        for (_, link, far) in topo.neighbors(s) {
+            if !alive(link) {
+                continue;
+            }
+            if let Some((s2, _)) = far.switch() {
+                if dist[s2.idx()] == u32::MAX {
+                    dist[s2.idx()] = dist[s.idx()] + 1;
+                    q.push_back(s2);
+                }
+            }
+        }
+    }
+    if dist[s0.idx()] == u32::MAX || dist[s0.idx()] as usize + 1 > MAX_HOPS {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<u8> = Vec::new();
+    dfs_equal_cost(topo, s0, sd, dport, &dist, &alive, k, &mut stack, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)] // recursive enumeration carries its whole frame
+fn dfs_equal_cost(
+    topo: &Topology,
+    at: SwitchId,
+    sd: SwitchId,
+    dport: PortId,
+    dist: &[u32],
+    alive: &impl Fn(LinkId) -> bool,
+    k: usize,
+    stack: &mut Vec<u8>,
+    out: &mut Vec<Route>,
+) {
+    if out.len() >= k {
+        return;
+    }
+    if at == sd {
+        // The final hop exits toward the destination host; `dport` is the
+        // port the host hangs off, which is exactly the output port to take.
+        let mut ports = stack.clone();
+        ports.push(dport.idx() as u8);
+        out.push(Route::from_ports(&ports));
+        return;
+    }
+    for p in 0..topo.switch_ports(at) {
+        let ep = Endpoint::Switch(at, PortId(p));
+        let Some(link) = topo.link_at(ep) else {
+            continue;
+        };
+        if !alive(link) {
+            continue;
+        }
+        if let Some((s2, _)) = topo.link(link).other(ep).switch() {
+            if dist[s2.idx()] != u32::MAX && dist[s2.idx()] + 1 == dist[at.idx()] {
+                stack.push(p);
+                dfs_equal_cost(topo, s2, sd, dport, dist, alive, k, stack, out);
+                stack.pop();
+                if out.len() >= k {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A planned route table: up to k candidates per ordered host pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanTable {
+    /// Candidates per (src, dst), primaries first. Ordered map so
+    /// iteration — and therefore the fingerprint — is deterministic.
+    routes: BTreeMap<(u16, u16), Vec<Route>>,
+}
+
+impl PlanTable {
+    /// The candidate set for a pair (empty when disconnected).
+    pub fn routes(&self, from: NodeId, to: NodeId) -> &[Route] {
+        self.routes
+            .get(&(from.0, to.0))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The primary (first shortest) route for a pair.
+    pub fn primary(&self, from: NodeId, to: NodeId) -> Option<Route> {
+        self.routes(from, to).first().copied()
+    }
+
+    /// All (src, primary route) pairs — the shape the deadlock checker
+    /// takes.
+    pub fn primaries(&self) -> Vec<(NodeId, Route)> {
+        self.routes
+            .iter()
+            .filter_map(|(&(a, _), rs)| rs.first().map(|&r| (NodeId(a), r)))
+            .collect()
+    }
+
+    /// Would installing every primary route at once be deadlock-free?
+    /// (UP*/DOWN* tables are; minimal tables on cyclic fabrics usually are
+    /// not — the paper recovers instead of avoiding.)
+    pub fn deadlock_free(&self, topo: &Topology) -> bool {
+        routes_deadlock_free(topo, &self.primaries())
+    }
+
+    /// Pairs planned.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when nothing was planned.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// FNV-1a digest over every pair's candidate list — byte-identical
+    /// plans (and nothing else) collide, which is what the cache
+    /// determinism test pins.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (&(a, b), rs) in &self.routes {
+            h.u64(a as u64);
+            h.u64(b as u64);
+            h.u64(rs.len() as u64);
+            for r in rs {
+                h.u64(r.len() as u64);
+                for &p in r.ports() {
+                    h.u64(p as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Plan up to `k` candidates for every ordered pair of `hosts`.
+pub fn plan(
+    topo: &Topology,
+    hosts: &[NodeId],
+    k: usize,
+    alive: impl Fn(LinkId) -> bool + Copy,
+) -> PlanTable {
+    let mut routes = BTreeMap::new();
+    for &a in hosts {
+        for &b in hosts {
+            if a == b {
+                continue;
+            }
+            let cands = candidate_routes(topo, a, b, k, alive);
+            if !cands.is_empty() {
+                routes.insert((a.0, b.0), cands);
+            }
+        }
+    }
+    PlanTable { routes }
+}
+
+/// Digest of an alive-link set, given the dead list (sorted internally so
+/// callers can pass ids in any order).
+pub fn alive_fingerprint(dead: &[LinkId]) -> u64 {
+    let mut ids: Vec<u32> = dead.iter().map(|l| l.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut h = Fnv::new();
+    h.u64(ids.len() as u64);
+    for id in ids {
+        h.u64(id as u64);
+    }
+    h.finish()
+}
+
+/// Memoized planning over degraded fabrics, keyed by
+/// `(topology fingerprint, alive-set fingerprint)`.
+pub struct RouteCache {
+    k: usize,
+    entries: HashMap<(u64, u64), Arc<PlanTable>>,
+    /// Cache hits (same degraded fabric re-planned).
+    pub hits: Counter,
+    /// Cache misses (fresh plan computed).
+    pub misses: Counter,
+}
+
+impl RouteCache {
+    /// A cache planning `k` candidates per pair, with local counters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            entries: HashMap::new(),
+            hits: Counter::default(),
+            misses: Counter::default(),
+        }
+    }
+
+    /// Same, with hit/miss counters registered in `tel` as
+    /// `topo.cache.hits` / `topo.cache.misses`.
+    pub fn with_telemetry(k: usize, tel: &Telemetry) -> Self {
+        Self {
+            hits: tel.counter("topo.cache.hits"),
+            misses: tel.counter("topo.cache.misses"),
+            ..Self::new(k)
+        }
+    }
+
+    /// The plan for `topo` with the given dead links, computed on first
+    /// sight and shared (O(1)) afterwards. `hosts` must be the same for a
+    /// given topology fingerprint (atlas fabrics guarantee this: hosts are
+    /// part of the wiring, and the wiring is the fingerprint).
+    pub fn plan(&mut self, topo: &Topology, hosts: &[NodeId], dead: &[LinkId]) -> Arc<PlanTable> {
+        let key = (fingerprint_topology(topo), alive_fingerprint(dead));
+        if let Some(hit) = self.entries.get(&key) {
+            self.hits.hit();
+            return hit.clone();
+        }
+        self.misses.hit();
+        let table = Arc::new(plan(topo, hosts, self.k, |l| !dead.contains(&l)));
+        self.entries.insert(key, table.clone());
+        table
+    }
+
+    /// Cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atlas::TopoSpec;
+
+    fn trace_ok(topo: &Topology, a: NodeId, b: NodeId, r: &Route) -> bool {
+        topo.trace_route(a, r, |_| true) == Some(Endpoint::Host(b))
+    }
+
+    #[test]
+    fn ecmp_finds_all_minimal_fat_tree_paths() {
+        let f = TopoSpec::FatTree { k: 4 }.build();
+        // Cross-pod pair: k/2 aggs × k/2 cores... but minimal path count is
+        // (k/2)² = 4 for k=4 (choice of agg and core on the up path).
+        let (a, b) = (f.hosts[0], *f.hosts.last().unwrap());
+        let routes = candidate_routes(&f.topo, a, b, 16, |_| true);
+        assert_eq!(routes.len(), 4, "(k/2)^2 minimal routes, got {routes:?}");
+        for r in &routes {
+            assert_eq!(r.len(), 5);
+            assert!(trace_ok(&f.topo, a, b, r));
+        }
+        // All distinct.
+        let mut uniq = routes.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), routes.len());
+    }
+
+    #[test]
+    fn disjoint_alternates_extend_equal_cost() {
+        let f = TopoSpec::Testbed(1).build();
+        let (a, b) = (f.hosts[0], f.hosts[1]);
+        let routes = candidate_routes(&f.topo, a, b, 4, |_| true);
+        assert!(routes.len() >= 2, "redundant testbed has alternates");
+        for r in &routes {
+            assert!(trace_ok(&f.topo, a, b, r));
+        }
+        // First two candidates are fabric-link-disjoint... the ECMP set
+        // already may share links; at minimum the full set is not all one
+        // path.
+        assert!(routes.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn dead_links_are_avoided() {
+        let f = TopoSpec::Testbed(1).build();
+        let (a, b) = (f.hosts[0], f.hosts[1]);
+        let dead = [f.spare_links[0], f.spare_links[1]];
+        let routes = candidate_routes(&f.topo, a, b, 4, |l| !dead.contains(&l));
+        assert!(!routes.is_empty(), "detour exists");
+        for r in &routes {
+            let links = route_links(&f.topo, a, r).unwrap();
+            assert!(links.iter().all(|l| !dead.contains(l)));
+            assert!(trace_ok(&f.topo, a, b, r));
+        }
+    }
+
+    #[test]
+    fn plan_covers_all_pairs_and_updown_is_safe() {
+        let f = TopoSpec::FatTree { k: 4 }.build();
+        let sample = crate::validate::sample_hosts(&f.hosts, 6);
+        let table = plan(&f.topo, &sample, 4, |_| true);
+        assert_eq!(table.len(), 6 * 5);
+        // Minimal fat-tree routes are up-then-down, hence deadlock-free.
+        assert!(table.deadlock_free(&f.topo));
+    }
+
+    #[test]
+    fn torus_primaries_are_not_deadlock_free() {
+        let f = TopoSpec::Torus2D {
+            rows: 8,
+            cols: 8,
+            hosts: 1,
+        }
+        .build();
+        let table = plan(&f.topo, &f.hosts, 1, |_| true);
+        assert!(
+            !table.deadlock_free(&f.topo),
+            "minimal wrap-around routes must form channel cycles"
+        );
+    }
+
+    #[test]
+    fn cache_hits_are_shared_and_identical() {
+        let f = TopoSpec::Torus2D {
+            rows: 4,
+            cols: 4,
+            hosts: 2,
+        }
+        .build();
+        let dead = [f.topo.links().next().unwrap().0];
+        let mut cache = RouteCache::new(3);
+        let first = cache.plan(&f.topo, &f.hosts, &dead);
+        let second = cache.plan(&f.topo, &f.hosts, &dead);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup is the hit path"
+        );
+        assert_eq!(cache.hits.get(), 1);
+        assert_eq!(cache.misses.get(), 1);
+        // A different alive set is a different entry.
+        let other = cache.plan(&f.topo, &f.hosts, &[]);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(cache.len(), 2);
+    }
+}

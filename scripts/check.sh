@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== scale_map smoke (atlas + planner-hint remap gate)"
+cargo run --release -q -p san-bench --bin scale_map -- --smoke
+
 echo "== chaos smoke campaign (invariant gate)"
 cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/smoke.json --trials 8 --jobs 2
 

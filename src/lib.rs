@@ -18,7 +18,9 @@
 //! * [`apps`] — SPLASH-2-style kernels (FFT, RadixLocal, WaterNSquared),
 //! * [`microbench`] — latency/bandwidth drivers and parameter sweeps,
 //! * [`telemetry`] — cross-layer metrics registry, trace ring and
-//!   packet-lifecycle reconstruction.
+//!   packet-lifecycle reconstruction,
+//! * [`topo`] — large-scale topology atlas, structural validators and the
+//!   multipath route planner + cache.
 //!
 //! ```
 //! use san_repro::prelude::*;
@@ -51,6 +53,7 @@ pub use san_proc as proc;
 pub use san_sim as sim;
 pub use san_svm as svm;
 pub use san_telemetry as telemetry;
+pub use san_topo as topo;
 pub use san_vmmc as vmmc;
 
 /// The names almost every user needs.

@@ -1,0 +1,162 @@
+//! Regression pins for Table 3: on-demand mapping cost on the paper's
+//! small fabrics must not drift as the mapper evolves.
+//!
+//! Everything pinned here is virtual-time deterministic — probe counts
+//! and mapping times come out of the discrete-event clock, not the wall
+//! clock — so exact equality is safe. If a mapper change legitimately
+//! shifts these numbers, re-measure with
+//! `cargo run --release -p san-bench --bin table3` and update the pins
+//! alongside EXPERIMENTS.md.
+
+use san_fabric::engine::FabricEvent;
+use san_fabric::topology;
+use san_ft::{MapStats, MapperConfig, ProtocolConfig, ReliableFirmware};
+use san_nic::testkit::{inbox, Collector, StreamSender};
+use san_nic::{Cluster, ClusterConfig, HostAgent, IdleHost};
+use san_sim::{Duration, Time};
+
+fn mapper_stats(cluster: &Cluster, node: usize) -> MapStats {
+    cluster.nics[node]
+        .fw
+        .as_any()
+        .downcast_ref::<ReliableFirmware>()
+        .expect("reliable firmware")
+        .mapper_stats()
+        .clone()
+}
+
+/// Table 3 (A): cold-start mapping over a switch chain, exactly as the
+/// `table3` bench runs it. Returns (host probes, switch probes, virtual
+/// mapping time in ms) for the sender's completed run.
+fn chain_cold_start(hops: usize) -> (u64, u64, f64) {
+    let (topo, _a, b) = topology::chain(hops);
+    let ib = inbox();
+    let hosts: Vec<Box<dyn HostAgent>> = vec![
+        Box::new(StreamSender::new(b, 64, 1)),
+        Box::new(Collector(ib.clone())),
+    ];
+    let proto = ProtocolConfig::default().with_mapping();
+    let mut cluster = Cluster::new(
+        topo,
+        ClusterConfig::default(),
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                2,
+            ))
+        },
+        hosts,
+    );
+    // No routes installed: the first send must map.
+    let mut t = Time::from_millis(5);
+    while ib.borrow().is_empty() && t < Time::from_secs(5) {
+        cluster.run_until(t);
+        t += Duration::from_millis(5);
+    }
+    assert_eq!(ib.borrow().len(), 1, "hop {hops}: message must arrive");
+    let st = mapper_stats(&cluster, 0);
+    (st.last_host_probes, st.last_switch_probes, st.last_time_ms)
+}
+
+#[test]
+fn table3a_chain_probe_counts_are_pinned() {
+    // (hops, host probes, switch probes) as measured for the seed mapper
+    // (16-port probe budget, one identity check per switch). Host probes
+    // grow by exactly one 16-port scan per hop; switch probes grow with
+    // the explored switch neighbourhood, matching the paper's "linear in
+    // the network explored" shape.
+    let pins = [(1, 16, 0), (2, 32, 16), (3, 48, 272), (4, 64, 513)];
+    let mut last_time = 0.0;
+    for (hops, host_probes, switch_probes) in pins {
+        let (h, s, ms) = chain_cold_start(hops);
+        assert_eq!(
+            (h, s),
+            (host_probes, switch_probes),
+            "hop {hops}: probe counts drifted (got {h} host / {s} switch)"
+        );
+        assert!(
+            ms > last_time,
+            "hop {hops}: mapping time must grow with distance ({ms} ms after {last_time} ms)"
+        );
+        last_time = ms;
+    }
+    // The paper's testbed spans 3.1–83.6 ms over the same sweep; the
+    // simulated mapper must stay in the same order of magnitude.
+    assert!(
+        (0.1..100.0).contains(&last_time),
+        "4-hop mapping time left the paper's regime: {last_time} ms"
+    );
+}
+
+#[test]
+fn table3b_failover_remap_is_pinned() {
+    // Table 3 (B): both redundant core-to-core links die mid-stream on
+    // the Figure 2 testbed; the sender re-maps on demand and finds the
+    // leaf-switch detour.
+    let tb = topology::paper_mapping_testbed(2);
+    let n_hosts = tb.hosts.len();
+    let (src, dst) = (tb.hosts[0], tb.hosts[1]);
+    let ib = inbox();
+    let mut hosts: Vec<Box<dyn HostAgent>> = Vec::new();
+    for h in 0..n_hosts {
+        if h == src.idx() {
+            hosts.push(Box::new(StreamSender::new(dst, 2048, 400)));
+        } else if h == dst.idx() {
+            hosts.push(Box::new(Collector(ib.clone())));
+        } else {
+            hosts.push(Box::new(IdleHost));
+        }
+    }
+    let proto = ProtocolConfig {
+        perm_fail_threshold: Duration::from_millis(10),
+        ..ProtocolConfig::default().with_mapping()
+    };
+    let mut cluster = Cluster::new(
+        tb.topo,
+        ClusterConfig::default(),
+        |_| {
+            Box::new(ReliableFirmware::new(
+                proto.clone(),
+                MapperConfig::default(),
+                n_hosts,
+            ))
+        },
+        hosts,
+    );
+    cluster.install_shortest_routes();
+    let kill_at = Time::from_millis(2);
+    for i in 0..2 {
+        cluster.sim.schedule(
+            kill_at,
+            FabricEvent::LinkDown {
+                link: tb.redundant_links[i],
+            }
+            .into(),
+        );
+    }
+    let mut t = Time::from_millis(5);
+    while ib.borrow().len() < 400 && t < Time::from_secs(10) {
+        cluster.run_until(t);
+        t += Duration::from_millis(5);
+    }
+    assert!(
+        ib.borrow().len() >= 400,
+        "failover must complete the stream (got {})",
+        ib.borrow().len()
+    );
+    let st = mapper_stats(&cluster, src.idx());
+    assert_eq!(st.runs.get(), 1, "exactly one re-mapping run");
+    assert_eq!(
+        (st.last_host_probes, st.last_switch_probes),
+        (64, 304),
+        "failover probe counts drifted (got {} host / {} switch)",
+        st.last_host_probes,
+        st.last_switch_probes
+    );
+    assert!(
+        (1.0..30.0).contains(&st.last_time_ms),
+        "re-mapping time left Table 3's regime: {} ms",
+        st.last_time_ms
+    );
+}
