@@ -10,10 +10,11 @@
 //! index)`, never on thread timing, so the parallel runner can hand out
 //! indices in any order.
 
-use san_fabric::{FaultPlan, LinkId, NodeId, SwitchId, Topology, TransientFaults};
+use san_fabric::{Endpoint, FaultPlan, LinkId, NodeId, SwitchId, Topology, TransientFaults};
 use san_ft::ProtocolConfig;
 use san_sim::{Duration, SimRng, Time};
 use san_topo::{validate, TopoSpec as AtlasSpec};
+use san_workload::{ArrivalSpec, DestSpec, SizeSpec, WorkloadSpec};
 
 use crate::json::Json;
 
@@ -517,6 +518,58 @@ impl FaultMix {
     }
 }
 
+/// Serialize a [`WorkloadSpec`] into campaign JSON. The distribution
+/// fields use their compact string forms (`"poisson:20000"`,
+/// `"pareto:1.3:256:65536"`, `"zipf:1.2"`) — the same spellings
+/// `san-bench tenants` takes on the command line.
+fn workload_to_json(w: &WorkloadSpec) -> Json {
+    Json::obj(vec![
+        ("tenants", Json::Int(w.tenants as u64)),
+        ("arrival", w.arrival.to_string().as_str().into()),
+        ("size", w.size.to_string().as_str().into()),
+        ("dest", w.dest.to_string().as_str().into()),
+        ("window_ms", Json::Int(w.window_ms)),
+        ("max_backlog", Json::Int(w.max_backlog as u64)),
+    ])
+}
+
+/// Deserialize a [`WorkloadSpec`] (defaults for absent fields).
+fn workload_from_json(v: &Json) -> Result<WorkloadSpec, String> {
+    let d = WorkloadSpec::default();
+    let dist = |key: &str| -> Option<&str> { v.get(key).and_then(Json::as_str) };
+    let w = WorkloadSpec {
+        tenants: v
+            .get("tenants")
+            .and_then(Json::as_u64)
+            .unwrap_or(d.tenants as u64)
+            .clamp(1, u16::MAX as u64) as u16,
+        arrival: match dist("arrival") {
+            Some(s) => ArrivalSpec::parse(s).map_err(|e| format!("workload.arrival: {e}"))?,
+            None => d.arrival,
+        },
+        size: match dist("size") {
+            Some(s) => SizeSpec::parse(s).map_err(|e| format!("workload.size: {e}"))?,
+            None => d.size,
+        },
+        dest: match dist("dest") {
+            Some(s) => DestSpec::parse(s).map_err(|e| format!("workload.dest: {e}"))?,
+            None => d.dest,
+        },
+        window_ms: v
+            .get("window_ms")
+            .and_then(Json::as_u64)
+            .unwrap_or(d.window_ms)
+            .max(1),
+        max_backlog: v
+            .get("max_backlog")
+            .and_then(Json::as_u64)
+            .unwrap_or(d.max_backlog as u64)
+            .clamp(1, 1024) as u32,
+    };
+    w.validate()?;
+    Ok(w)
+}
+
 /// A campaign: the randomized scenario family the runner samples trials
 /// from.
 #[derive(Debug, Clone, PartialEq)]
@@ -540,6 +593,13 @@ pub struct Campaign {
     /// Fault-active window, milliseconds (traffic may finish later; the
     /// runner grants a drain grace period after this window).
     pub duration_ms: u64,
+    /// Multi-tenant synthetic workload replacing the fixed-stream
+    /// [`TrafficSpec`] when present: the runner drives `san-workload`
+    /// host agents instead of chaos streams, and the oracle's per-pair
+    /// expectations come from the workload's posted-message ledger.
+    /// Absent means legacy traffic — zero extra RNG draws, so existing
+    /// campaigns replay byte-identically.
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl Campaign {
@@ -553,6 +613,37 @@ impl Campaign {
         let topology = self.topology.resolved(seed);
         let built = topology.build();
         let window_ns = self.duration_ms.max(2) * 1_000_000;
+
+        // Incast workloads bias link flaps onto the victim's rack: a flap
+        // on a random far-away link rarely perturbs an N→1 storm, so the
+        // campaign would mostly test nothing. Restrict candidates to the
+        // survivable links incident to the victim's ToR switch when any
+        // exist (a subset of a survivable set is still survivable).
+        let flappable: Vec<LinkId> = match self
+            .workload
+            .as_ref()
+            .and_then(|w| san_workload::incast_victim(w, &built.traffic_hosts))
+            .and_then(|v| built.topo.switch_of_host(v))
+        {
+            Some((tor, _)) => {
+                let on_tor = |ep: Endpoint| ep.switch().is_some_and(|(s, _)| s == tor);
+                let near: Vec<LinkId> = built
+                    .flappable
+                    .iter()
+                    .copied()
+                    .filter(|&l| {
+                        let link = built.topo.link(l);
+                        on_tor(link.a) || on_tor(link.b)
+                    })
+                    .collect();
+                if near.is_empty() {
+                    built.flappable.clone()
+                } else {
+                    near
+                }
+            }
+            None => built.flappable.clone(),
+        };
 
         // Wire-level transient faults.
         let burst_rate = self.faults.burst_rate.sample_f(&mut rng);
@@ -573,10 +664,10 @@ impl Campaign {
         let mut plan = FaultPlan::new();
         let n_flaps = self.faults.flaps.sample_u(&mut rng);
         for _ in 0..n_flaps {
-            if built.flappable.is_empty() {
+            if flappable.is_empty() {
                 break;
             }
-            let link = built.flappable[rng.below(built.flappable.len() as u64) as usize];
+            let link = flappable[rng.below(flappable.len() as u64) as usize];
             let at = Time::from_nanos(rng.range(1_000_000, window_ns));
             let down_us = self.faults.flap_down_us.sample_u(&mut rng).max(20);
             plan = plan
@@ -596,7 +687,7 @@ impl Campaign {
             plan = plan.switch_down(at, victim);
         }
         let cycles = self.faults.storm_cycles.sample_u(&mut rng);
-        if cycles > 0 && !built.flappable.is_empty() {
+        if cycles > 0 && !flappable.is_empty() {
             // Sequential, non-overlapping cycles: at most one redundant
             // link is ever down, so a route always exists and every remap
             // can succeed (reincarnation, not partition).
@@ -606,7 +697,7 @@ impl Campaign {
                 if t.nanos() + period_us * 1_000 > window_ns {
                     break;
                 }
-                let link = built.flappable[rng.below(built.flappable.len() as u64) as usize];
+                let link = flappable[rng.below(flappable.len() as u64) as usize];
                 plan = plan
                     .link_down(t, link)
                     .link_up(t + Duration::from_micros(period_us / 2), link);
@@ -624,12 +715,13 @@ impl Campaign {
             wire,
             plan,
             duration_ms: self.duration_ms,
+            workload: self.workload.clone(),
         }
     }
 
     /// Serialize.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut kv = vec![
             ("name", self.name.as_str().into()),
             ("description", self.description.as_str().into()),
             ("seed", Json::Int(self.seed)),
@@ -639,7 +731,11 @@ impl Campaign {
             ("protocol", self.protocol.to_json()),
             ("faults", self.faults.to_json()),
             ("duration_ms", Json::Int(self.duration_ms)),
-        ])
+        ];
+        if let Some(w) = &self.workload {
+            kv.push(("workload", workload_to_json(w)));
+        }
+        Json::obj(kv)
     }
 
     /// Deserialize (defaults for optional fields).
@@ -681,6 +777,10 @@ impl Campaign {
                 .and_then(Json::as_u64)
                 .ok_or("campaign.duration_ms missing")?
                 .clamp(2, 60_000),
+            workload: match v.get("workload") {
+                Some(w) => Some(workload_from_json(w)?),
+                None => None,
+            },
         })
     }
 
@@ -712,6 +812,9 @@ pub struct Trial {
     pub plan: FaultPlan,
     /// Fault-active window, milliseconds.
     pub duration_ms: u64,
+    /// Multi-tenant workload (replaces `traffic` when present; see
+    /// [`Campaign::workload`]).
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl Trial {
@@ -753,7 +856,7 @@ impl Trial {
                 })
                 .collect(),
         );
-        Json::obj(vec![
+        let mut kv = vec![
             ("campaign", self.campaign.as_str().into()),
             ("index", Json::Int(self.index as u64)),
             ("seed", Json::Int(self.seed)),
@@ -763,7 +866,11 @@ impl Trial {
             ("wire", wire),
             ("plan", plan),
             ("duration_ms", Json::Int(self.duration_ms)),
-        ])
+        ];
+        if let Some(w) = &self.workload {
+            kv.push(("workload", workload_to_json(w)));
+        }
+        Json::obj(kv)
     }
 
     /// Deserialize a repro file.
@@ -845,6 +952,10 @@ impl Trial {
                 .get("duration_ms")
                 .and_then(Json::as_u64)
                 .ok_or("trial.duration_ms missing")?,
+            workload: match v.get("workload") {
+                Some(w) => Some(workload_from_json(w)?),
+                None => None,
+            },
         })
     }
 
@@ -889,6 +1000,7 @@ mod tests {
                 ..FaultMix::default()
             },
             duration_ms: 50,
+            workload: None,
         }
     }
 
@@ -960,6 +1072,83 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_campaign_round_trips_through_json() {
+        let c = Campaign {
+            workload: Some(WorkloadSpec {
+                tenants: 12,
+                arrival: ArrivalSpec::Poisson { rate: 4_000.0 },
+                size: SizeSpec::Lognormal {
+                    median: 2_048,
+                    sigma: 0.7,
+                    cap: 16_384,
+                },
+                dest: DestSpec::Incast,
+                window_ms: 5,
+                max_backlog: 4,
+            }),
+            ..demo_campaign()
+        };
+        let back = Campaign::parse(&c.to_json().pretty()).unwrap();
+        assert_eq!(c, back);
+        let t = c.sample(2);
+        let t_back = Trial::parse(&t.to_text()).unwrap();
+        assert_eq!(t.to_text(), t_back.to_text());
+        assert_eq!(t_back.workload, c.workload);
+    }
+
+    #[test]
+    fn legacy_campaign_json_has_no_workload_key() {
+        // Campaigns without a workload must serialize exactly as before
+        // this field existed (repro files stay byte-stable).
+        let c = demo_campaign();
+        assert!(!c.to_json().pretty().contains("workload"));
+        assert!(!c.sample(0).to_text().contains("workload"));
+    }
+
+    #[test]
+    fn incast_workload_biases_flaps_onto_victim_tor() {
+        let topology = TopologySpec::Atlas(AtlasSpec::parse("fat_tree:4").unwrap());
+        let c = Campaign {
+            topology,
+            workload: Some(WorkloadSpec {
+                dest: DestSpec::Incast,
+                ..WorkloadSpec::default()
+            }),
+            faults: FaultMix {
+                flaps: Span::at(2.0),
+                flap_down_us: Span {
+                    lo: 500.0,
+                    hi: 5_000.0,
+                },
+                ..FaultMix::default()
+            },
+            ..demo_campaign()
+        };
+        let built = topology.build();
+        let victim =
+            san_workload::incast_victim(c.workload.as_ref().unwrap(), &built.traffic_hosts)
+                .unwrap();
+        let (tor, _) = built.topo.switch_of_host(victim).unwrap();
+        for i in 0..8 {
+            let t = c.sample(i);
+            assert!(!t.plan.actions.is_empty(), "flaps must be scheduled");
+            for a in &t.plan.actions {
+                let link = match *a {
+                    san_fabric::PermanentFault::LinkDown { link, .. }
+                    | san_fabric::PermanentFault::LinkUp { link, .. } => LinkId(link),
+                    _ => panic!("only link flaps expected"),
+                };
+                let l = built.topo.link(link);
+                let on_tor = |ep: Endpoint| ep.switch().is_some_and(|(s, _)| s == tor);
+                assert!(
+                    on_tor(l.a) || on_tor(l.b),
+                    "flap {link:?} not incident to the victim's ToR {tor:?}"
+                );
             }
         }
     }

@@ -47,6 +47,20 @@ type DeliveryLog = Rc<RefCell<Vec<Delivery>>>;
 /// notification order.
 type FailureLog = Rc<RefCell<Vec<(u16, u16, u64)>>>;
 
+/// Traffic setup for one trial: planner-hint pairs, the legacy expected
+/// message total (0 in workload mode), the workload ledger driver (None in
+/// legacy mode) and the host agents.
+type TrafficSetup = (
+    Vec<(NodeId, NodeId)>,
+    u64,
+    Option<san_workload::WorkloadDriver>,
+    Vec<Box<dyn HostAgent>>,
+);
+
+/// End-of-trial oracle inputs: per-pair expectations, the delivery log,
+/// `SendFailed` records and the expected message total.
+type OracleInputs = (Vec<PairExpect>, Vec<Delivery>, Vec<(u16, u16, u64)>, u64);
+
 /// Host agent for chaos trials: optionally streams one message sequence
 /// to a destination, records everything deposited locally, and — when
 /// `recover` is on — re-posts sends the NIC fails as unreachable with
@@ -222,8 +236,6 @@ pub fn run_trial(trial: &Trial) -> TrialOutcome {
 pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceScan) {
     let built = trial.topology.build();
     let n = built.hosts.len();
-    let pairs = trial.traffic.pairs(&built);
-    let expected_total: u64 = pairs.len() as u64 * trial.traffic.messages;
 
     let telemetry = Telemetry::with_trace(TRACE_CAP);
     let cfg = ClusterConfig {
@@ -235,26 +247,51 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
 
     let log: DeliveryLog = Rc::new(RefCell::new(Vec::new()));
     let failures: FailureLog = Rc::new(RefCell::new(Vec::new()));
-    let hosts: Vec<Box<dyn HostAgent>> = built
-        .hosts
-        .iter()
-        .map(|&h| -> Box<dyn HostAgent> {
-            let send = pairs
+
+    // Traffic: either the legacy fixed streams, or a multi-tenant
+    // synthetic workload whose posted-message ledger becomes the oracle's
+    // expectation. `pairs` feeds the planner hints in both modes.
+    let (pairs, expected_total, driver, hosts): TrafficSetup = match &trial.workload {
+        Some(spec) => {
+            // Salt 2: salt 1 already seeds the wire-fault RNG.
+            let opts = san_workload::WorkloadOptions {
+                seed: mix_seed(trial.seed, 2),
+                telemetry: telemetry.clone(),
+                record_segments: true,
+                register_metrics: false,
+                host_recovery: trial.protocol.host_recovery,
+            };
+            let (driver, hosts) =
+                san_workload::build_hosts(spec, &built.hosts, &built.traffic_hosts, &opts);
+            let pairs = san_workload::potential_pairs(spec, &built.traffic_hosts);
+            (pairs, 0, Some(driver), hosts)
+        }
+        None => {
+            let pairs = trial.traffic.pairs(&built);
+            let expected_total = pairs.len() as u64 * trial.traffic.messages;
+            let hosts: Vec<Box<dyn HostAgent>> = built
+                .hosts
                 .iter()
-                .find(|&&(s, _)| s == h)
-                .map(|&(_, d)| (d, trial.traffic.messages));
-            Box::new(ChaosHost {
-                me: h,
-                send,
-                bytes: trial.traffic.bytes,
-                log: log.clone(),
-                failed: Vec::new(),
-                attempts: HashMap::new(),
-                recover: trial.protocol.host_recovery,
-                failures: failures.clone(),
-            })
-        })
-        .collect();
+                .map(|&h| -> Box<dyn HostAgent> {
+                    let send = pairs
+                        .iter()
+                        .find(|&&(s, _)| s == h)
+                        .map(|&(_, d)| (d, trial.traffic.messages));
+                    Box::new(ChaosHost {
+                        me: h,
+                        send,
+                        bytes: trial.traffic.bytes,
+                        log: log.clone(),
+                        failed: Vec::new(),
+                        attempts: HashMap::new(),
+                        recover: trial.protocol.host_recovery,
+                        failures: failures.clone(),
+                    })
+                })
+                .collect();
+            (pairs, expected_total, None, hosts)
+        }
+    };
 
     let proto = trial.protocol;
     // Atlas fabrics get a topology-aware mapper: the real port budget
@@ -322,12 +359,18 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
     trial.plan.arm(&mut cluster.sim);
 
     // Run in slices until the traffic contract is met and the protocol has
-    // drained, or until the deadline (fault window + grace).
+    // drained, or until the deadline (fault window + grace). Workload
+    // trials are open-loop: the contract is "the arrival window closed and
+    // everything the ledger posted was delivered".
     let deadline = Time::from_millis(trial.duration_ms + GRACE_MS);
+    let window = Time::from_millis(trial.workload.as_ref().map_or(0, |w| w.window_ms));
     let mut t = Time::from_millis(SLICE_MS);
     let finished_at = loop {
         let now = cluster.run_until(t);
-        let complete = unique_delivered(&log.borrow()) >= expected_total;
+        let complete = match &driver {
+            Some(d) => now >= window && d.total_delivered() >= d.total_posted(),
+            None => unique_delivered(&log.borrow()) >= expected_total,
+        };
         let drained = !trial.protocol.reliable
             || cluster.nics.iter().all(|nic| {
                 nic.fw
@@ -359,29 +402,67 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
             pool_in_use: nic.core.pool.in_use(),
         })
         .collect();
-    let expected: Vec<PairExpect> = pairs
-        .iter()
-        .map(|&(s, d)| PairExpect {
-            src: s.0,
-            dst: d.0,
-            messages: trial.traffic.messages,
-            reachable: cluster
-                .engine
-                .topology()
-                .shortest_route(s, d, cluster.engine.alive_filter())
-                .is_some(),
-        })
-        .collect();
+    let reachable = |s: NodeId, d: NodeId| {
+        cluster
+            .engine
+            .topology()
+            .shortest_route(s, d, cluster.engine.alive_filter())
+            .is_some()
+    };
+    // Workload trials derive their expectations (and the delivery log)
+    // from the shared ledger: posted counts per pair, deposited segments
+    // as recorded at each receiving host.
+    let (expected, deliveries, send_failed, expected_total): OracleInputs = match &driver {
+        Some(d) => (
+            d.pair_counts()
+                .into_iter()
+                .map(|(s, dst, msgs)| PairExpect {
+                    src: s,
+                    dst,
+                    messages: msgs,
+                    reachable: reachable(NodeId(s), NodeId(dst)),
+                })
+                .collect(),
+            d.segments()
+                .into_iter()
+                .map(|r| Delivery {
+                    at_ns: r.at_ns,
+                    src: r.src,
+                    dst: r.dst,
+                    msg_id: r.msg_id,
+                    seq: r.seq,
+                    generation: r.generation,
+                    corrupted: r.corrupted,
+                })
+                .collect(),
+            d.failures(),
+            d.total_posted(),
+        ),
+        None => (
+            pairs
+                .iter()
+                .map(|&(s, d)| PairExpect {
+                    src: s.0,
+                    dst: d.0,
+                    messages: trial.traffic.messages,
+                    reachable: reachable(s, d),
+                })
+                .collect(),
+            log.borrow().clone(),
+            failures.borrow().clone(),
+            expected_total,
+        ),
+    };
 
     let scan = telemetry.scan();
     let (resets, last_progress) = oracle::digest_trace(&scan);
     let obs = Observation {
-        deliveries: log.borrow().clone(),
+        deliveries,
         expected,
         nodes,
         resets,
         last_progress,
-        send_failed: failures.borrow().clone(),
+        send_failed,
         host_recovery: trial.protocol.host_recovery,
     };
     let violations = oracle::check(&obs);

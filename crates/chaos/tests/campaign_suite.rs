@@ -101,7 +101,29 @@ fn reincarnation_hot_quick() {
 }
 
 #[test]
-#[ignore = "full curated suite (124 trials); run in release via scripts/check.sh or --ignored"]
+fn incast_quick() {
+    // Multi-tenant N→1 deposit storm with flaps biased onto the victim's
+    // ToR uplinks. Beyond the invariants, the storm must actually move
+    // data: every trial posts and completes a nonzero message count.
+    let campaign = load("incast");
+    let outcome = run_campaign(&campaign, 3, 4);
+    assert!(
+        outcome.failures().next().is_none(),
+        "campaign 'incast' violated invariants:\n{}",
+        outcome.report()
+    );
+    assert!(
+        outcome
+            .trials
+            .iter()
+            .all(|t| t.expected > 0 && t.delivered >= t.expected),
+        "incast trials must post and deliver workload traffic:\n{}",
+        outcome.report()
+    );
+}
+
+#[test]
+#[ignore = "full curated suite (132 trials); run in release via scripts/check.sh or --ignored"]
 fn full_curated_suite() {
     for name in [
         "smoke",
@@ -113,6 +135,7 @@ fn full_curated_suite() {
         "reincarnation_hot",
         "atlas",
         "atlas_torus",
+        "incast",
     ] {
         let campaign = load(name);
         let outcome = run_campaign(&campaign, campaign.trials, 8);

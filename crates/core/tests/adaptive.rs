@@ -89,6 +89,7 @@ fn seg_desc(
         msg_len: total,
         recv_buf: 0,
         flags,
+        tenant: 0,
         posted_at: Time::ZERO,
     }
 }

@@ -136,6 +136,10 @@ pub struct Packet {
     pub msg_len: u32,
     /// VMMC: receiver-side import/export buffer identifier.
     pub recv_buf: u32,
+    /// Multi-tenant workload tag: which tenant stream this segment belongs
+    /// to (0 = untagged/legacy traffic). Carried in otherwise-unused header
+    /// padding, so it is excluded from the CRC image like `stamps`.
+    pub tenant: u16,
     /// Stage timestamps (simulation instrumentation, not wire data).
     pub stamps: Stamps,
 }
@@ -163,6 +167,7 @@ impl Packet {
             msg_offset: 0,
             msg_len: 0,
             recv_buf: 0,
+            tenant: 0,
             stamps: Stamps::default(),
         }
     }

@@ -46,6 +46,8 @@ pub struct SendDesc {
     pub recv_buf: u32,
     /// Segment flags (FIRST_SEG / LAST_SEG).
     pub flags: PacketFlags,
+    /// Tenant stream this segment belongs to (0 = untagged).
+    pub tenant: u16,
     /// When the host began the send (for latency breakdowns).
     pub posted_at: Time,
 }
@@ -497,6 +499,7 @@ impl Nic {
         pkt.msg_len = desc.msg_len;
         pkt.recv_buf = desc.recv_buf;
         pkt.flags = desc.flags;
+        pkt.tenant = desc.tenant;
         pkt.stamps.host_post = desc.posted_at;
         pkt.stamps.nic_tx_start = now;
         // A descriptor may carry real bytes, a logical size, or both (a real
@@ -718,6 +721,7 @@ mod tests {
             msg_len: 4096,
             recv_buf: 0,
             flags: PacketFlags::default(),
+            tenant: 0,
             posted_at: Time::ZERO,
         };
         assert_eq!(d.len(), 4096);

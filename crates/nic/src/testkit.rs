@@ -47,6 +47,7 @@ pub fn make_desc(dst: NodeId, bytes: u32, msg_id: u64, posted_at: Time) -> SendD
         msg_len: bytes,
         recv_buf: 0,
         flags,
+        tenant: 0,
         posted_at,
     }
 }

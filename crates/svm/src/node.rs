@@ -190,6 +190,10 @@ impl SvmNode {
         if let Some(r) = recovery {
             vmmc.enable_recovery(r);
         }
+        // Tag SVM protocol traffic per node (tenant 0 is reserved for
+        // untagged traffic) so fabric-level attribution can separate nodes
+        // when SVM runs alongside synthetic tenant workloads.
+        vmmc.set_tenant(node.0 + 1);
         Self {
             node,
             n_nodes,

@@ -103,6 +103,10 @@ pub enum TraceKind {
     DmaEnd = 14,
     /// The fabric's path-reset watchdog killed a wedged worm.
     PathReset = 15,
+    /// A workload host observed a complete tenant message (`node` = the
+    /// receiver, `src`/`dst` = the message endpoints, `aux` packs the
+    /// tenant id and delivery latency — see [`TraceEvent::pack_tenant`]).
+    TenantDelivered = 16,
 }
 
 impl TraceKind {
@@ -125,6 +129,7 @@ impl TraceKind {
             TraceKind::DmaStart => "dma_start",
             TraceKind::DmaEnd => "dma_end",
             TraceKind::PathReset => "path_reset",
+            TraceKind::TenantDelivered => "tenant_delivered",
         }
     }
 
@@ -174,6 +179,20 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
+    /// Pack a tenant id and a delivery latency into the `aux` word of a
+    /// [`TraceKind::TenantDelivered`] event: tenant in the high 16 bits,
+    /// latency (nanoseconds, saturated to 48 bits ≈ 78 hours) below it.
+    #[inline]
+    pub fn pack_tenant(tenant: u16, latency_ns: u64) -> u64 {
+        ((tenant as u64) << 48) | latency_ns.min((1 << 48) - 1)
+    }
+
+    /// Inverse of [`TraceEvent::pack_tenant`]: `(tenant, latency_ns)`.
+    #[inline]
+    pub fn unpack_tenant(aux: u64) -> (u16, u64) {
+        ((aux >> 48) as u16, aux & ((1 << 48) - 1))
+    }
+
     /// Canonical single-line text form; the determinism test and the CSV
     /// exporter both build on this, so it must stay stable.
     pub fn to_line(&self) -> String {
@@ -296,6 +315,13 @@ impl TraceScan {
         self.events.iter().any(|e| e.at_ns >= at_ns && pred(e))
     }
 
+    /// Per-tenant message delivery latencies, oldest first, decoded from
+    /// [`TraceKind::TenantDelivered`] events as `(tenant, latency_ns)`.
+    pub fn tenant_latencies(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.of_kind(TraceKind::TenantDelivered)
+            .map(|e| TraceEvent::unpack_tenant(e.aux))
+    }
+
     /// The distinct (src, dst) streams that have packet-scoped events,
     /// in first-appearance order.
     pub fn pairs(&self) -> Vec<(u16, u16)> {
@@ -368,7 +394,7 @@ fn layer_from(b: u8) -> Layer {
 
 fn kind_from(b: u8) -> TraceKind {
     use TraceKind::*;
-    const KINDS: [TraceKind; 16] = [
+    const KINDS: [TraceKind; 17] = [
         PacketEnqueued,
         PacketInjected,
         PacketHop,
@@ -385,6 +411,7 @@ fn kind_from(b: u8) -> TraceKind {
         DmaStart,
         DmaEnd,
         PathReset,
+        TenantDelivered,
     ];
     KINDS[(b as usize).min(KINDS.len() - 1)]
 }

@@ -65,6 +65,9 @@ pub struct DeliveredMsg {
     pub offset: u32,
     /// Message length.
     pub len: u32,
+    /// Tenant stream the message belongs to (from the completing segment's
+    /// tag; 0 = untagged).
+    pub tenant: u16,
     /// When the last segment was visible to the process.
     pub completed_at: Time,
 }
@@ -220,6 +223,8 @@ pub struct VmmcLib {
     completed: HashMap<NodeId, CompletedIds>,
     /// End-to-end recovery policy; `None` = the paper's silent-drop default.
     recovery: Option<RecoveryState>,
+    /// Tenant tag stamped on every outgoing segment (0 = untagged).
+    tenant: u16,
     /// Statistics.
     pub stats: VmmcStats,
 }
@@ -240,6 +245,7 @@ impl VmmcLib {
             assembling: HashMap::new(),
             completed: HashMap::new(),
             recovery: None,
+            tenant: 0,
             stats: VmmcStats::registered(tel, node),
         }
     }
@@ -247,6 +253,17 @@ impl VmmcLib {
     /// Owner host.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Tag every subsequent send with `tenant` (multi-tenant workload
+    /// attribution; 0 = untagged legacy traffic).
+    pub fn set_tenant(&mut self, tenant: u16) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant tag currently stamped on outgoing segments.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
     }
 
     /// Install an end-to-end recovery policy: sends are retained and, on a
@@ -479,6 +496,7 @@ impl VmmcLib {
                 msg_len: len,
                 recv_buf: to.export.0,
                 flags,
+                tenant: self.tenant,
                 posted_at,
             };
             self.stats.segments_sent.hit();
@@ -563,6 +581,7 @@ impl VmmcLib {
             export: a.export,
             offset: a.first_offset,
             len: a.len,
+            tenant: pkt.tenant,
             completed_at: pkt.stamps.host_seen,
         })
     }

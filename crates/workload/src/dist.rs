@@ -1,0 +1,486 @@
+//! Seeded, deterministic samplers for arrivals, sizes and destinations.
+//!
+//! Every sampler draws exclusively through [`SimRng`], and each sample
+//! consumes a *fixed* number of raw draws (Box–Muller discards its second
+//! variate rather than caching it), so a generator's stream position — and
+//! therefore every downstream byte — is a pure function of (spec, seed,
+//! samples taken). The determinism proptests in `tests/determinism.rs`
+//! pin this contract.
+
+use std::fmt;
+
+use san_sim::SimRng;
+
+/// 2^53 as f64: uniform doubles are built from 53-bit integer draws so
+/// they round-trip exactly.
+const U53: f64 = (1u64 << 53) as f64;
+
+/// Uniform in `[0, 1)`.
+#[inline]
+pub(crate) fn u01(rng: &mut SimRng) -> f64 {
+    rng.below(1 << 53) as f64 / U53
+}
+
+/// Uniform in `(0, 1]` (safe to `ln()`).
+#[inline]
+fn u01_open(rng: &mut SimRng) -> f64 {
+    (rng.below(1 << 53) + 1) as f64 / U53
+}
+
+/// Standard normal via Box–Muller. The second variate of the pair is
+/// discarded so every sample costs exactly two uniform draws.
+#[inline]
+fn std_normal(rng: &mut SimRng) -> f64 {
+    let u1 = u01_open(rng);
+    let u2 = u01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Message arrival process for one tenant stream, in messages/second.
+///
+/// String forms: `poisson:RATE` and `mmpp:LO:HI:DWELL_US` (two-state
+/// Markov-modulated Poisson process alternating between rates `LO` and
+/// `HI`, with exponentially distributed state dwell times of mean
+/// `DWELL_US` microseconds — the classic bursty-tenant model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Memoryless arrivals at a fixed mean rate (msgs/sec).
+    Poisson {
+        /// Mean arrival rate in messages per second.
+        rate: f64,
+    },
+    /// Two-state MMPP: bursty arrivals alternating `lo` ↔ `hi` msgs/sec.
+    Mmpp {
+        /// Quiet-state rate (msgs/sec).
+        lo: f64,
+        /// Burst-state rate (msgs/sec).
+        hi: f64,
+        /// Mean dwell time per state, microseconds.
+        dwell_us: u64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Parse the compact string form.
+    pub fn parse(s: &str) -> Result<ArrivalSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let num = |x: &str, what: &str| -> Result<f64, String> {
+            x.parse::<f64>()
+                .map_err(|_| format!("bad {what} in arrival spec {s:?}"))
+        };
+        match parts.as_slice() {
+            ["poisson", r] => {
+                let rate = num(r, "rate")?;
+                if rate.is_nan() || rate <= 0.0 {
+                    return Err(format!("arrival rate must be positive: {s:?}"));
+                }
+                Ok(ArrivalSpec::Poisson { rate })
+            }
+            ["mmpp", lo, hi, dwell] => {
+                let lo = num(lo, "lo rate")?;
+                let hi = num(hi, "hi rate")?;
+                let dwell_us = dwell
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad dwell in arrival spec {s:?}"))?;
+                if lo.is_nan() || lo <= 0.0 || hi.is_nan() || hi <= 0.0 || dwell_us == 0 {
+                    return Err(format!("mmpp rates and dwell must be positive: {s:?}"));
+                }
+                Ok(ArrivalSpec::Mmpp { lo, hi, dwell_us })
+            }
+            _ => Err(format!(
+                "unknown arrival spec {s:?} (want poisson:RATE or mmpp:LO:HI:DWELL_US)"
+            )),
+        }
+    }
+
+    /// Long-run mean arrival rate (msgs/sec); MMPP states have equal mean
+    /// dwell, so the stationary mix is 50/50.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalSpec::Poisson { rate } => rate,
+            ArrivalSpec::Mmpp { lo, hi, .. } => (lo + hi) / 2.0,
+        }
+    }
+}
+
+impl fmt::Display for ArrivalSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ArrivalSpec::Poisson { rate } => write!(f, "poisson:{rate}"),
+            ArrivalSpec::Mmpp { lo, hi, dwell_us } => write!(f, "mmpp:{lo}:{hi}:{dwell_us}"),
+        }
+    }
+}
+
+/// Stateful arrival sampler (carries the MMPP state machine).
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    spec: ArrivalSpec,
+    /// MMPP: currently in the high-rate state?
+    hi_state: bool,
+    /// MMPP: nanoseconds left in the current state.
+    dwell_left_ns: f64,
+}
+
+impl ArrivalGen {
+    /// Fresh generator (MMPP starts in the quiet state).
+    pub fn new(spec: ArrivalSpec) -> Self {
+        Self {
+            spec,
+            hi_state: false,
+            dwell_left_ns: 0.0,
+        }
+    }
+
+    /// Nanoseconds until the next arrival (≥ 1).
+    pub fn next_gap_ns(&mut self, rng: &mut SimRng) -> u64 {
+        match self.spec {
+            ArrivalSpec::Poisson { rate } => rng.exponential(1e9 / rate).max(1.0) as u64,
+            ArrivalSpec::Mmpp { lo, hi, dwell_us } => {
+                // Piecewise-exponential: a draw that overruns the current
+                // state's remaining dwell is discarded (memorylessness makes
+                // the re-draw in the next state exact, not approximate).
+                let mut acc = 0.0f64;
+                loop {
+                    if self.dwell_left_ns <= 0.0 {
+                        self.dwell_left_ns = rng.exponential(dwell_us as f64 * 1_000.0);
+                    }
+                    let rate = if self.hi_state { hi } else { lo };
+                    let gap = rng.exponential(1e9 / rate);
+                    if gap < self.dwell_left_ns {
+                        self.dwell_left_ns -= gap;
+                        return (acc + gap).max(1.0) as u64;
+                    }
+                    acc += self.dwell_left_ns;
+                    self.dwell_left_ns = 0.0;
+                    self.hi_state = !self.hi_state;
+                }
+            }
+        }
+    }
+}
+
+/// Message size law, in bytes.
+///
+/// String forms: `fixed:BYTES`, `lognormal:MEDIAN:SIGMA:CAP` (median in
+/// bytes, σ of the underlying normal, hard cap) and
+/// `pareto:ALPHA:MIN:MAX` (bounded Pareto with tail index α on
+/// `[MIN, MAX]`) — the two standard heavy-tail models for datacenter
+/// message/flow sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeSpec {
+    /// Every message is exactly this many bytes.
+    Fixed(u32),
+    /// Lognormal body with a hard cap.
+    Lognormal {
+        /// Median size in bytes (= e^µ of the underlying normal).
+        median: u32,
+        /// σ of the underlying normal; larger = heavier tail.
+        sigma: f64,
+        /// Hard upper bound in bytes.
+        cap: u32,
+    },
+    /// Bounded Pareto on `[min, max]` with tail index `alpha`.
+    Pareto {
+        /// Tail index α (smaller = heavier tail; 1.0–1.5 is typical).
+        alpha: f64,
+        /// Smallest message, bytes.
+        min: u32,
+        /// Largest message, bytes.
+        max: u32,
+    },
+}
+
+impl SizeSpec {
+    /// Parse the compact string form.
+    pub fn parse(s: &str) -> Result<SizeSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let b = |x: &str, what: &str| -> Result<u32, String> {
+            x.parse::<u32>()
+                .map_err(|_| format!("bad {what} in size spec {s:?}"))
+        };
+        match parts.as_slice() {
+            ["fixed", n] => {
+                let n = b(n, "bytes")?;
+                if n == 0 {
+                    return Err(format!("fixed size must be positive: {s:?}"));
+                }
+                Ok(SizeSpec::Fixed(n))
+            }
+            ["lognormal", median, sigma, cap] => {
+                let median = b(median, "median")?;
+                let cap = b(cap, "cap")?;
+                let sigma = sigma
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad sigma in size spec {s:?}"))?;
+                if median == 0 || cap < median || sigma.is_nan() || sigma <= 0.0 {
+                    return Err(format!("lognormal wants 0 < median <= cap, sigma > 0: {s:?}"));
+                }
+                Ok(SizeSpec::Lognormal { median, sigma, cap })
+            }
+            ["pareto", alpha, min, max] => {
+                let alpha = alpha
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad alpha in size spec {s:?}"))?;
+                let min = b(min, "min")?;
+                let max = b(max, "max")?;
+                if min == 0 || max < min || alpha.is_nan() || alpha <= 0.0 {
+                    return Err(format!("pareto wants 0 < min <= max, alpha > 0: {s:?}"));
+                }
+                Ok(SizeSpec::Pareto { alpha, min, max })
+            }
+            _ => Err(format!(
+                "unknown size spec {s:?} (want fixed:B, lognormal:MED:SIGMA:CAP or pareto:A:MIN:MAX)"
+            )),
+        }
+    }
+
+    /// Draw one message size in bytes (always ≥ 1, ≤ [`SizeSpec::max_bytes`]).
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            SizeSpec::Fixed(n) => n,
+            SizeSpec::Lognormal { median, sigma, cap } => {
+                let z = std_normal(rng);
+                let v = median as f64 * (sigma * z).exp();
+                (v as u64).clamp(1, cap as u64) as u32
+            }
+            SizeSpec::Pareto { alpha, min, max } => {
+                // Inverse CDF of the bounded Pareto:
+                //   x = L · (1 − u·(1 − (L/H)^α))^(−1/α)
+                let l = min as f64;
+                let h = max as f64;
+                let u = u01(rng);
+                let ratio = (l / h).powf(alpha);
+                let x = l * (1.0 - u * (1.0 - ratio)).powf(-1.0 / alpha);
+                (x as u64).clamp(min as u64, max as u64) as u32
+            }
+        }
+    }
+
+    /// Largest size this law can produce (sizes the receive exports).
+    pub fn max_bytes(&self) -> u32 {
+        match *self {
+            SizeSpec::Fixed(n) => n,
+            SizeSpec::Lognormal { cap, .. } => cap,
+            SizeSpec::Pareto { max, .. } => max,
+        }
+    }
+}
+
+impl fmt::Display for SizeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SizeSpec::Fixed(n) => write!(f, "fixed:{n}"),
+            SizeSpec::Lognormal { median, sigma, cap } => {
+                write!(f, "lognormal:{median}:{sigma}:{cap}")
+            }
+            SizeSpec::Pareto { alpha, min, max } => write!(f, "pareto:{alpha}:{min}:{max}"),
+        }
+    }
+}
+
+/// Destination law for one tenant's messages.
+///
+/// String forms: `uniform`, `zipf:S` (rank-skewed toward a hotspot host),
+/// `incast` (everyone targets one victim — the deposit-storm regime) and
+/// `permutation` (each sender gets one fixed partner, a derangement —
+/// the classic contention-free baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DestSpec {
+    /// Uniform over the other traffic hosts.
+    Uniform,
+    /// Zipf(s) over a fixed host ranking (rank 0 = the hotspot).
+    Zipf(f64),
+    /// All tenants send to a single victim host (N→1).
+    Incast,
+    /// Fixed sender→receiver derangement.
+    Permutation,
+}
+
+impl DestSpec {
+    /// Parse the compact string form.
+    pub fn parse(s: &str) -> Result<DestSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["uniform"] => Ok(DestSpec::Uniform),
+            ["incast"] => Ok(DestSpec::Incast),
+            ["permutation"] => Ok(DestSpec::Permutation),
+            ["zipf", sexp] => {
+                let sv = sexp
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad exponent in dest spec {s:?}"))?;
+                if sv.is_nan() || sv <= 0.0 {
+                    return Err(format!("zipf exponent must be positive: {s:?}"));
+                }
+                Ok(DestSpec::Zipf(sv))
+            }
+            _ => Err(format!(
+                "unknown dest spec {s:?} (want uniform, zipf:S, incast or permutation)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for DestSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DestSpec::Uniform => write!(f, "uniform"),
+            DestSpec::Zipf(s) => write!(f, "zipf:{s}"),
+            DestSpec::Incast => write!(f, "incast"),
+            DestSpec::Permutation => write!(f, "permutation"),
+        }
+    }
+}
+
+/// Zipf(s) sampler over ranks `0..n` via a precomputed cumulative table
+/// and binary search — O(log n) per draw, exact.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cum: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Table over `n` ranks with exponent `s` (weight of rank k is
+    /// `1/(k+1)^s`).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf table needs at least one rank");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cum.push(acc);
+        }
+        Self { cum }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let total = *self.cum.last().unwrap();
+        let u = u01(rng) * total;
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_specs_round_trip() {
+        for s in ["poisson:20000", "mmpp:2000:80000:500"] {
+            let spec = ArrivalSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(ArrivalSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        assert!(ArrivalSpec::parse("poisson:0").is_err());
+        assert!(ArrivalSpec::parse("mmpp:1:2").is_err());
+        assert!(ArrivalSpec::parse("weird").is_err());
+    }
+
+    #[test]
+    fn size_specs_round_trip() {
+        for s in [
+            "fixed:4096",
+            "lognormal:4096:1:65536",
+            "pareto:1.3:256:65536",
+        ] {
+            let spec = SizeSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(SizeSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        assert!(SizeSpec::parse("fixed:0").is_err());
+        assert!(
+            SizeSpec::parse("lognormal:4096:1:10").is_err(),
+            "cap < median"
+        );
+        assert!(SizeSpec::parse("pareto:0:1:2").is_err());
+    }
+
+    #[test]
+    fn dest_specs_round_trip() {
+        for s in ["uniform", "zipf:1.2", "incast", "permutation"] {
+            let spec = DestSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+        }
+        assert!(DestSpec::parse("zipf:-1").is_err());
+        assert!(DestSpec::parse("ring").is_err());
+    }
+
+    #[test]
+    fn poisson_rate_roughly_right() {
+        let mut rng = SimRng::seed_from(7);
+        let mut g = ArrivalGen::new(ArrivalSpec::Poisson { rate: 50_000.0 });
+        let n = 20_000;
+        let total_ns: u64 = (0..n).map(|_| g.next_gap_ns(&mut rng)).sum();
+        let rate = n as f64 / (total_ns as f64 / 1e9);
+        assert!((45_000.0..55_000.0).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn mmpp_mean_rate_between_states() {
+        let mut rng = SimRng::seed_from(11);
+        let spec = ArrivalSpec::Mmpp {
+            lo: 5_000.0,
+            hi: 100_000.0,
+            dwell_us: 200,
+        };
+        let mut g = ArrivalGen::new(spec);
+        let n = 40_000;
+        let total_ns: u64 = (0..n).map(|_| g.next_gap_ns(&mut rng)).sum();
+        let rate = n as f64 / (total_ns as f64 / 1e9);
+        // The time-averaged rate of a 50/50 MMPP is the harmonic-ish blend;
+        // it must land strictly between the states and well off either one.
+        assert!(rate > 7_000.0 && rate < 90_000.0, "rate={rate}");
+    }
+
+    #[test]
+    fn lognormal_median_and_cap_hold() {
+        let mut rng = SimRng::seed_from(13);
+        let spec = SizeSpec::Lognormal {
+            median: 4096,
+            sigma: 1.0,
+            cap: 65536,
+        };
+        let mut xs: Vec<u32> = (0..20_000).map(|_| spec.sample(&mut rng)).collect();
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2];
+        assert!((3_300..5_000).contains(&med), "median={med}");
+        assert!(*xs.last().unwrap() <= 65536);
+        assert!(*xs.first().unwrap() >= 1);
+    }
+
+    #[test]
+    fn pareto_bounds_and_tail() {
+        let mut rng = SimRng::seed_from(17);
+        let spec = SizeSpec::Pareto {
+            alpha: 1.3,
+            min: 256,
+            max: 65536,
+        };
+        let xs: Vec<u32> = (0..20_000).map(|_| spec.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (256..=65536).contains(&x)));
+        // Heavy tail: the top percentile must dwarf the median.
+        let mut s = xs.clone();
+        s.sort_unstable();
+        let med = s[s.len() / 2] as f64;
+        let p99 = s[(s.len() * 99) / 100] as f64;
+        assert!(p99 / med > 10.0, "p99/med = {}", p99 / med);
+    }
+
+    #[test]
+    fn zipf_skews_toward_rank_zero() {
+        let mut rng = SimRng::seed_from(19);
+        let t = ZipfTable::new(16, 1.2);
+        let mut counts = [0u32; 16];
+        for _ in 0..20_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] * 4,
+            "head={} mid={}",
+            counts[0],
+            counts[8]
+        );
+        assert!(counts.iter().all(|&c| c > 0), "every rank reachable");
+    }
+}

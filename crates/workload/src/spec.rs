@@ -1,0 +1,116 @@
+//! [`WorkloadSpec`]: one value describing a whole multi-tenant workload.
+
+use crate::dist::{ArrivalSpec, DestSpec, SizeSpec};
+
+/// Hard ceiling on a single message (sizes the per-host receive export:
+/// every host allocates one export buffer of the spec's max size).
+pub const MAX_MSG_BYTES: u32 = 1 << 18;
+
+/// A complete multi-tenant workload description.
+///
+/// The spec is deliberately plain data — every field has a compact string
+/// form (see [`crate::dist`]) so the same value round-trips through CLI
+/// flags and chaos-campaign JSON. Tenant ids are `1..=tenants` (0 is the
+/// reserved "untagged" wire tag).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of concurrent tenant streams, assigned round-robin over the
+    /// traffic hosts (senders exclude the incast victim).
+    pub tenants: u16,
+    /// Per-tenant arrival process.
+    pub arrival: ArrivalSpec,
+    /// Message size law.
+    pub size: SizeSpec,
+    /// Destination law.
+    pub dest: DestSpec,
+    /// Arrival window in milliseconds; generators stop offering new
+    /// messages after it closes (the run then drains).
+    pub window_ms: u64,
+    /// Open-loop backlog bound: messages a tenant may have posted but not
+    /// yet handed to the NIC (`SendDone` outstanding). Arrivals beyond the
+    /// bound are shed and counted, never queued.
+    pub max_backlog: u32,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            tenants: 8,
+            arrival: ArrivalSpec::Poisson { rate: 20_000.0 },
+            size: SizeSpec::Lognormal {
+                median: 4096,
+                sigma: 1.0,
+                cap: 65_536,
+            },
+            dest: DestSpec::Uniform,
+            window_ms: 10,
+            max_backlog: 4,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Structural sanity: positive counts, bounded sizes, enough hosts for
+    /// the destination law to avoid self-sends.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants == 0 {
+            return Err("workload needs at least one tenant".into());
+        }
+        if self.window_ms == 0 {
+            return Err("workload window must be at least 1 ms".into());
+        }
+        if self.max_backlog == 0 {
+            return Err("max_backlog must be at least 1".into());
+        }
+        if self.size.max_bytes() > MAX_MSG_BYTES {
+            return Err(format!(
+                "max message size {} exceeds the {} B export ceiling",
+                self.size.max_bytes(),
+                MAX_MSG_BYTES
+            ));
+        }
+        Ok(())
+    }
+
+    /// Aggregate offered load over the arrival window, in messages.
+    pub fn offered_messages_estimate(&self) -> f64 {
+        self.tenants as f64 * self.arrival.mean_rate() * (self.window_ms as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        WorkloadSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let s = WorkloadSpec {
+            tenants: 0,
+            ..WorkloadSpec::default()
+        };
+        assert!(s.validate().is_err());
+        let s = WorkloadSpec {
+            window_ms: 0,
+            ..WorkloadSpec::default()
+        };
+        assert!(s.validate().is_err());
+        let s = WorkloadSpec {
+            size: SizeSpec::Fixed(MAX_MSG_BYTES + 1),
+            ..WorkloadSpec::default()
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn offered_estimate_scales_with_tenants() {
+        let mut s = WorkloadSpec::default();
+        let one = s.offered_messages_estimate();
+        s.tenants *= 4;
+        assert!((s.offered_messages_estimate() / one - 4.0).abs() < 1e-9);
+    }
+}

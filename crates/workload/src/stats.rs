@@ -1,0 +1,137 @@
+//! Per-tenant delivery statistics, tail quantiles and Jain's fairness.
+
+/// Jain's fairness index over per-tenant allocations:
+/// `(Σx)² / (n·Σx²)` — 1.0 when all tenants got the same, → 1/n when one
+/// tenant got everything. Empty or all-zero input reports 1.0 (vacuously
+/// fair).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice (ns). Empty input
+/// reports 0.
+pub fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// One tenant's end-of-run accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id (1-based; 0 is the reserved untagged wire tag).
+    pub tenant: u16,
+    /// Messages the arrival process offered (posted + shed).
+    pub offered: u64,
+    /// Arrivals shed by the backlog bound.
+    pub shed: u64,
+    /// Messages fully delivered (exactly-once, post-dedup).
+    pub delivered: u64,
+    /// Bytes of delivered messages.
+    pub delivered_bytes: u64,
+    /// Median delivery latency, ns (0 when nothing delivered).
+    pub p50_ns: u64,
+    /// 99th-percentile delivery latency, ns.
+    pub p99_ns: u64,
+    /// 99.9th-percentile delivery latency, ns.
+    pub p999_ns: u64,
+    /// Worst delivery latency, ns.
+    pub max_ns: u64,
+}
+
+/// Whole-workload report: per-tenant rows plus the aggregates the knee
+/// study plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Per-tenant rows, tenant id ascending.
+    pub tenants: Vec<TenantStats>,
+    /// Total messages offered across tenants.
+    pub offered_total: u64,
+    /// Total messages actually posted (offered − shed).
+    pub posted_total: u64,
+    /// Total messages delivered.
+    pub delivered_total: u64,
+    /// Total delivered bytes.
+    pub delivered_bytes: u64,
+    /// Total shed arrivals.
+    pub shed_total: u64,
+    /// Aggregate p99 delivery latency, ns (pooled across tenants).
+    pub p99_ns: u64,
+    /// Aggregate p999 delivery latency, ns.
+    pub p999_ns: u64,
+    /// Jain's fairness index over per-tenant delivered bytes.
+    pub fairness: f64,
+    /// The arrival window the throughput figures normalize over, ns.
+    pub window_ns: u64,
+}
+
+impl WorkloadReport {
+    /// Delivered goodput in MB/s (decimal MB) over the arrival window.
+    pub fn delivered_mb_per_s(&self) -> f64 {
+        if self.window_ns == 0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64 / 1e6 / (self.window_ns as f64 / 1e9)
+    }
+
+    /// Delivered / offered message ratio in `[0, 1]` (1.0 when nothing was
+    /// offered).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered_total == 0 {
+            return 1.0;
+        }
+        self.delivered_total as f64 / self.offered_total as f64
+    }
+
+    /// Compact one-line summary for logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "tenants={} offered={} posted={} delivered={} shed={} goodput={:.1}MB/s p99={}ns p999={}ns fairness={:.4}",
+            self.tenants.len(),
+            self.offered_total,
+            self.posted_total,
+            self.delivered_total,
+            self.shed_total,
+            self.delivered_mb_per_s(),
+            self.p99_ns,
+            self.p999_ns,
+            self.fairness,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let skew = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12, "one-winner index = 1/n");
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_ns(&xs, 0.5), 50);
+        assert_eq!(quantile_ns(&xs, 0.99), 99);
+        assert_eq!(quantile_ns(&xs, 0.999), 100);
+        assert_eq!(quantile_ns(&xs, 1.0), 100);
+        assert_eq!(quantile_ns(&[], 0.99), 0);
+        assert_eq!(quantile_ns(&[7], 0.5), 7);
+    }
+}

@@ -1,0 +1,132 @@
+//! Seeded-determinism and distribution-shape properties for the workload
+//! generators (satellite of the multi-tenant traffic engine PR).
+//!
+//! Two families:
+//! * identical seeds ⇒ byte-identical arrival-gap and size streams (the
+//!   contract everything else — chaos replay, bench sweeps — builds on);
+//! * empirical size distributions actually carry the tail parameters the
+//!   spec names (median window for lognormal, hard bounds + heavy tail
+//!   for bounded Pareto).
+
+use proptest::prelude::*;
+use san_sim::SimRng;
+use san_workload::{ArrivalGen, ArrivalSpec, SizeSpec};
+
+/// Draw `n` arrival gaps from a fresh generator forked off `seed`.
+fn gap_stream(spec: ArrivalSpec, seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SimRng::seed_from(seed).fork(1);
+    let mut g = ArrivalGen::new(spec);
+    (0..n).map(|_| g.next_gap_ns(&mut rng)).collect()
+}
+
+/// Draw `n` sizes from a fresh generator forked off `seed`.
+fn size_stream(spec: SizeSpec, seed: u64, n: usize) -> Vec<u32> {
+    let mut rng = SimRng::seed_from(seed).fork(1);
+    (0..n).map(|_| spec.sample(&mut rng)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn poisson_gap_streams_replay_byte_identical(
+        seed in any::<u64>(),
+        rate in 1_000.0f64..200_000.0,
+    ) {
+        let spec = ArrivalSpec::Poisson { rate };
+        prop_assert_eq!(
+            gap_stream(spec, seed, 512),
+            gap_stream(spec, seed, 512),
+            "same seed must replay the same arrival stream"
+        );
+    }
+
+    #[test]
+    fn mmpp_gap_streams_replay_byte_identical(
+        seed in any::<u64>(),
+        lo in 500.0f64..5_000.0,
+        burst in 2.0f64..20.0,
+        dwell_us in 50u64..2_000,
+    ) {
+        let spec = ArrivalSpec::Mmpp { lo, hi: lo * burst, dwell_us };
+        prop_assert_eq!(
+            gap_stream(spec, seed, 512),
+            gap_stream(spec, seed, 512),
+            "same seed must replay the same MMPP stream"
+        );
+    }
+
+    #[test]
+    fn size_streams_replay_byte_identical(
+        seed in any::<u64>(),
+        which in 0usize..3,
+    ) {
+        let spec = match which {
+            0 => SizeSpec::Fixed(4_096),
+            1 => SizeSpec::Lognormal { median: 4_096, sigma: 1.2, cap: 65_536 },
+            _ => SizeSpec::Pareto { alpha: 1.3, min: 256, max: 65_536 },
+        };
+        prop_assert_eq!(
+            size_stream(spec, seed, 512),
+            size_stream(spec, seed, 512),
+            "same seed must replay the same size stream"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge(seed in any::<u64>()) {
+        let spec = ArrivalSpec::Poisson { rate: 20_000.0 };
+        let a = gap_stream(spec, seed, 256);
+        let b = gap_stream(spec, seed.wrapping_add(1), 256);
+        prop_assert_ne!(a, b, "distinct seeds must give distinct streams");
+    }
+
+    #[test]
+    fn lognormal_empirical_median_tracks_spec(
+        seed in any::<u64>(),
+        median in 1_024u32..16_384,
+    ) {
+        let spec = SizeSpec::Lognormal { median, sigma: 1.0, cap: 1 << 18 };
+        let mut xs = size_stream(spec, seed, 4_096);
+        xs.sort_unstable();
+        let emp = xs[xs.len() / 2] as f64;
+        // Median of lognormal = `median` exactly; nearest-rank sampling
+        // error over 4096 draws stays well within ±25%.
+        prop_assert!(
+            emp > median as f64 * 0.75 && emp < median as f64 * 1.25,
+            "empirical median {emp} vs spec {median}"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_is_heavy_tailed(
+        seed in any::<u64>(),
+        alpha in 1.1f64..1.8,
+    ) {
+        let (min, max) = (256u32, 1u32 << 17);
+        let spec = SizeSpec::Pareto { alpha, min, max };
+        let mut xs = size_stream(spec, seed, 4_096);
+        prop_assert!(xs.iter().all(|&x| (min..=max).contains(&x)));
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2] as f64;
+        let p99 = xs[(xs.len() * 99) / 100] as f64;
+        // Heavy tail: the 99th percentile dwarfs the median (for an
+        // exponential-tailed law at this alpha range the ratio would be
+        // single digits).
+        prop_assert!(p99 / med > 8.0, "p99/median = {} too light", p99 / med);
+    }
+
+    #[test]
+    fn poisson_empirical_rate_tracks_spec(
+        seed in any::<u64>(),
+        rate in 5_000.0f64..100_000.0,
+    ) {
+        let gaps = gap_stream(ArrivalSpec::Poisson { rate }, seed, 8_192);
+        let mean_ns = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let emp_rate = 1e9 / mean_ns;
+        prop_assert!(
+            emp_rate > rate * 0.9 && emp_rate < rate * 1.1,
+            "empirical rate {emp_rate} vs spec {rate}"
+        );
+    }
+}

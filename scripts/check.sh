@@ -2,8 +2,24 @@
 # Full local gate: formatting, lints, the whole test suite.
 # Everything runs offline — external deps resolve to the stand-ins under
 # shims/ (see README "Building offline").
+#
+# `scripts/check.sh --workload` runs only the workload smoke gate (the
+# tiny multi-tenant incast sanity check); the default runs everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+workload_gate() {
+    echo "== workload smoke (2-tenant incast delivery gate)"
+    cargo run --release -q -p san-bench --bin tenants -- --smoke
+    echo "== chaos incast campaign (workload-ledger oracle gate)"
+    cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/incast.json --trials 3 --jobs 2
+}
+
+if [[ "${1:-}" == "--workload" ]]; then
+    workload_gate
+    echo "Workload gate passed."
+    exit 0
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -32,5 +48,7 @@ if cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/unprotected
     exit 1
 fi
 echo "unprotected baseline failed as expected (oracle alive)"
+
+workload_gate
 
 echo "All checks passed."
