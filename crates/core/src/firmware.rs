@@ -28,7 +28,11 @@ use san_telemetry::{Gauge, TraceKind};
 use crate::config::{MapperConfig, ProtocolConfig};
 use crate::ft_trace;
 use crate::mapper::{MapOutcome, Mapper};
-use crate::proto::{ReceiverState, RxVerdict, SenderState, MIN_CWND};
+use crate::proto::{ReceiverState, RxVerdict, SenderState};
+use crate::step::{
+    ack_progress, group_ack_due, injector_fires, plan_replay, retry_is_stale, tx_assign,
+    unreachable_next, UnreachableNext, MAX_MAP_ATTEMPTS,
+};
 
 /// Timer token: the retransmission scan.
 pub const TOKEN_RETX: u64 = 0;
@@ -40,17 +44,6 @@ pub const TOKEN_PKT_BASE: u64 = 1 << 48;
 /// Timer tokens at or above this retry an on-demand mapping run that ended
 /// in an (untrusted) unreachable verdict: `TOKEN_REMAP_RETRY_BASE | dst`.
 pub const TOKEN_REMAP_RETRY_BASE: u64 = 1 << 49;
-
-/// How many consecutive unreachable verdicts the firmware accepts before it
-/// believes the mapper and drops the traffic queued toward the destination.
-/// Mapping probes travel the same wormhole fabric as data: under load (and
-/// especially when several NICs map at once) whole probe batches can be
-/// lost to contention or probe-vs-probe deadlock, and a deadlocked probe
-/// pins its channels until the fabric's path-reset timer reaps it — so one
-/// run's worth of silence is weak evidence. The retry budget is sized so
-/// the widening backoff (2^k timer periods) outlives a full Myrinet-scale
-/// path-reset window (~62 ms) before the final verdict is accepted.
-const MAX_MAP_ATTEMPTS: u32 = 7;
 
 /// Per-destination adaptive-control gauges (`ft.node.<n>.dst.<d>.*`),
 /// registered only when adaptive RTO or window damping is enabled.
@@ -237,11 +230,6 @@ impl ReliableFirmware {
         let n_freed = freed.len();
         if !freed.is_empty() {
             s.last_progress = ctx.now();
-            s.map_attempts = 0;
-            s.remap_backoff_until = Time::ZERO;
-            // A cumulative ACK only ever frees transmitted packets (parked
-            // ones were never on the wire), but keep the invariant explicit.
-            s.unsent_tail = s.unsent_tail.min(s.retrans_q.len());
             // Karn's rule: the newest acknowledged packet yields an RTT
             // sample only if it was sequenced *after* the last go-back-N
             // replay — an ACK covering a retransmitted seq is ambiguous
@@ -251,18 +239,15 @@ impl ReliableFirmware {
             let newest = *freed.last().unwrap();
             let (newest_seq, sent_at) = (core.pool.pkt(newest).seq, core.pool.last_tx(newest));
             let clean = s.sample_eligible(newest_seq) && sent_at > Time::ZERO;
-            if clean {
-                if self.cfg.adaptive_rto {
-                    s.rtt.sample(ctx.now().since(sent_at));
-                }
-                if self.cfg.window_damping && s.cwnd != u32::MAX {
-                    s.cwnd = s
-                        .cwnd
-                        .saturating_mul(2)
-                        .min(core.pool.capacity() as u32)
-                        .max(MIN_CWND);
-                }
+            if clean && self.cfg.adaptive_rto {
+                s.rtt.sample(ctx.now().since(sent_at));
             }
+            ack_progress(
+                s,
+                clean,
+                self.cfg.window_damping,
+                core.pool.capacity() as u32,
+            );
             for b in freed {
                 core.pool.release(b);
             }
@@ -421,24 +406,7 @@ impl ReliableFirmware {
         if now < s.retx_busy_until {
             return;
         }
-        // Karn's rule bookkeeping: every sequence number assigned so far is
-        // now ambiguous for RTT sampling (the replay re-sends it).
-        s.karn_barrier = s.next_seq;
-        if timeout && self.cfg.adaptive_rto {
-            s.rtt.bump_backoff();
-        }
-        if timeout && self.cfg.window_damping {
-            // Multiplicative decrease: a loss halves the outstanding window.
-            s.cwnd = ((s.in_flight() as u32) / 2).max(MIN_CWND);
-        }
-        // With damping on, replay only the head of the queue up to the
-        // window; the suffix parks and flows back out as ACKs reopen it.
-        let n = if self.cfg.window_damping {
-            (s.cwnd as usize).min(s.retrans_q.len())
-        } else {
-            s.retrans_q.len()
-        };
-        s.unsent_tail = s.retrans_q.len() - n;
+        let n = plan_replay(s, self.cfg.adaptive_rto, self.cfg.window_damping, timeout);
         let bufs: Vec<BufId> = s.retrans_q.iter().take(n).copied().collect();
         for (i, b) in bufs.iter().enumerate() {
             let t = core.cpu.acquire(now, core.timing.retx_per_pkt);
@@ -496,15 +464,12 @@ impl ReliableFirmware {
             if first_time {
                 // First trip to the wire: the paper's injector clock ticks
                 // here, not at descriptor-post time.
-                self.tx_counter += 1;
-                if let Some(interval) = self.cfg.drop_interval {
-                    if self.tx_counter.is_multiple_of(interval) {
-                        core.stats.injected_drops.hit();
-                        ft_trace(core, now, TraceKind::PacketDropped, dst, generation, seq, 0);
-                        core.pool.mark_tx(b, now);
-                        self.arm_pkt_timer(core, ctx, dst, seq);
-                        continue;
-                    }
+                if injector_fires(&mut self.tx_counter, self.cfg.drop_interval) {
+                    core.stats.injected_drops.hit();
+                    ft_trace(core, now, TraceKind::PacketDropped, dst, generation, seq, 0);
+                    core.pool.mark_tx(b, now);
+                    self.arm_pkt_timer(core, ctx, dst, seq);
+                    continue;
                 }
                 core.stats.packets_tx.hit();
             } else {
@@ -553,7 +518,7 @@ impl ReliableFirmware {
         }
         let descs = self.mapper.release_descriptors(dst);
         let s = &self.senders[dst.idx()];
-        if s.map_attempts == 0 || core.routes.get(dst).is_some() {
+        if retry_is_stale(s.map_attempts, core.routes.get(dst).is_some()) {
             // Stale retry: progress resumed (acks reset the attempt count)
             // or the route came back via side discovery. The episode is
             // over, but descriptors parked in the mapper must go back to
@@ -714,19 +679,17 @@ impl Firmware for ReliableFirmware {
         let free_frac = core.pool.free_fraction();
         let capacity = core.pool.capacity();
 
-        // Sequence + generation assignment.
+        // Sequence/generation assignment, ACK-request decision (sender-based
+        // feedback, §4.1.2) and piggy-back selection: the shared kernel.
         let s = &mut self.senders[dst.idx()];
-        let seq = s.take_seq();
-        let generation = s.generation;
-        // ACK-request decision (sender-based feedback, §4.1.2). The
-        // interval is capped at half the pool, so a full pool always has a
-        // request outstanding — no forced per-packet requests needed.
-        s.since_ack_req += 1;
-        let interval = self.cfg.feedback.interval(free_frac, capacity);
-        let want_ack = s.since_ack_req >= interval;
-        if want_ack {
-            s.since_ack_req = 0;
-        }
+        let assign = tx_assign(
+            s,
+            &mut self.receivers[dst.idx()],
+            &self.cfg.feedback,
+            free_frac,
+            capacity,
+        );
+        let (seq, generation) = (assign.seq, assign.generation);
         if s.retrans_q.is_empty() {
             // The queue was empty, so "progress" bookkeeping restarts now —
             // an idle path must not look permanently failed.
@@ -734,31 +697,20 @@ impl Firmware for ReliableFirmware {
         }
         s.retrans_q.push_back(buf);
 
-        // Piggy-back any owed ACK for this destination on the data packet.
-        let r = &mut self.receivers[dst.idx()];
-        let (piggy, ack_seq, ack_gen) = if r.ack_owed {
-            (true, r.cumulative_ack(), r.generation)
-        } else {
-            (false, 0, 0)
-        };
-        if piggy {
-            r.note_ack_sent();
-        }
-
         {
             let p = core.pool.pkt_mut(buf);
             p.seq = seq;
             p.generation = generation;
-            if want_ack {
+            if assign.want_ack {
                 p.flags.set(PacketFlags::ACK_REQUEST);
             }
-            if piggy {
+            if let Some((ack_seq, ack_gen)) = assign.piggy {
                 p.flags.set(PacketFlags::PIGGY_ACK);
                 p.ack_seq = ack_seq;
                 p.ack_gen = ack_gen;
             }
         }
-        if piggy {
+        if let Some((ack_seq, ack_gen)) = assign.piggy {
             ft_trace(core, now, TraceKind::AckSent, dst, ack_gen, ack_seq, 1);
         }
 
@@ -776,15 +728,12 @@ impl Firmware for ReliableFirmware {
         }
 
         // The paper's error injector: suppress every Nth first transmission.
-        self.tx_counter += 1;
-        if let Some(n) = self.cfg.drop_interval {
-            if self.tx_counter.is_multiple_of(n) {
-                core.stats.injected_drops.hit();
-                ft_trace(core, now, TraceKind::PacketDropped, dst, generation, seq, 0);
-                core.pool.mark_tx(buf, now);
-                self.arm_pkt_timer(core, ctx, dst, seq);
-                return; // the packet sits in the retransmission queue only
-            }
+        if injector_fires(&mut self.tx_counter, self.cfg.drop_interval) {
+            core.stats.injected_drops.hit();
+            ft_trace(core, now, TraceKind::PacketDropped, dst, generation, seq, 0);
+            core.pool.mark_tx(buf, now);
+            self.arm_pkt_timer(core, ctx, dst, seq);
+            return; // the packet sits in the retransmission queue only
         }
         core.stats.packets_tx.hit();
         core.transmit_from(ctx, buf, fw_done);
@@ -833,8 +782,8 @@ impl Firmware for ReliableFirmware {
                         // Explicit ACK when requested, or when the group
                         // threshold is reached with no reverse traffic to
                         // piggy-back on.
-                        let group_due = self.receivers[src.idx()].accepted_since_ack
-                            >= self.cfg.receiver_ack_every;
+                        let group_due =
+                            group_ack_due(&self.receivers[src.idx()], self.cfg.receiver_ack_every);
                         if ack_requested || group_due {
                             // Reliable *reception* (VI's strongest level)
                             // withholds the ACK until the host memory write
@@ -1067,38 +1016,41 @@ impl ReliableFirmware {
                     self.senders[dst.idx()].map_attempts += 1;
                     let attempt = self.senders[dst.idx()].map_attempts;
                     let owes = !self.senders[dst.idx()].retrans_q.is_empty() || !descs.is_empty();
-                    if owes && attempt < MAX_MAP_ATTEMPTS {
-                        // Don't believe a single silent run while traffic is
-                        // still queued: keep everything and try again after a
-                        // backoff (see MAX_MAP_ATTEMPTS).
-                        let until = ctx.now() + self.remap_backoff(core.node, attempt);
-                        let s = &mut self.senders[dst.idx()];
-                        s.mapping = false;
-                        s.remap_backoff_until = until;
-                        for d in descs {
-                            self.mapper.hold_descriptor(d);
+                    match unreachable_next(attempt, owes, MAX_MAP_ATTEMPTS) {
+                        UnreachableNext::Retry => {
+                            // Don't believe a single silent run while traffic
+                            // is still queued: keep everything and try again
+                            // after a backoff (see MAX_MAP_ATTEMPTS).
+                            let until = ctx.now() + self.remap_backoff(core.node, attempt);
+                            let s = &mut self.senders[dst.idx()];
+                            s.mapping = false;
+                            s.remap_backoff_until = until;
+                            for d in descs {
+                                self.mapper.hold_descriptor(d);
+                            }
+                            ctx.sim.schedule(
+                                until,
+                                san_nic::ClusterEvent::Nic(
+                                    core.node,
+                                    san_nic::NicEvent::Timer {
+                                        token: TOKEN_REMAP_RETRY_BASE | dst.0 as u64,
+                                    },
+                                ),
+                            );
                         }
-                        ctx.sim.schedule(
-                            until,
-                            san_nic::ClusterEvent::Nic(
-                                core.node,
-                                san_nic::NicEvent::Timer {
-                                    token: TOKEN_REMAP_RETRY_BASE | dst.0 as u64,
-                                },
-                            ),
-                        );
-                    } else {
-                        // Verdict confirmed across the retry budget (or
-                        // nothing is queued): accept unreachable. The held
-                        // descriptors are dropped with the rest of the
-                        // pending traffic (re-posting them would re-trigger
-                        // mapping forever). Their msg ids travel *into*
-                        // `finish_remap` so a message split across the hold
-                        // list and the retransmission queue fails once, not
-                        // twice.
-                        core.stats.unroutable.add(descs.len() as u64);
-                        let held: Vec<u64> = descs.iter().map(|d| d.msg_id).collect();
-                        self.finish_remap(core, ctx, dst, None, held);
+                        UnreachableNext::Accept => {
+                            // Verdict confirmed across the retry budget (or
+                            // nothing is queued): accept unreachable. The held
+                            // descriptors are dropped with the rest of the
+                            // pending traffic (re-posting them would
+                            // re-trigger mapping forever). Their msg ids
+                            // travel *into* `finish_remap` so a message split
+                            // across the hold list and the retransmission
+                            // queue fails once, not twice.
+                            core.stats.unroutable.add(descs.len() as u64);
+                            let held: Vec<u64> = descs.iter().map(|d| d.msg_id).collect();
+                            self.finish_remap(core, ctx, dst, None, held);
+                        }
                     }
                     core.request_pump();
                 }

@@ -34,6 +34,7 @@ pub mod firmware;
 pub mod mapper;
 pub mod proto;
 pub mod seq;
+pub mod step;
 
 /// Record a protocol-layer trace event observed by `core`'s node. `dst`
 /// is the conversation partner; `generation`/`seq` identify the packet
@@ -65,3 +66,8 @@ pub use firmware::ReliableFirmware;
 pub use mapper::{MapStats, Mapper};
 pub use proto::{ReceiverState, RttEstimator, SenderState, MAX_RTO_BACKOFF, MIN_CWND};
 pub use seq::{gen_newer, seq_leq, seq_lt};
+pub use step::{
+    ack_progress, group_ack_due, injector_fires, plan_replay, retry_is_stale, tx_assign,
+    unreachable_next, FaultKnobs, ModelBuf, ModelDesc, ModelPacket, NodeAction, NodeEvent,
+    NodeModel, NodeState, ProtocolStep, TxAssign, UnreachableNext, MAX_MAP_ATTEMPTS,
+};

@@ -104,7 +104,7 @@ impl RttEstimator {
 }
 
 /// Send-side state toward one destination node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SenderState {
     /// Next sequence number to assign.
     pub next_seq: u32,

@@ -1,23 +1,36 @@
 //! Wrapping sequence-number and generation arithmetic.
 //!
 //! Sequence numbers are 32-bit and wrap; comparisons are made in the signed
-//! difference domain, valid as long as fewer than 2³¹ packets are
-//! outstanding (the send queue holds at most 128, so this is safe by nine
-//! orders of magnitude). Generations are 16-bit with the same scheme.
+//! difference domain. The resulting order is **not total**: it is only
+//! meaningful while the two values are *strictly* within half the space of
+//! each other (wrapping distance < 2³¹). At a distance of exactly 2³¹ the
+//! wrapping difference is `i32::MIN` in **both** directions, so *neither*
+//! `seq_leq(a, b)` nor `seq_leq(b, a)` holds — the identities
+//! `seq_leq(a, b) == !seq_lt(b, a)` and totality both break there, and for
+//! distances beyond 2³¹ the comparison silently flips sign. The protocol
+//! stays inside the valid half-window because the send queue bounds the
+//! outstanding span to the pool capacity (≤ 128 — nine orders of magnitude
+//! of slack), which is also what makes these comparisons shift-invariant:
+//! translating every live value by a common offset (as the `san-mc`
+//! canonicalizer does) changes nothing. Generations are 16-bit with the
+//! same scheme and the same 2¹⁵ half-window caveat.
 
-/// `a <= b` in wrapping sequence space.
+/// `a <= b` in wrapping sequence space. Only meaningful when the wrapping
+/// distance between `a` and `b` is strictly less than 2³¹ (see module doc).
 #[inline]
 pub fn seq_leq(a: u32, b: u32) -> bool {
     (b.wrapping_sub(a) as i32) >= 0
 }
 
-/// `a < b` in wrapping sequence space.
+/// `a < b` in wrapping sequence space. Same half-window caveat as
+/// [`seq_leq`].
 #[inline]
 pub fn seq_lt(a: u32, b: u32) -> bool {
     (b.wrapping_sub(a) as i32) > 0
 }
 
-/// Is generation `g` strictly newer than `cur` (wrapping)?
+/// Is generation `g` strictly newer than `cur` (wrapping)? Only meaningful
+/// when the wrapping distance is strictly less than 2¹⁵ (see module doc).
 #[inline]
 pub fn gen_newer(g: u16, cur: u16) -> bool {
     (g.wrapping_sub(cur) as i16) > 0
@@ -49,6 +62,68 @@ mod tests {
         assert!(!gen_newer(0, 0));
         assert!(!gen_newer(0, 1));
         assert!(gen_newer(0, u16::MAX), "generation wrap");
+    }
+
+    /// The exact wrap points the `san-mc` wrap configurations start at:
+    /// a sender positioned at `u32::MAX - 1` walks the boundary
+    /// `MAX-1 → MAX → 0 → 1` within a tiny window; every ordering the
+    /// receiver and the cumulative ACK rely on must hold across it.
+    #[test]
+    fn boundary_values_at_u32_wrap() {
+        assert!(seq_lt(u32::MAX - 1, u32::MAX));
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(0, 1));
+        assert!(seq_lt(u32::MAX - 1, 1), "transitive across the wrap");
+        assert!(seq_leq(u32::MAX, u32::MAX));
+        assert!(seq_leq(u32::MAX, 1));
+        assert!(!seq_leq(1, u32::MAX));
+        // The cumulative-ACK idiom `expected.wrapping_sub(1)` at expected=0
+        // acknowledges u32::MAX, which must cover the pre-wrap window.
+        let cumulative = 0u32.wrapping_sub(1);
+        assert!(seq_leq(u32::MAX - 2, cumulative));
+        assert!(seq_leq(u32::MAX, cumulative));
+        assert!(!seq_leq(0, cumulative), "post-wrap seqs stay unacked");
+    }
+
+    /// At a wrapping distance of exactly 2³¹ the order is *undefined by
+    /// design*: both differences are `i32::MIN`, so neither direction
+    /// compares ≤ — totality holds strictly inside the half-window only.
+    /// Pinning this keeps the module doc honest.
+    #[test]
+    fn half_window_edge_is_unordered() {
+        let a = 0u32;
+        let exactly_half = a.wrapping_add(1 << 31);
+        assert!(!seq_leq(a, exactly_half));
+        assert!(!seq_leq(exactly_half, a));
+        assert!(!seq_lt(a, exactly_half));
+        assert!(!seq_lt(exactly_half, a));
+        // One below the edge is the largest ordered distance...
+        let just_inside = a.wrapping_add((1 << 31) - 1);
+        assert!(seq_lt(a, just_inside));
+        assert!(!seq_lt(just_inside, a));
+        // ...and one past it the comparison flips sign (looks "behind").
+        let just_outside = a.wrapping_add((1 << 31) + 1);
+        assert!(seq_lt(just_outside, a));
+        assert!(!seq_lt(a, just_outside));
+    }
+
+    /// Same boundary behavior for 16-bit generations: ordered strictly
+    /// inside the 2¹⁵ half-window, unordered at exactly 2¹⁵, flipped past
+    /// it; and the `u16::MAX → 0` bump used by the checker's wrap configs
+    /// reads as newer.
+    #[test]
+    fn generation_half_window_edges() {
+        assert!(gen_newer(0, u16::MAX), "MAX → 0 bump is newer");
+        assert!(!gen_newer(u16::MAX, 0));
+        let g = 0u16;
+        let exactly_half = g.wrapping_add(1 << 15);
+        assert!(!gen_newer(exactly_half, g));
+        assert!(!gen_newer(g, exactly_half));
+        let just_inside = g.wrapping_add((1 << 15) - 1);
+        assert!(gen_newer(just_inside, g));
+        let just_outside = g.wrapping_add((1 << 15) + 1);
+        assert!(!gen_newer(just_outside, g), "past the edge it reads older");
+        assert!(gen_newer(g, just_outside));
     }
 }
 

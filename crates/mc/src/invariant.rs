@@ -1,0 +1,145 @@
+//! State-level safety invariants, checked on every state the BFS visits.
+//!
+//! The *transition*-level invariants (exactly-once in-order delivery,
+//! generation retirement, single failure notification) are checked while
+//! applying events in [`crate::model::apply`]; the ones here are
+//! properties of a state in isolation.
+
+use san_ft::seq_lt;
+
+use crate::model::{McConfig, SysState, Violation};
+
+/// Check every state invariant of `st`; returns all violations found.
+///
+/// * **descriptor conservation** — per ordered pair, every posted
+///   descriptor is in exactly one place:
+///   `posted == pending + held + queued + completed + failed`;
+/// * **no descriptor leak** — pool conservation:
+///   `free + Σ queued == capacity` per node (a queued `BufId` that no
+///   queue references anymore, as in the PR 2 bug, breaks this);
+/// * **queue sanity** — each retransmission queue holds buffers of one
+///   uniform generation with consecutive sequence numbers ending right
+///   below the sender's `next_seq` (bounded sequence occupancy: the
+///   outstanding span can never exceed the pool);
+/// * **channel caps** — no channel exceeds `chan_cap` (the model's own
+///   backpressure discipline);
+/// * **budget caps** — the adversary never overdraws a fault budget.
+pub fn check_state(cfg: &McConfig, st: &SysState) -> Vec<Violation> {
+    let mut viols = Vec::new();
+    let n = cfg.n_nodes;
+    for (who, node) in st.nodes.iter().enumerate() {
+        // Pool conservation: every occupied buffer is referenced by
+        // exactly one queue entry.
+        let occupied = node.pool.iter().filter(|b| b.is_some()).count();
+        let queued: usize = node.senders.iter().map(|s| s.retrans_q.len()).sum();
+        if occupied != queued || node.pool_free() + queued != node.pool.len() {
+            viols.push(Violation {
+                invariant: "descriptor-leak",
+                detail: format!(
+                    "node {who}: {occupied} occupied buffers vs {queued} queued refs \
+                     (capacity {}, free {})",
+                    node.pool.len(),
+                    node.pool_free()
+                ),
+            });
+        }
+        for dst in 0..n {
+            if dst == who {
+                continue;
+            }
+            let s = &node.senders[dst];
+            // Queue sanity: uniform generation, consecutive seqs, tail
+            // abutting next_seq.
+            let mut expect = s.next_seq.wrapping_sub(s.retrans_q.len() as u32);
+            for &b in &s.retrans_q {
+                match node.pool[b.0 as usize] {
+                    None => viols.push(Violation {
+                        invariant: "queue-sanity",
+                        detail: format!("node {who}->{dst}: queued BufId {} is free", b.0),
+                    }),
+                    Some(mb) => {
+                        if mb.dst != dst || mb.generation != s.generation || mb.seq != expect {
+                            viols.push(Violation {
+                                invariant: "queue-sanity",
+                                detail: format!(
+                                    "node {who}->{dst}: buffer (dst {}, gen {}, seq {}) where \
+                                     (dst {dst}, gen {}, seq {expect}) expected",
+                                    mb.dst, mb.generation, mb.seq, s.generation
+                                ),
+                            });
+                        }
+                    }
+                }
+                expect = expect.wrapping_add(1);
+            }
+            // Bounded occupancy, phrased in wrapping space.
+            if !s.retrans_q.is_empty() {
+                let head = s.next_seq.wrapping_sub(s.retrans_q.len() as u32);
+                if !seq_lt(head, s.next_seq) || s.retrans_q.len() > node.pool.len() {
+                    viols.push(Violation {
+                        invariant: "bounded-occupancy",
+                        detail: format!(
+                            "node {who}->{dst}: queue of {} exceeds the pool window",
+                            s.retrans_q.len()
+                        ),
+                    });
+                }
+            }
+            // Descriptor conservation per ordered pair.
+            let p = cfg.pair(who, dst);
+            let pending = node.pending.iter().filter(|d| d.dst == dst).count() as u64;
+            let held = node.held[dst].len() as u64;
+            let accounted =
+                pending + held + s.retrans_q.len() as u64 + node.completed[dst] + node.failed[dst];
+            if accounted != st.posted[p] as u64 {
+                viols.push(Violation {
+                    invariant: "descriptor-conservation",
+                    detail: format!(
+                        "pair {who}->{dst}: posted {} but accounted {accounted} \
+                         (pending {pending}, held {held}, queued {}, completed {}, failed {})",
+                        st.posted[p],
+                        s.retrans_q.len(),
+                        node.completed[dst],
+                        node.failed[dst]
+                    ),
+                });
+            }
+        }
+    }
+    for (p, ch) in st.chans.iter().enumerate() {
+        if ch.data.len() > cfg.chan_cap || ch.acks.len() > cfg.chan_cap {
+            viols.push(Violation {
+                invariant: "channel-cap",
+                detail: format!(
+                    "channel {p}: {} data / {} acks exceed cap {}",
+                    ch.data.len(),
+                    ch.acks.len(),
+                    cfg.chan_cap
+                ),
+            });
+        }
+        if !ch.up && (!ch.data.is_empty() || !ch.acks.is_empty()) {
+            viols.push(Violation {
+                invariant: "dead-link-empty",
+                detail: format!("channel {p} is down but holds traffic"),
+            });
+        }
+    }
+    let caps = [
+        cfg.max_losses,
+        cfg.max_dups,
+        cfg.max_link_downs,
+        cfg.max_link_ups,
+        cfg.max_permfails,
+        cfg.max_spurious,
+    ];
+    for (i, (&used, &cap)) in st.used.iter().zip(caps.iter()).enumerate() {
+        if used > cap {
+            viols.push(Violation {
+                invariant: "budget-cap",
+                detail: format!("fault budget {i} overdrawn: {used} > {cap}"),
+            });
+        }
+    }
+    viols
+}

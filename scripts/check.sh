@@ -30,6 +30,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== san-mc smoke (exhaustive 2-node model check + leak-knob canary)"
+# tiny2/wrap2 must verify exhaustively (with liveness); leak2 must FAIL
+# with a conservation counterexample — if the checker stops finding the
+# re-introduced PR 2 leak, this gate trips.
+cargo run --release -q -p san-mc -- check --smoke
+
 echo "== scale_map smoke (atlas + planner-hint remap gate)"
 cargo run --release -q -p san-bench --bin scale_map -- --smoke
 
