@@ -10,7 +10,9 @@
 //! index)`, never on thread timing, so the parallel runner can hand out
 //! indices in any order.
 
-use san_fabric::{Endpoint, FaultPlan, LinkId, NodeId, SwitchId, Topology, TransientFaults};
+use san_fabric::{
+    Endpoint, FaultPlan, LinkId, NodeId, PortId, SwitchId, Topology, TransientFaults,
+};
 use san_ft::ProtocolConfig;
 use san_sim::{Duration, SimRng, Time};
 use san_topo::{validate, TopoSpec as AtlasSpec};
@@ -475,6 +477,17 @@ pub struct FaultMix {
     pub storm_cycles: Span,
     /// Storm cycle period, microseconds (downtime is half the period).
     pub storm_period_us: Span,
+    /// Live re-cable cycles (`GrowFabric`/`ShrinkFabric`): drain a
+    /// survivable link, detach it, and re-grow the same endpoints — each
+    /// cycle is three reconfiguration epochs under traffic.
+    pub recables: Span,
+    /// Drain notice before a planned detach, microseconds (also paces the
+    /// re-grow and the gap between cycles).
+    pub shrink_drain_us: Span,
+    /// Unplanned switch removals: a survivable host-less switch is
+    /// de-racked with no drain notice — in-flight packets on its links
+    /// die and only the recovery machinery can save the streams.
+    pub unplanned_removals: Span,
 }
 
 impl FaultMix {
@@ -494,6 +507,9 @@ impl FaultMix {
         field("kills", self.kills);
         field("storm_cycles", self.storm_cycles);
         field("storm_period_us", self.storm_period_us);
+        field("recables", self.recables);
+        field("shrink_drain_us", self.shrink_drain_us);
+        field("unplanned_removals", self.unplanned_removals);
         Json::obj(kv)
     }
 
@@ -514,6 +530,9 @@ impl FaultMix {
             kills: span("kills")?,
             storm_cycles: span("storm_cycles")?,
             storm_period_us: span("storm_period_us")?,
+            recables: span("recables")?,
+            shrink_drain_us: span("shrink_drain_us")?,
+            unplanned_removals: span("unplanned_removals")?,
         })
     }
 }
@@ -704,6 +723,43 @@ impl Campaign {
                 t += Duration::from_micros(period_us);
             }
         }
+        // Live reconfiguration. Drawn after every legacy fault class so
+        // campaigns without these spans replay byte-identically. Re-cable
+        // cycles are sequential and non-overlapping (like storms): drain a
+        // survivable link, detach it one drain period later, and re-grow
+        // the same endpoints after another — the LIFO id allocator then
+        // hands the regrown link its old id, so a later cycle may pick it
+        // again.
+        let recables = self.faults.recables.sample_u(&mut rng);
+        if recables > 0 && !flappable.is_empty() {
+            let drain_us = self.faults.shrink_drain_us.sample_u(&mut rng).max(50);
+            let mut t = Time::from_millis(2);
+            for _ in 0..recables {
+                if t.nanos() + 3 * drain_us * 1_000 > window_ns {
+                    break;
+                }
+                let link = flappable[rng.below(flappable.len() as u64) as usize];
+                let wire = built.topo.link(link);
+                let detach = t + Duration::from_micros(drain_us);
+                plan = plan
+                    .drain_link(t, link)
+                    .remove_link(detach, link)
+                    .grow_link(detach + Duration::from_micros(drain_us), wire.a, wire.b);
+                t += Duration::from_micros(3 * drain_us);
+            }
+        }
+        let removals = self
+            .faults
+            .unplanned_removals
+            .sample_u(&mut rng)
+            .min(built.killable.len() as u64);
+        if removals > 0 {
+            // De-rack at most one switch: the candidate sets guarantee any
+            // *single* removal is survivable, not combinations.
+            let victim = built.killable[rng.below(built.killable.len() as u64) as usize];
+            let at = Time::from_nanos(rng.range(1_000_000, (window_ns / 2).max(2_000_000)));
+            plan = plan.remove_switch(at, victim);
+        }
 
         Trial {
             campaign: self.name.clone(),
@@ -817,6 +873,34 @@ pub struct Trial {
     pub workload: Option<WorkloadSpec>,
 }
 
+/// Compact endpoint spelling for repro files: `"host:3"` or
+/// `"switch:2:5"` (switch id, then port).
+fn endpoint_to_json(ep: Endpoint) -> Json {
+    match ep {
+        Endpoint::Host(n) => format!("host:{}", n.0).into(),
+        Endpoint::Switch(s, p) => format!("switch:{}:{}", s.0, p.0).into(),
+    }
+}
+
+fn endpoint_from_json(v: &Json) -> Result<Endpoint, String> {
+    let s = v.as_str().ok_or("endpoint must be a string")?;
+    let mut parts = s.split(':');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("host"), Some(n), None) => {
+            let n = n.parse::<u16>().map_err(|_| format!("bad host id '{s}'"))?;
+            Ok(Endpoint::Host(NodeId(n)))
+        }
+        (Some("switch"), Some(sw), Some(p)) => {
+            let sw = sw
+                .parse::<u16>()
+                .map_err(|_| format!("bad switch id '{s}'"))?;
+            let p = p.parse::<u8>().map_err(|_| format!("bad port '{s}'"))?;
+            Ok(Endpoint::Switch(SwitchId(sw), PortId(p)))
+        }
+        _ => Err(format!("endpoint must be host:N or switch:S:P, got '{s}'")),
+    }
+}
+
 impl Trial {
     /// Serialize (this is the repro-file format).
     pub fn to_json(&self) -> Json {
@@ -853,6 +937,29 @@ impl Trial {
                         ("at_ns", Json::Int(at_nanos)),
                         ("switch", Json::Int(switch as u64)),
                     ]),
+                    san_fabric::PermanentFault::GrowLink { at_nanos, a, b } => Json::obj(vec![
+                        ("kind", "grow_link".into()),
+                        ("at_ns", Json::Int(at_nanos)),
+                        ("a", endpoint_to_json(a)),
+                        ("b", endpoint_to_json(b)),
+                    ]),
+                    san_fabric::PermanentFault::DrainLink { at_nanos, link } => Json::obj(vec![
+                        ("kind", "drain_link".into()),
+                        ("at_ns", Json::Int(at_nanos)),
+                        ("link", Json::Int(link as u64)),
+                    ]),
+                    san_fabric::PermanentFault::RemoveLink { at_nanos, link } => Json::obj(vec![
+                        ("kind", "remove_link".into()),
+                        ("at_ns", Json::Int(at_nanos)),
+                        ("link", Json::Int(link as u64)),
+                    ]),
+                    san_fabric::PermanentFault::RemoveSwitch { at_nanos, switch } => {
+                        Json::obj(vec![
+                            ("kind", "remove_switch".into()),
+                            ("at_ns", Json::Int(at_nanos)),
+                            ("switch", Json::Int(switch as u64)),
+                        ])
+                    }
                 })
                 .collect(),
         );
@@ -926,7 +1033,40 @@ impl Trial {
                         ),
                     );
                 }
-                _ => return Err("plan action kind must be link_down/link_up/switch_down".into()),
+                Some("grow_link") => {
+                    plan = plan.grow_link(
+                        at,
+                        endpoint_from_json(a.get("a").ok_or("plan.a missing")?)?,
+                        endpoint_from_json(a.get("b").ok_or("plan.b missing")?)?,
+                    );
+                }
+                Some("drain_link") => {
+                    plan = plan.drain_link(
+                        at,
+                        LinkId(a.get("link").and_then(Json::as_u64).ok_or("plan.link")? as u32),
+                    );
+                }
+                Some("remove_link") => {
+                    plan = plan.remove_link(
+                        at,
+                        LinkId(a.get("link").and_then(Json::as_u64).ok_or("plan.link")? as u32),
+                    );
+                }
+                Some("remove_switch") => {
+                    plan = plan.remove_switch(
+                        at,
+                        SwitchId(
+                            a.get("switch")
+                                .and_then(Json::as_u64)
+                                .ok_or("plan.switch")? as u16,
+                        ),
+                    );
+                }
+                _ => {
+                    return Err("plan action kind must be link_down/link_up/switch_down/\
+                         grow_link/drain_link/remove_link/remove_switch"
+                        .into())
+                }
             }
         }
         Ok(Trial {
@@ -1151,6 +1291,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recable_cycles_sample_and_round_trip() {
+        use san_fabric::PermanentFault as PF;
+        let c = Campaign {
+            topology: TopologySpec::Atlas(AtlasSpec::parse("fat_tree:4").unwrap()),
+            faults: FaultMix {
+                recables: Span::at(2.0),
+                shrink_drain_us: Span {
+                    lo: 200.0,
+                    hi: 800.0,
+                },
+                ..FaultMix::default()
+            },
+            duration_ms: 30,
+            ..demo_campaign()
+        };
+        let t = c.sample(0);
+        // Each cycle is a drain → remove → grow triplet over one link.
+        assert_eq!(t.plan.actions.len(), 6, "2 recables = 6 actions");
+        let built = t.topology.build();
+        for w in t.plan.actions.chunks(3) {
+            let (PF::DrainLink { link: dl, .. }, PF::RemoveLink { link: rl, .. }) = (w[0], w[1])
+            else {
+                panic!("cycle must start drain → remove, got {w:?}");
+            };
+            assert_eq!(dl, rl, "drain and remove target the same link");
+            let PF::GrowLink { a, b, .. } = w[2] else {
+                panic!("cycle must end with a grow, got {:?}", w[2]);
+            };
+            let wire = built.topo.link(LinkId(rl));
+            assert_eq!((a, b), (wire.a, wire.b), "grow re-wires the same endpoints");
+        }
+        // The repro file round-trips the new action kinds byte-exactly.
+        let back = Trial::parse(&t.to_text()).unwrap();
+        assert_eq!(t.to_text(), back.to_text());
+        // And zeroed reconfig spans leave campaign JSON untouched.
+        assert!(!demo_campaign().to_json().pretty().contains("recables"));
+    }
+
+    #[test]
+    fn unplanned_removal_samples_a_killable_switch() {
+        let c = Campaign {
+            topology: TopologySpec::Atlas(AtlasSpec::parse("fat_tree:4").unwrap()),
+            faults: FaultMix {
+                unplanned_removals: Span::at(1.0),
+                ..FaultMix::default()
+            },
+            ..demo_campaign()
+        };
+        let built = c.topology.build();
+        assert!(
+            !built.killable.is_empty(),
+            "fat_tree:4 has survivable cores"
+        );
+        let t = c.sample(1);
+        assert_eq!(t.plan.actions.len(), 1);
+        let san_fabric::PermanentFault::RemoveSwitch { switch, .. } = t.plan.actions[0] else {
+            panic!("expected a switch removal, got {:?}", t.plan.actions[0]);
+        };
+        assert!(built.killable.contains(&SwitchId(switch)));
+        let back = Trial::parse(&t.to_text()).unwrap();
+        assert_eq!(t.to_text(), back.to_text());
     }
 
     #[test]

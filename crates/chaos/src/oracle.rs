@@ -26,6 +26,13 @@
 //!    that the NIC failed with `SendFailed` (remap-budget exhaustion) may
 //!    stay undelivered once end-state connectivity allows it — the stream
 //!    tail survives the outage because the host re-posts it.
+//! 7. **Reconfiguration liveness**: after the last live-reconfiguration
+//!    epoch (grow/drain/shrink), every sender still owing reachable
+//!    deliveries must show packet activity — mutating the fabric under
+//!    traffic must never wedge a live stream. Invariants 1–6 are checked
+//!    *across* epochs by construction (they see the whole delivery log),
+//!    so exactly-once/in-order and conservation hold through every
+//!    grow/shrink, not merely within one wiring.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -105,6 +112,9 @@ pub struct Observation {
     /// Whether the hosts ran the end-to-end recovery policy (invariant 6
     /// is only owed when they did).
     pub host_recovery: bool,
+    /// Live-reconfiguration epoch times from the trace ring (`reconfig`
+    /// events), in occurrence order.
+    pub reconfigs: Vec<u64>,
 }
 
 /// Which invariant a violation breaks.
@@ -126,6 +136,9 @@ pub enum ViolationKind {
     /// With host recovery on, a `SendFailed` message stayed undelivered
     /// although end-state connectivity allowed re-posting it.
     AbandonedAfterSendFailed,
+    /// A live-reconfiguration epoch was never followed by sender progress
+    /// although traffic was still owed.
+    StalledAfterReconfig,
 }
 
 impl ViolationKind {
@@ -139,6 +152,7 @@ impl ViolationKind {
             ViolationKind::LeakedRetransBuffer => "leaked_retrans_buffer",
             ViolationKind::StalledAfterPathReset => "stalled_after_path_reset",
             ViolationKind::AbandonedAfterSendFailed => "abandoned_after_send_failed",
+            ViolationKind::StalledAfterReconfig => "stalled_after_reconfig",
         }
     }
 }
@@ -206,6 +220,7 @@ pub fn check(obs: &Observation) -> Vec<Violation> {
     check_drain(obs, &mut out);
     check_reset_progress(obs, &mut out);
     check_abandoned(obs, &mut out);
+    check_reconfig_progress(obs, &mut out);
     out
 }
 
@@ -433,6 +448,52 @@ fn check_abandoned(obs: &Observation, out: &mut Vec<Violation>) {
                     lost.len(),
                     head.join(", "),
                     if lost.len() > head.len() { ", …" } else { "" }
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 7: the last live-reconfiguration epoch is followed by sender
+/// progress from everyone still owing reachable deliveries. Sharper than
+/// plain completeness: it pins a loss to the fabric mutation itself
+/// (streams wedged by a grow/shrink rather than by transient faults).
+fn check_reconfig_progress(obs: &Observation, out: &mut Vec<Violation>) {
+    let Some(last) = obs.reconfigs.iter().copied().max() else {
+        return; // no reconfiguration: nothing owed
+    };
+    let mut srcs: Vec<u16> = obs.expected.iter().map(|pe| pe.src).collect();
+    srcs.sort_unstable();
+    srcs.dedup();
+    for src in srcs {
+        let owes = obs.expected.iter().any(|pe| {
+            if pe.src != src || !pe.reachable {
+                return false;
+            }
+            let got = obs
+                .deliveries
+                .iter()
+                .filter(|d| d.src == pe.src && d.dst == pe.dst)
+                .count() as u64;
+            got < pe.messages
+        });
+        if !owes {
+            continue;
+        }
+        let progress = obs
+            .last_progress
+            .iter()
+            .find(|(s, _)| *s == src)
+            .map(|&(_, t)| t)
+            .unwrap_or(0);
+        if progress < last {
+            out.push(Violation {
+                kind: ViolationKind::StalledAfterReconfig,
+                src,
+                dst: 0,
+                detail: format!(
+                    "no packet activity after reconfiguration epoch at {last} ns \
+                     with undelivered traffic"
                 ),
             });
         }

@@ -182,6 +182,9 @@ pub struct TrialOutcome {
     pub send_failed: u64,
     /// Generation bumps (remaps) during the run.
     pub generation_bumps: u64,
+    /// Live-reconfiguration epochs (grow/drain/shrink) the fabric went
+    /// through during the run.
+    pub reconfig_epochs: u64,
     /// Simulated time when the run settled or hit its deadline.
     pub finished_at_ns: u64,
 }
@@ -195,8 +198,15 @@ impl TrialOutcome {
     /// One-line, byte-stable verdict (used for cross-thread-count
     /// determinism comparisons).
     pub fn verdict_line(&self) -> String {
+        // `epochs=` appears only when the fabric actually mutated, so
+        // legacy campaign reports stay byte-identical.
+        let epochs = if self.reconfig_epochs > 0 {
+            format!(" epochs={}", self.reconfig_epochs)
+        } else {
+            String::new()
+        };
         let mut line = format!(
-            "{}[{:03}] seed={:#018x} delivered={}/{} resets={} bumps={} failed={} t={}ns {}",
+            "{}[{:03}] seed={:#018x} delivered={}/{} resets={} bumps={} failed={}{} t={}ns {}",
             self.campaign,
             self.index,
             self.seed,
@@ -205,6 +215,7 @@ impl TrialOutcome {
             self.path_resets,
             self.generation_bumps,
             self.send_failed,
+            epochs,
             self.finished_at_ns,
             if self.passed() { "PASS" } else { "FAIL" },
         );
@@ -365,8 +376,42 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
     let deadline = Time::from_millis(trial.duration_ms + GRACE_MS);
     let window = Time::from_millis(trial.workload.as_ref().map_or(0, |w| w.window_ms));
     let mut t = Time::from_millis(SLICE_MS);
+    let mut seen_epoch = cluster.engine.reconfig_epoch();
     let finished_at = loop {
         let now = cluster.run_until(t);
+        // After a reconfiguration epoch the planner hints are stale: they
+        // were computed on the old wiring and may offer draining or
+        // detached links. Recompute candidates on the *current* topology
+        // through the planner filter (alive and not draining) and re-offer.
+        if proto.reliable && proto.mapping {
+            let epoch = cluster.engine.reconfig_epoch();
+            if epoch != seen_epoch {
+                seen_epoch = epoch;
+                let fresh: Vec<(NodeId, NodeId, Vec<san_fabric::Route>)> = pairs
+                    .iter()
+                    .flat_map(|&(a, b)| [(a, b), (b, a)])
+                    .map(|(s, d)| {
+                        let usable = cluster.engine.planner_filter();
+                        // The closure wrapper supplies the `Copy` bound the
+                        // opaque filter type does not advertise.
+                        #[allow(clippy::redundant_closure)]
+                        let routes =
+                            candidate_routes(cluster.engine.topology(), s, d, 4, |l| usable(l));
+                        (s, d, routes)
+                    })
+                    .filter(|(_, _, c)| !c.is_empty())
+                    .collect();
+                for (src, dst, routes) in fresh {
+                    if let Some(fw) = cluster.nics[src.0 as usize]
+                        .fw
+                        .as_any_mut()
+                        .downcast_mut::<ReliableFirmware>()
+                    {
+                        fw.offer_route_candidates(dst, routes);
+                    }
+                }
+            }
+        }
         let complete = match &driver {
             Some(d) => now >= window && d.total_delivered() >= d.total_posted(),
             None => unique_delivered(&log.borrow()) >= expected_total,
@@ -456,6 +501,12 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
 
     let scan = telemetry.scan();
     let (resets, last_progress) = oracle::digest_trace(&scan);
+    let reconfigs: Vec<u64> = scan
+        .events()
+        .iter()
+        .filter(|ev| ev.kind == TraceKind::Reconfig)
+        .map(|ev| ev.at_ns)
+        .collect();
     let obs = Observation {
         deliveries,
         expected,
@@ -464,6 +515,7 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         last_progress,
         send_failed,
         host_recovery: trial.protocol.host_recovery,
+        reconfigs,
     };
     let violations = oracle::check(&obs);
     let stats = cluster.engine.stats();
@@ -478,6 +530,7 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         path_resets: stats.path_resets,
         send_failed: obs.send_failed.len() as u64,
         generation_bumps: scan.count(TraceKind::GenerationBump) as u64,
+        reconfig_epochs: cluster.engine.reconfig_epoch(),
         finished_at_ns: finished_at.nanos(),
     };
     (outcome, scan)

@@ -50,6 +50,7 @@ fn clean() -> Observation {
         last_progress: vec![(0, 3_000)],
         send_failed: Vec::new(),
         host_recovery: true,
+        reconfigs: Vec::new(),
     }
 }
 
@@ -174,6 +175,29 @@ fn reset_with_later_progress_is_recovery() {
         at_ns: 2_500,
     }];
     obs.last_progress = vec![(0, 3_000)]; // delivered past the reset
+    assert!(check(&obs).is_empty());
+}
+
+#[test]
+fn stall_after_reconfig_flagged() {
+    let mut obs = clean();
+    obs.deliveries.pop(); // sender 0 still owes msg 2
+    obs.reconfigs = vec![10_000]; // fabric mutated after the last progress
+    assert!(kinds(&obs).contains(&ViolationKind::StalledAfterReconfig));
+}
+
+#[test]
+fn reconfig_with_later_progress_is_live() {
+    let mut obs = clean();
+    obs.reconfigs = vec![2_500]; // delivered past the epoch
+    assert!(check(&obs).is_empty());
+}
+
+#[test]
+fn reconfig_stall_excused_when_nothing_owed() {
+    // All traffic landed before the epoch: silence afterwards is fine.
+    let mut obs = clean();
+    obs.reconfigs = vec![10_000];
     assert!(check(&obs).is_empty());
 }
 

@@ -26,10 +26,11 @@ use san_sim::{Duration, Sim, SimRng, Time};
 use san_telemetry::{Layer, Telemetry, TraceEvent, TraceKind};
 
 use crate::fault::TransientFaults;
+use crate::fingerprint::{fingerprint_topology, WiringDelta};
 use crate::ids::{Endpoint, LinkId, NodeId, PortId, SwitchId};
 use crate::packet::Packet;
 use crate::route::Route;
-use crate::topology::Topology;
+use crate::topology::{Link, Topology, WireError};
 
 /// Physical constants of the fabric.
 #[derive(Debug, Clone)]
@@ -69,6 +70,24 @@ pub enum FabricEvent {
     LinkUp { link: LinkId },
     /// Permanent fault: a whole switch dies.
     SwitchDown { switch: SwitchId },
+    /// Live reconfiguration: wire a new link between two free ports.
+    GrowLink { a: Endpoint, b: Endpoint },
+    /// Live reconfiguration: announce a planned removal — the link keeps
+    /// carrying in-flight traffic but planners stop offering it.
+    DrainLink { link: LinkId },
+    /// Live reconfiguration: detach a link from the fabric (in-flight
+    /// traffic on it is lost and recovered by retransmission).
+    RemoveLink { link: LinkId },
+    /// Live reconfiguration: de-rack a whole switch (all its links detach).
+    RemoveSwitch { switch: SwitchId },
+    /// Notification that a reconfiguration epoch completed. The fingerprint
+    /// delta summary rides in the event; the full changed-link/-switch
+    /// lists are in [`Engine::reconfig_log`], addressable by `epoch`.
+    Reconfigured {
+        epoch: u64,
+        old_fp: u64,
+        new_fp: u64,
+    },
 }
 
 /// Why a packet vanished.
@@ -194,6 +213,33 @@ impl FabricMetrics {
     }
 }
 
+/// The live-reconfiguration metric cells (`reconfig.*` family).
+#[derive(Debug)]
+struct ReconfigMetrics {
+    /// Reconfiguration epochs completed.
+    epochs: san_telemetry::Counter,
+    /// Links grown live.
+    links_added: san_telemetry::Counter,
+    /// Links detached live.
+    links_removed: san_telemetry::Counter,
+    /// Packets in flight lost to a detach (the cost a drain avoids).
+    inflight_lost: san_telemetry::Counter,
+    /// Drain durations: announce-to-detach time per drained link.
+    drain_ns: san_telemetry::HistogramHandle,
+}
+
+impl ReconfigMetrics {
+    fn register(tel: &Telemetry) -> Self {
+        Self {
+            epochs: tel.counter("reconfig.epochs"),
+            links_added: tel.counter("reconfig.links_added"),
+            links_removed: tel.counter("reconfig.links_removed"),
+            inflight_lost: tel.counter("reconfig.inflight_lost"),
+            drain_ns: tel.histogram("reconfig.drain_ns"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Channel {
     owner: Option<u32>,
@@ -230,7 +276,16 @@ pub struct Engine {
     fault_rng: SimRng,
     /// Gilbert–Elliott channel state (true = bad) when `faults.burst` is set.
     burst_bad: bool,
+    /// Per-link draining flag (planned removal announced): the link still
+    /// carries traffic but planners must stop offering it.
+    draining: Vec<bool>,
+    /// When each draining link's drain was announced.
+    drain_started: Vec<Time>,
+    /// Every completed reconfiguration step, in epoch order (epoch `e` is
+    /// at index `e - 1`).
+    reconfig_log: Vec<WiringDelta>,
     metrics: FabricMetrics,
+    rmetrics: ReconfigMetrics,
     tel: Telemetry,
 }
 
@@ -256,6 +311,8 @@ impl Engine {
             .collect();
         let switch_alive = vec![true; topo.num_switches()];
         let metrics = FabricMetrics::register(&tel, topo.num_links());
+        let rmetrics = ReconfigMetrics::register(&tel);
+        let num_links = topo.num_links();
         Self {
             topo,
             cfg,
@@ -267,7 +324,11 @@ impl Engine {
             faults: TransientFaults::none(),
             fault_rng: SimRng::seed_from(0x00FA_B017),
             burst_bad: false,
+            draining: vec![false; num_links],
+            drain_started: vec![Time::ZERO; num_links],
+            reconfig_log: Vec::new(),
             metrics,
+            rmetrics,
             tel,
         }
     }
@@ -527,6 +588,20 @@ impl Engine {
             FabricEvent::LinkDown { link } => self.set_link_alive(sim, link, false, out),
             FabricEvent::LinkUp { link } => self.set_link_alive(sim, link, true, out),
             FabricEvent::SwitchDown { switch } => self.kill_switch(sim, switch, out),
+            FabricEvent::GrowLink { a, b } => {
+                // A refused grow (port raced into use) is not an engine
+                // error: the campaign scheduled it against stale wiring.
+                let _ = self.grow_link(sim, a, b, out);
+            }
+            FabricEvent::DrainLink { link } => self.drain_link(sim, link),
+            FabricEvent::RemoveLink { link } => {
+                let _ = self.shrink_link(sim, link, out);
+            }
+            FabricEvent::RemoveSwitch { switch } => {
+                let _ = self.shrink_switch(sim, switch, out);
+            }
+            // Pure notification: the mutation that produced it already ran.
+            FabricEvent::Reconfigured { .. } => {}
         }
     }
 
@@ -813,5 +888,243 @@ impl Engine {
                 self.report_drop(sim.now(), f.pkt, DropReason::KilledByFault, out);
             }
         }
+    }
+
+    // -- live reconfiguration -----------------------------------------------
+
+    /// The reconfiguration epoch: how many wiring mutations have completed.
+    /// Drivers poll this between slices and re-plan when it advances.
+    pub fn reconfig_epoch(&self) -> u64 {
+        self.reconfig_log.len() as u64
+    }
+
+    /// Every completed reconfiguration step, in epoch order.
+    pub fn reconfig_log(&self) -> &[WiringDelta] {
+        &self.reconfig_log
+    }
+
+    /// Is this link marked draining (planned removal announced)?
+    pub fn link_draining(&self, l: LinkId) -> bool {
+        self.draining.get(l.idx()).copied().unwrap_or(false)
+    }
+
+    /// Candidate filter for route planners: alive **and not draining**.
+    /// In-flight traffic still crosses a draining link ([`Engine::alive_filter`]
+    /// stays true for it); only *new* route offers avoid it.
+    pub fn planner_filter(&self) -> impl Fn(LinkId) -> bool + '_ {
+        let alive = self.alive_filter();
+        move |l| alive(l) && !self.link_draining(l)
+    }
+
+    /// Flights currently holding or waiting on a channel matching `pred`.
+    fn count_flights_on(&self, pred: impl Fn(u32) -> bool) -> u64 {
+        self.flights
+            .iter()
+            .flatten()
+            .filter(|fl| fl.held.iter().any(|&ch| pred(ch)) || fl.waiting_on.is_some_and(&pred))
+            .count() as u64
+    }
+
+    /// Seal one wiring mutation: compute the fingerprint delta, log it,
+    /// record the trace event, and emit a [`FabricEvent::Reconfigured`]
+    /// notification at the current instant.
+    fn finish_reconfig<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        old_fp: u64,
+        changed_links: Vec<LinkId>,
+        changed_switches: Vec<SwitchId>,
+    ) -> u64 {
+        let new_fp = fingerprint_topology(&self.topo);
+        let epoch = self.reconfig_log.len() as u64 + 1;
+        self.rmetrics.epochs.hit();
+        self.tel.record(TraceEvent {
+            at_ns: sim.now().nanos(),
+            layer: Layer::Fabric,
+            kind: TraceKind::Reconfig,
+            node: 0,
+            src: 0,
+            dst: 0,
+            generation: 0,
+            seq: epoch as u32,
+            aux: new_fp,
+        });
+        self.reconfig_log.push(WiringDelta {
+            epoch,
+            old_fp,
+            new_fp,
+            changed_links,
+            changed_switches,
+        });
+        let now = sim.now();
+        sim.schedule(
+            now,
+            FabricEvent::Reconfigured {
+                epoch,
+                old_fp,
+                new_fp,
+            }
+            .into(),
+        );
+        epoch
+    }
+
+    /// The switches incident to a set of link endpoints, deduplicated in
+    /// first-appearance order — the patch region of a wiring delta.
+    fn switches_of(endpoints: &[Endpoint]) -> Vec<SwitchId> {
+        let mut out = Vec::new();
+        for ep in endpoints {
+            if let Some((s, _)) = ep.switch() {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Grow per-link state (channels, busy counters, drain flags) to cover
+    /// the current link id space, and reset the pair for a (re)wired id.
+    fn provision_link_state(&mut self, id: LinkId) {
+        while self.channels.len() < self.topo.num_links() * 2 {
+            self.channels.push(Channel {
+                owner: None,
+                waiters: VecDeque::new(),
+                alive: true,
+                acquired_at: Time::ZERO,
+            });
+        }
+        while self.metrics.link_busy.len() < self.topo.num_links() {
+            let l = self.metrics.link_busy.len();
+            self.metrics
+                .link_busy
+                .push(self.tel.counter(&format!("fabric.link.{l}.busy_ns")));
+        }
+        self.draining.resize(self.topo.num_links(), false);
+        self.drain_started.resize(self.topo.num_links(), Time::ZERO);
+        for dir in 0..2 {
+            let c = &mut self.channels[id.idx() * 2 + dir];
+            debug_assert!(c.owner.is_none(), "revived channel still owned");
+            c.owner = None;
+            c.waiters.clear();
+            c.alive = true;
+            c.acquired_at = Time::ZERO;
+        }
+        self.draining[id.idx()] = false;
+    }
+
+    /// Live link addition: wire two free ports, provision channel and
+    /// metric state for the (possibly reused) id, and seal the epoch.
+    /// Traffic can cross the new link from this instant on.
+    pub fn grow_link<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        a: Endpoint,
+        b: Endpoint,
+        _out: &mut Vec<FabricOut>,
+    ) -> Result<LinkId, WireError> {
+        let old_fp = fingerprint_topology(&self.topo);
+        let id = self.topo.try_connect(a, b)?;
+        self.provision_link_state(id);
+        self.rmetrics.links_added.hit();
+        self.finish_reconfig(sim, old_fp, vec![id], Self::switches_of(&[a, b]));
+        Ok(id)
+    }
+
+    /// Announce a planned removal: the link keeps carrying in-flight
+    /// traffic, but [`Engine::planner_filter`] stops offering it. A later
+    /// [`Engine::shrink_link`] completes the removal and records the drain
+    /// duration.
+    pub fn drain_link<E: From<FabricEvent>>(&mut self, sim: &mut Sim<E>, link: LinkId) {
+        if self.topo.try_link(link).is_none() || self.draining[link.idx()] {
+            return;
+        }
+        self.draining[link.idx()] = true;
+        self.drain_started[link.idx()] = sim.now();
+    }
+
+    /// Is any flight currently holding or waiting on this link? Drivers
+    /// poll this to decide when a draining link is safe to detach early.
+    pub fn link_idle(&self, link: LinkId) -> bool {
+        self.count_flights_on(|ch| LinkId(ch / 2) == link) == 0
+    }
+
+    /// Live link removal: kill whatever is still in flight on the link
+    /// (counted as `reconfig.inflight_lost` — zero for a completed drain),
+    /// detach it from the topology, and seal the epoch. The freed link id
+    /// goes back on the LIFO stack for future grows.
+    pub fn shrink_link<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        link: LinkId,
+        out: &mut Vec<FabricOut>,
+    ) -> Option<Link> {
+        self.topo.try_link(link)?;
+        let old_fp = fingerprint_topology(&self.topo);
+        let lost = self.count_flights_on(|ch| LinkId(ch / 2) == link);
+        self.rmetrics.inflight_lost.add(lost);
+        self.set_link_alive(sim, link, false, out);
+        if self.draining[link.idx()] {
+            self.rmetrics
+                .drain_ns
+                .record(sim.now().since(self.drain_started[link.idx()]));
+            self.draining[link.idx()] = false;
+        }
+        let gone = self.topo.disconnect(link);
+        self.rmetrics.links_removed.hit();
+        self.finish_reconfig(
+            sim,
+            old_fp,
+            vec![link],
+            Self::switches_of(&[gone.a, gone.b]),
+        );
+        Some(gone)
+    }
+
+    /// Live switch removal: detach every incident link (in-flight traffic
+    /// on them is lost and counted), then seal a single epoch covering the
+    /// whole de-rack. The switch record remains with zero wired ports.
+    pub fn shrink_switch<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        s: SwitchId,
+        out: &mut Vec<FabricOut>,
+    ) -> Vec<LinkId> {
+        let old_fp = fingerprint_topology(&self.topo);
+        let incident: Vec<LinkId> = self
+            .topo
+            .links()
+            .filter(|(_, l)| {
+                [l.a, l.b]
+                    .iter()
+                    .any(|ep| ep.switch().is_some_and(|(sw, _)| sw == s))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        if incident.is_empty() {
+            return incident;
+        }
+        let lost = self.count_flights_on(|ch| incident.contains(&LinkId(ch / 2)));
+        self.rmetrics.inflight_lost.add(lost);
+        let mut endpoints = Vec::new();
+        for &link in &incident {
+            self.set_link_alive(sim, link, false, out);
+            if self.draining[link.idx()] {
+                self.rmetrics
+                    .drain_ns
+                    .record(sim.now().since(self.drain_started[link.idx()]));
+                self.draining[link.idx()] = false;
+            }
+            let gone = self.topo.disconnect(link);
+            self.rmetrics.links_removed.hit();
+            endpoints.push(gone.a);
+            endpoints.push(gone.b);
+        }
+        let mut switches = Self::switches_of(&endpoints);
+        if !switches.contains(&s) {
+            switches.push(s);
+        }
+        self.finish_reconfig(sim, old_fp, incident.clone(), switches);
+        incident
     }
 }

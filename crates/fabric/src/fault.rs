@@ -20,7 +20,7 @@ use san_sim::{Sim, SimRng, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::FabricEvent;
-use crate::ids::{LinkId, SwitchId};
+use crate::ids::{Endpoint, LinkId, SwitchId};
 
 /// Per-packet wire-fault model.
 ///
@@ -141,6 +141,40 @@ pub enum PermanentFault {
         /// Which switch.
         switch: u16,
     },
+    /// Reconfiguration: a new link is wired between two free ports
+    /// (`GrowFabric`).
+    GrowLink {
+        /// When.
+        at_nanos: u64,
+        /// One side.
+        a: Endpoint,
+        /// The other side.
+        b: Endpoint,
+    },
+    /// Reconfiguration: a link's planned removal is announced — planners
+    /// stop offering it while in-flight traffic completes.
+    DrainLink {
+        /// When.
+        at_nanos: u64,
+        /// Which link.
+        link: u32,
+    },
+    /// Reconfiguration: a link detaches from the fabric (`ShrinkFabric`;
+    /// paired with an earlier [`PermanentFault::DrainLink`] when planned).
+    RemoveLink {
+        /// When.
+        at_nanos: u64,
+        /// Which link.
+        link: u32,
+    },
+    /// Reconfiguration: a whole switch is de-racked, all links detaching
+    /// (`ShrinkFabric`; unplanned when no drain preceded it).
+    RemoveSwitch {
+        /// When.
+        at_nanos: u64,
+        /// Which switch.
+        switch: u16,
+    },
 }
 
 impl PermanentFault {
@@ -149,19 +183,30 @@ impl PermanentFault {
         match *self {
             PermanentFault::LinkDown { at_nanos, .. }
             | PermanentFault::LinkUp { at_nanos, .. }
-            | PermanentFault::SwitchDown { at_nanos, .. } => Time::from_nanos(at_nanos),
+            | PermanentFault::SwitchDown { at_nanos, .. }
+            | PermanentFault::GrowLink { at_nanos, .. }
+            | PermanentFault::DrainLink { at_nanos, .. }
+            | PermanentFault::RemoveLink { at_nanos, .. }
+            | PermanentFault::RemoveSwitch { at_nanos, .. } => Time::from_nanos(at_nanos),
         }
     }
 
     /// Total tie-break key for same-instant actions: deaths apply before
     /// repairs (so a down+up pair at the same tick leaves the component
-    /// alive — the repair is the later intent), and the remaining fields
-    /// make the ordering canonical regardless of listing order.
+    /// alive — the repair is the later intent), removals apply with the
+    /// deaths (drain strictly before detach), and grows apply last (a
+    /// detach+grow pair at the same tick is a re-cable whose new wiring is
+    /// the later intent). The remaining fields make the ordering canonical
+    /// regardless of listing order.
     fn rank(&self) -> (u8, u8, u32) {
         match *self {
             PermanentFault::LinkDown { link, .. } => (0, 0, link),
             PermanentFault::SwitchDown { switch, .. } => (0, 1, switch as u32),
+            PermanentFault::DrainLink { link, .. } => (0, 2, link),
+            PermanentFault::RemoveLink { link, .. } => (0, 3, link),
+            PermanentFault::RemoveSwitch { switch, .. } => (0, 4, switch as u32),
             PermanentFault::LinkUp { link, .. } => (1, 0, link),
+            PermanentFault::GrowLink { .. } => (2, 0, 0),
         }
     }
 
@@ -171,6 +216,14 @@ impl PermanentFault {
             PermanentFault::LinkDown { link, .. } => FabricEvent::LinkDown { link: LinkId(link) },
             PermanentFault::LinkUp { link, .. } => FabricEvent::LinkUp { link: LinkId(link) },
             PermanentFault::SwitchDown { switch, .. } => FabricEvent::SwitchDown {
+                switch: SwitchId(switch),
+            },
+            PermanentFault::GrowLink { a, b, .. } => FabricEvent::GrowLink { a, b },
+            PermanentFault::DrainLink { link, .. } => FabricEvent::DrainLink { link: LinkId(link) },
+            PermanentFault::RemoveLink { link, .. } => {
+                FabricEvent::RemoveLink { link: LinkId(link) }
+            }
+            PermanentFault::RemoveSwitch { switch, .. } => FabricEvent::RemoveSwitch {
                 switch: SwitchId(switch),
             },
         }
@@ -212,6 +265,45 @@ impl FaultPlan {
     /// Kill `switch` at `at`.
     pub fn switch_down(mut self, at: Time, s: SwitchId) -> Self {
         self.actions.push(PermanentFault::SwitchDown {
+            at_nanos: at.nanos(),
+            switch: s.0,
+        });
+        self
+    }
+
+    /// Wire a new link between two free ports at `at` (`GrowFabric`).
+    pub fn grow_link(mut self, at: Time, a: Endpoint, b: Endpoint) -> Self {
+        self.actions.push(PermanentFault::GrowLink {
+            at_nanos: at.nanos(),
+            a,
+            b,
+        });
+        self
+    }
+
+    /// Announce `link`'s planned removal at `at`: planners stop offering it
+    /// while in-flight traffic completes.
+    pub fn drain_link(mut self, at: Time, link: LinkId) -> Self {
+        self.actions.push(PermanentFault::DrainLink {
+            at_nanos: at.nanos(),
+            link: link.0,
+        });
+        self
+    }
+
+    /// Detach `link` from the fabric at `at` (`ShrinkFabric`).
+    pub fn remove_link(mut self, at: Time, link: LinkId) -> Self {
+        self.actions.push(PermanentFault::RemoveLink {
+            at_nanos: at.nanos(),
+            link: link.0,
+        });
+        self
+    }
+
+    /// De-rack `switch` at `at`, detaching all of its links
+    /// (`ShrinkFabric`; unplanned when no drain preceded it).
+    pub fn remove_switch(mut self, at: Time, s: SwitchId) -> Self {
+        self.actions.push(PermanentFault::RemoveSwitch {
             at_nanos: at.nanos(),
             switch: s.0,
         });

@@ -13,6 +13,7 @@
 use crate::ids::{Endpoint, LinkId, NodeId, PortId, SwitchId};
 use crate::route::Route;
 use std::collections::VecDeque;
+use std::fmt;
 
 /// An undirected link between two endpoints.
 #[derive(Debug, Clone, Copy)]
@@ -39,12 +40,45 @@ impl Link {
     }
 }
 
+/// Why a wiring request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The endpoint already has a link plugged in.
+    AlreadyWired(Endpoint),
+    /// The endpoint names a host, switch, or port that does not exist.
+    OutOfRange(Endpoint),
+    /// Both ends of the requested link are the same endpoint.
+    SelfLoop(Endpoint),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::AlreadyWired(ep) => write!(f, "endpoint {ep:?} already wired"),
+            WireError::OutOfRange(ep) => write!(f, "endpoint {ep:?} out of range"),
+            WireError::SelfLoop(ep) => write!(f, "endpoint {ep:?} cannot be wired to itself"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 /// The wiring of a SAN.
+///
+/// Links are stored in id-indexed slots; [`Topology::disconnect`] leaves a
+/// tombstone and frees the id onto a LIFO stack so a later live
+/// [`Topology::try_connect`] reuses ids most-recently-freed first. Link ids
+/// therefore stay stable across a reconfiguration — channel and metric
+/// arrays indexed by `LinkId` never need compaction — and a reverse
+/// mutation (re-wiring the same endpoints in reverse removal order)
+/// restores the identical id assignment, and with it the identical wiring
+/// fingerprint.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     hosts: Vec<Option<LinkId>>,
     switches: Vec<Vec<Option<LinkId>>>,
-    links: Vec<Link>,
+    links: Vec<Option<Link>>,
+    free_links: Vec<LinkId>,
 }
 
 impl Topology {
@@ -70,19 +104,92 @@ impl Topology {
         SwitchId((self.switches.len() - 1) as u16)
     }
 
+    /// Wire two endpoints together, refusing (rather than corrupting the
+    /// port accounting) when an endpoint is out of range, already wired, or
+    /// wired to itself. This is the live-reconfiguration entry point: a
+    /// freed link id is reused (most recently freed first) so ids stay
+    /// dense and stable.
+    pub fn try_connect(&mut self, a: Endpoint, b: Endpoint) -> Result<LinkId, WireError> {
+        if a == b {
+            return Err(WireError::SelfLoop(a));
+        }
+        for ep in [a, b] {
+            if !self.endpoint_in_range(ep) {
+                return Err(WireError::OutOfRange(ep));
+            }
+            if self.link_at(ep).is_some() {
+                return Err(WireError::AlreadyWired(ep));
+            }
+        }
+        let id = self.free_links.pop().unwrap_or_else(|| {
+            self.links.push(None);
+            LinkId((self.links.len() - 1) as u32)
+        });
+        self.links[id.idx()] = Some(Link { a, b });
+        *self.port_slot_mut(a) = Some(id);
+        *self.port_slot_mut(b) = Some(id);
+        Ok(id)
+    }
+
     /// Wire two endpoints together.
     ///
     /// # Panics
-    /// Panics if either endpoint is out of range or already wired.
+    /// Panics if either endpoint is out of range or already wired; builders
+    /// treat a bad wiring plan as a bug. Reconfiguration code that must
+    /// handle refusal uses [`Topology::try_connect`].
     pub fn connect(&mut self, a: Endpoint, b: Endpoint) -> LinkId {
-        let id = LinkId(self.links.len() as u32);
-        for ep in [a, b] {
-            let slot = self.port_slot_mut(ep);
-            assert!(slot.is_none(), "endpoint {ep:?} already wired");
-            *slot = Some(id);
+        match self.try_connect(a, b) {
+            Ok(id) => id,
+            Err(e) => panic!("connect: {e}"),
         }
-        self.links.push(Link { a, b });
-        id
+    }
+
+    /// Unwire a link: both ports become free, the id goes back on the free
+    /// stack (LIFO), and the link record is returned so the caller can
+    /// re-wire or log it. Returns `None` when the link was already removed.
+    pub fn try_disconnect(&mut self, id: LinkId) -> Option<Link> {
+        let link = self.links.get_mut(id.idx())?.take()?;
+        *self.port_slot_mut(link.a) = None;
+        *self.port_slot_mut(link.b) = None;
+        self.free_links.push(id);
+        Some(link)
+    }
+
+    /// Unwire a link.
+    ///
+    /// # Panics
+    /// Panics if the link does not exist (or was already removed).
+    pub fn disconnect(&mut self, id: LinkId) -> Link {
+        self.try_disconnect(id)
+            .unwrap_or_else(|| panic!("disconnect: link {} does not exist", id.idx()))
+    }
+
+    /// De-rack a switch: unwire every link incident to it, in port order.
+    /// The switch record itself remains (switch ids are stable), left with
+    /// zero wired ports. Returns the removed links.
+    pub fn remove_switch(&mut self, s: SwitchId) -> Vec<(LinkId, Link)> {
+        let mut ids: Vec<LinkId> = Vec::new();
+        for p in 0..self.switch_ports(s) {
+            if let Some(id) = self.link_at(Endpoint::Switch(s, PortId(p))) {
+                // A link joining two ports of the same switch appears twice.
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.into_iter()
+            .map(|id| (id, self.disconnect(id)))
+            .collect()
+    }
+
+    fn endpoint_in_range(&self, ep: Endpoint) -> bool {
+        match ep {
+            Endpoint::Host(h) => h.idx() < self.hosts.len(),
+            Endpoint::Switch(s, p) => self
+                .switches
+                .get(s.idx())
+                .is_some_and(|ports| p.idx() < ports.len()),
+        }
     }
 
     /// Convenience: wire host `h` to switch `s` port `p`.
@@ -119,8 +226,19 @@ impl Topology {
     }
 
     /// Link record.
+    ///
+    /// # Panics
+    /// Panics if the link was removed by a reconfiguration.
     pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.idx()]
+        self.links[id.idx()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("link {} was removed from the topology", id.idx()))
+    }
+
+    /// Link record, `None` when the id is out of range or the link was
+    /// removed.
+    pub fn try_link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(id.idx()).and_then(|l| l.as_ref())
     }
 
     /// Number of hosts.
@@ -131,9 +249,15 @@ impl Topology {
     pub fn num_switches(&self) -> usize {
         self.switches.len()
     }
-    /// Number of links.
+    /// Size of the link *id space* (wired links plus tombstones of removed
+    /// ones). Per-link arrays indexed by `LinkId` must be this long; on a
+    /// never-reconfigured fabric it equals the wired-link count.
     pub fn num_links(&self) -> usize {
         self.links.len()
+    }
+    /// Number of links actually wired right now.
+    pub fn num_wired_links(&self) -> usize {
+        self.links.iter().filter(|l| l.is_some()).count()
     }
     /// Port count of a switch.
     pub fn switch_ports(&self, s: SwitchId) -> u8 {
@@ -145,12 +269,12 @@ impl Topology {
         self.switches.iter().map(|p| p.len()).max().unwrap_or(0) as u8
     }
 
-    /// All links, with IDs.
+    /// All currently wired links, with IDs (removed links are skipped).
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
         self.links
             .iter()
             .enumerate()
-            .map(|(i, l)| (LinkId(i as u32), l))
+            .filter_map(|(i, l)| l.as_ref().map(|l| (LinkId(i as u32), l)))
     }
 
     /// Lowest unwired port of switch `s`, if any — the generator hook large
@@ -406,6 +530,87 @@ mod tests {
         let h2 = t.add_host();
         let _ = h2;
         t.connect(Endpoint::Host(h), Endpoint::Switch(s, PortId(1)));
+    }
+
+    #[test]
+    fn try_connect_refuses_without_corrupting() {
+        let mut t = Topology::new();
+        let h = t.add_host();
+        let s = t.add_switch(4);
+        t.connect_host(h, s, 0);
+        // Already-wired host port.
+        assert_eq!(
+            t.try_connect(Endpoint::Host(h), Endpoint::Switch(s, PortId(1))),
+            Err(WireError::AlreadyWired(Endpoint::Host(h)))
+        );
+        // Out-of-range switch port / unknown switch.
+        assert_eq!(
+            t.try_connect(
+                Endpoint::Switch(s, PortId(9)),
+                Endpoint::Switch(s, PortId(1))
+            ),
+            Err(WireError::OutOfRange(Endpoint::Switch(s, PortId(9))))
+        );
+        assert_eq!(
+            t.try_connect(
+                Endpoint::Switch(SwitchId(7), PortId(0)),
+                Endpoint::Switch(s, PortId(1))
+            ),
+            Err(WireError::OutOfRange(Endpoint::Switch(
+                SwitchId(7),
+                PortId(0)
+            )))
+        );
+        // Self-loop.
+        assert_eq!(
+            t.try_connect(
+                Endpoint::Switch(s, PortId(1)),
+                Endpoint::Switch(s, PortId(1))
+            ),
+            Err(WireError::SelfLoop(Endpoint::Switch(s, PortId(1))))
+        );
+        // The refusals left the accounting authoritative: ports 1..3 free.
+        assert_eq!(t.num_links(), 1);
+        assert_eq!(t.wired_ports(s), 1);
+        assert_eq!(t.free_port(s), Some(1));
+    }
+
+    #[test]
+    fn disconnect_frees_ports_and_reuses_ids_lifo() {
+        let (mut t, a, b) = pair_via_switch();
+        let la = t.link_at(Endpoint::Host(a)).unwrap();
+        let lb = t.link_at(Endpoint::Host(b)).unwrap();
+        assert_eq!(t.num_wired_links(), 2);
+        let rec_a = t.disconnect(la);
+        let rec_b = t.disconnect(lb);
+        assert_eq!(t.num_wired_links(), 0);
+        assert_eq!(t.num_links(), 2, "id space keeps the tombstones");
+        assert!(t.try_link(la).is_none());
+        assert_eq!(t.free_port(SwitchId(0)), Some(0), "ports are free again");
+        // LIFO reuse: re-wiring in reverse removal order restores ids.
+        assert_eq!(t.try_connect(rec_b.a, rec_b.b), Ok(lb));
+        assert_eq!(t.try_connect(rec_a.a, rec_a.b), Ok(la));
+        assert_eq!(t.link_at(Endpoint::Host(a)), Some(la));
+        assert_eq!(t.num_wired_links(), 2);
+    }
+
+    #[test]
+    fn remove_switch_unwires_everything() {
+        let tb = paper_mapping_testbed(1);
+        let mut t = tb.topo.clone();
+        let core0 = tb.switches[0];
+        let incident = t.remove_switch(core0);
+        // core0: 2 core links + 1 per leaf (2) + 1 host = 5 links.
+        assert_eq!(incident.len(), 5);
+        assert_eq!(t.wired_ports(core0), 0);
+        for (id, _) in &incident {
+            assert!(t.try_link(*id).is_none());
+        }
+        // The rest of the fabric still routes around the removed core.
+        let (h2, h3) = (tb.hosts[2], tb.hosts[3]); // on the two leaves
+        assert!(t.shortest_route(h2, h3, |_| true).is_some());
+        // Removing again is a no-op with nothing left to unwire.
+        assert!(t.remove_switch(core0).is_empty());
     }
 
     #[test]

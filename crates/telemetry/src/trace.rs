@@ -107,6 +107,11 @@ pub enum TraceKind {
     /// receiver, `src`/`dst` = the message endpoints, `aux` packs the
     /// tenant id and delivery latency — see [`TraceEvent::pack_tenant`]).
     TenantDelivered = 16,
+    /// The fabric wiring changed while running (live reconfiguration):
+    /// `seq` = the new reconfiguration epoch, `aux` = the new wiring
+    /// fingerprint. The full delta (changed links/switches) is in the
+    /// engine's reconfiguration log, addressable by epoch.
+    Reconfig = 17,
 }
 
 impl TraceKind {
@@ -130,6 +135,7 @@ impl TraceKind {
             TraceKind::DmaEnd => "dma_end",
             TraceKind::PathReset => "path_reset",
             TraceKind::TenantDelivered => "tenant_delivered",
+            TraceKind::Reconfig => "reconfig",
         }
     }
 
@@ -394,7 +400,7 @@ fn layer_from(b: u8) -> Layer {
 
 fn kind_from(b: u8) -> TraceKind {
     use TraceKind::*;
-    const KINDS: [TraceKind; 17] = [
+    const KINDS: [TraceKind; 18] = [
         PacketEnqueued,
         PacketInjected,
         PacketHop,
@@ -412,6 +418,7 @@ fn kind_from(b: u8) -> TraceKind {
         DmaEnd,
         PathReset,
         TenantDelivered,
+        Reconfig,
     ];
     KINDS[(b as usize).min(KINDS.len() - 1)]
 }

@@ -165,62 +165,11 @@ impl Fabric {
     }
 }
 
-/// FNV-1a over the full wiring of a topology.
-pub fn fingerprint_topology(topo: &Topology) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(topo.num_hosts() as u64);
-    h.u64(topo.num_switches() as u64);
-    for s in 0..topo.num_switches() {
-        h.u64(topo.switch_ports(SwitchId(s as u16)) as u64);
-    }
-    for (id, link) in topo.links() {
-        h.u64(id.idx() as u64);
-        for ep in [link.a, link.b] {
-            match ep.host() {
-                Some(n) => {
-                    h.u64(1);
-                    h.u64(n.idx() as u64);
-                }
-                None => {
-                    let (s, p) = ep.switch().expect("endpoint is host or switch");
-                    h.u64(2);
-                    h.u64(s.idx() as u64);
-                    h.u64(p.idx() as u64);
-                }
-            }
-        }
-    }
-    h.finish()
-}
-
-/// Minimal FNV-1a 64-bit accumulator (no external hashing deps).
-pub struct Fnv(u64);
-
-impl Fnv {
-    /// Start with the FNV offset basis.
-    pub fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Fold in one u64, byte by byte.
-    pub fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    /// The digest.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Fnv::new()
-    }
-}
+// The wiring fingerprint lives in `san-fabric` (live reconfiguration
+// computes per-epoch deltas there); re-exported here because the planner
+// cache and every atlas consumer historically imported it from this
+// module.
+pub use san_fabric::fingerprint::{fingerprint_topology, Fnv};
 
 impl TopoSpec {
     /// The family label.

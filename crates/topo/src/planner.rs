@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use san_fabric::route::MAX_HOPS;
 use san_fabric::updown::routes_deadlock_free;
-use san_fabric::{Endpoint, LinkId, NodeId, PortId, Route, SwitchId, Topology};
+use san_fabric::{Endpoint, LinkId, NodeId, PortId, Route, SwitchId, Topology, WiringDelta};
 use san_telemetry::{Counter, Telemetry};
 
 use crate::atlas::{fingerprint_topology, Fnv};
@@ -307,6 +307,21 @@ pub fn alive_fingerprint(dead: &[LinkId]) -> u64 {
     h.finish()
 }
 
+/// What [`RouteCache::replan_after`] did with one fingerprint delta.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplanStats {
+    /// Pairs whose candidate lists were carried over byte-identically
+    /// (no candidate crosses a changed link).
+    pub kept_pairs: usize,
+    /// Pairs recomputed: a candidate crossed a changed link, or the pair
+    /// only became plannable on the new wiring.
+    pub replanned_pairs: usize,
+    /// Stale whole-cache entries dropped (old-fingerprint entries for
+    /// *other* alive sets — their dead lists are unknown here, so they
+    /// cannot be migrated).
+    pub evicted: usize,
+}
+
 /// Memoized planning over degraded fabrics, keyed by
 /// `(topology fingerprint, alive-set fingerprint)`.
 pub struct RouteCache {
@@ -316,6 +331,12 @@ pub struct RouteCache {
     pub hits: Counter,
     /// Cache misses (fresh plan computed).
     pub misses: Counter,
+    /// Entries evicted by reconfiguration deltas.
+    pub evicted: Counter,
+    /// Pairs carried over byte-identically across reconfigurations.
+    pub kept_pairs: Counter,
+    /// Pairs recomputed by reconfiguration deltas.
+    pub replanned_pairs: Counter,
 }
 
 impl RouteCache {
@@ -326,17 +347,88 @@ impl RouteCache {
             entries: HashMap::new(),
             hits: Counter::default(),
             misses: Counter::default(),
+            evicted: Counter::default(),
+            kept_pairs: Counter::default(),
+            replanned_pairs: Counter::default(),
         }
     }
 
     /// Same, with hit/miss counters registered in `tel` as
-    /// `topo.cache.hits` / `topo.cache.misses`.
+    /// `topo.cache.hits` / `topo.cache.misses`, and the reconfiguration
+    /// counters as `reconfig.cache.{evicted, kept_pairs, replanned_pairs}`.
     pub fn with_telemetry(k: usize, tel: &Telemetry) -> Self {
         Self {
             hits: tel.counter("topo.cache.hits"),
             misses: tel.counter("topo.cache.misses"),
+            evicted: tel.counter("reconfig.cache.evicted"),
+            kept_pairs: tel.counter("reconfig.cache.kept_pairs"),
+            replanned_pairs: tel.counter("reconfig.cache.replanned_pairs"),
             ..Self::new(k)
         }
+    }
+
+    /// Migrate the cache across a live-reconfiguration delta instead of
+    /// cold-starting on the new fingerprint. The entry for the *current*
+    /// dead set is patched pair by pair: a pair whose every candidate
+    /// avoids `delta.changed_links` keeps its candidate list
+    /// byte-identically (the untouched-pair hit path), everything else —
+    /// crossing pairs and pairs only plannable on the new wiring — is
+    /// recomputed. Old-fingerprint entries for other alive sets are
+    /// evicted (their dead lists are unknown here). After this call,
+    /// [`RouteCache::plan`] on the new wiring is an O(1) hit.
+    pub fn replan_after(
+        &mut self,
+        topo: &Topology,
+        delta: &WiringDelta,
+        hosts: &[NodeId],
+        dead: &[LinkId],
+    ) -> ReplanStats {
+        let afp = alive_fingerprint(dead);
+        let old = self.entries.remove(&(delta.old_fp, afp));
+        // Every remaining old-fingerprint entry is unmigratable.
+        let before = self.entries.len();
+        self.entries.retain(|&(tfp, _), _| tfp != delta.old_fp);
+        let mut stats = ReplanStats {
+            evicted: before - self.entries.len(),
+            ..ReplanStats::default()
+        };
+        let alive = |l: LinkId| !dead.contains(&l);
+        let mut routes: BTreeMap<(u16, u16), Vec<Route>> = BTreeMap::new();
+        for &a in hosts {
+            for &b in hosts {
+                if a == b {
+                    continue;
+                }
+                let carried = old.as_ref().and_then(|t| {
+                    let cands = t.routes(a, b);
+                    let untouched = !cands.is_empty()
+                        && cands.iter().all(|r| {
+                            route_links(topo, a, r)
+                                .is_some_and(|links| links.iter().all(|l| !delta.touches(*l)))
+                        });
+                    untouched.then(|| cands.to_vec())
+                });
+                match carried {
+                    Some(cands) => {
+                        stats.kept_pairs += 1;
+                        routes.insert((a.0, b.0), cands);
+                    }
+                    None => {
+                        let cands = candidate_routes(topo, a, b, self.k, alive);
+                        if !cands.is_empty() {
+                            stats.replanned_pairs += 1;
+                            routes.insert((a.0, b.0), cands);
+                        }
+                    }
+                }
+            }
+        }
+        self.entries
+            .insert((delta.new_fp, afp), Arc::new(PlanTable { routes }));
+        self.evicted.add(stats.evicted as u64);
+        self.kept_pairs.add(stats.kept_pairs as u64);
+        self.replanned_pairs.add(stats.replanned_pairs as u64);
+        stats
     }
 
     /// The plan for `topo` with the given dead links, computed on first
@@ -445,6 +537,91 @@ mod tests {
             !table.deadlock_free(&f.topo),
             "minimal wrap-around routes must form channel cycles"
         );
+    }
+
+    #[test]
+    fn replan_after_keeps_untouched_pairs_byte_identical() {
+        use san_fabric::fingerprint_topology;
+        let mut f = TopoSpec::FatTree { k: 4 }.build();
+        let hosts = crate::validate::sample_hosts(&f.hosts, 6);
+        let mut cache = RouteCache::new(3);
+        let before = cache.plan(&f.topo, &hosts, &[]);
+
+        // Detach one survivable edge-agg link live.
+        let victim = crate::validate::survivable_links(&f.topo)[0];
+        let old_fp = fingerprint_topology(&f.topo);
+        let wire = f.topo.disconnect(victim);
+        let delta = san_fabric::WiringDelta {
+            epoch: 1,
+            old_fp,
+            new_fp: fingerprint_topology(&f.topo),
+            changed_links: vec![victim],
+            changed_switches: [wire.a, wire.b]
+                .iter()
+                .filter_map(|ep| ep.switch().map(|(s, _)| s))
+                .collect(),
+        };
+        let stats = cache.replan_after(&f.topo, &delta, &hosts, &[]);
+        assert!(stats.kept_pairs > 0, "most pairs avoid one edge link");
+        assert!(stats.replanned_pairs > 0, "pairs crossing it must replan");
+
+        // The migrated entry is the O(1) hit path on the new wiring…
+        let hits_before = cache.hits.get();
+        let after = cache.plan(&f.topo, &hosts, &[]);
+        assert_eq!(cache.hits.get(), hits_before + 1, "migration pre-seeded");
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let old_cands = before.routes(a, b);
+                let crossed = old_cands.iter().any(|r| {
+                    route_links(&f.topo, a, r).is_none_or(|links| links.contains(&victim))
+                });
+                if !crossed {
+                    // …and untouched pairs kept byte-identical candidates.
+                    assert_eq!(
+                        old_cands,
+                        after.routes(a, b),
+                        "untouched pair {a} -> {b} must not change"
+                    );
+                } else {
+                    // Crossing pairs were replanned around the detached link.
+                    for r in after.routes(a, b) {
+                        let links = route_links(&f.topo, a, r).unwrap();
+                        assert!(!links.contains(&victim));
+                    }
+                    assert!(!after.routes(a, b).is_empty(), "survivable link");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replan_after_evicts_unmigratable_alive_sets() {
+        use san_fabric::fingerprint_topology;
+        let mut f = TopoSpec::FatTree { k: 4 }.build();
+        let hosts = crate::validate::sample_hosts(&f.hosts, 4);
+        let mut cache = RouteCache::new(2);
+        let some_link = f.topo.links().next().unwrap().0;
+        cache.plan(&f.topo, &hosts, &[]);
+        cache.plan(&f.topo, &hosts, &[some_link]); // second alive set
+        assert_eq!(cache.len(), 2);
+
+        let victim = crate::validate::survivable_links(&f.topo)[1];
+        let old_fp = fingerprint_topology(&f.topo);
+        f.topo.disconnect(victim);
+        let delta = san_fabric::WiringDelta {
+            epoch: 1,
+            old_fp,
+            new_fp: fingerprint_topology(&f.topo),
+            changed_links: vec![victim],
+            changed_switches: Vec::new(),
+        };
+        let stats = cache.replan_after(&f.topo, &delta, &hosts, &[]);
+        assert_eq!(stats.evicted, 1, "the degraded-set entry is unmigratable");
+        assert_eq!(cache.len(), 1, "only the migrated entry survives");
+        assert_eq!(cache.evicted.get(), 1);
     }
 
     #[test]

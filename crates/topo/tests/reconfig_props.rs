@@ -1,0 +1,170 @@
+//! Property tests for live reconfiguration over the atlas grid:
+//! generate a fabric, mutate its wiring (detach survivable links, grow
+//! links across free ports, de-rack survivable switches), and after every
+//! mutation the structural validators must stay green — all hosts still
+//! mutually connected, no over-subscribed port budgets — and the wiring
+//! fingerprint must be *exactly* as sensitive as the changed links: a
+//! mutation changes it, and the reverse mutation (re-wiring the same
+//! endpoints in reverse removal order, which the LIFO id allocator maps
+//! back onto the same link ids) restores the old fingerprint bit-for-bit.
+
+use proptest::prelude::*;
+use san_fabric::{fingerprint_topology, Endpoint, PortId, Topology};
+use san_sim::SimRng;
+use san_topo::atlas::TopoSpec;
+use san_topo::validate;
+
+/// The shapes under mutation: one of each redundant atlas family (a
+/// non-redundant chain would make every detach a partition, which is the
+/// survivable-candidate filter's job to exclude, not this test's).
+fn grid() -> impl Strategy<Value = TopoSpec> {
+    prop_oneof![
+        Just(TopoSpec::FatTree { k: 4 }),
+        Just(TopoSpec::Torus2D {
+            rows: 3,
+            cols: 4,
+            hosts: 1
+        }),
+        Just(TopoSpec::Torus2D {
+            rows: 4,
+            cols: 4,
+            hosts: 2
+        }),
+        Just(TopoSpec::Testbed(2)),
+        Just(TopoSpec::SpareTree {
+            fanout: 3,
+            depth: 2,
+            hosts: 2,
+            spares: 1
+        }),
+    ]
+}
+
+/// Structural health after a mutation: every host pair still connected
+/// and no port wired twice.
+fn assert_structurally_green(topo: &Topology, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        validate::hosts_connected(topo, |_| true),
+        "{ctx}: hosts disconnected"
+    );
+    prop_assert!(
+        validate::port_budget_ok(topo).is_ok(),
+        "{ctx}: port budget violated"
+    );
+    Ok(())
+}
+
+/// Detach a random survivable link, prove fingerprint sensitivity and
+/// reverse-mutation restoration, and leave it detached on a coin flip.
+fn step_link(topo: &mut Topology, rng: &mut SimRng) -> Result<(), TestCaseError> {
+    let survivable = validate::survivable_links(topo);
+    if survivable.is_empty() {
+        return Ok(());
+    }
+    let victim = survivable[rng.below(survivable.len() as u64) as usize];
+    let fp0 = fingerprint_topology(topo);
+    let wire = topo.disconnect(victim);
+    prop_assert_ne!(
+        fp0,
+        fingerprint_topology(topo),
+        "detaching {:?} must change the fingerprint",
+        victim
+    );
+    assert_structurally_green(topo, "after detach")?;
+    // Reverse mutation: same endpoints, LIFO id reuse, old fingerprint.
+    let again = topo.try_connect(wire.a, wire.b).expect("ports were freed");
+    prop_assert_eq!(again, victim, "LIFO allocator must reuse the id");
+    prop_assert_eq!(fp0, fingerprint_topology(topo), "reverse mutation");
+    if rng.chance(0.5) {
+        topo.disconnect(victim);
+        assert_structurally_green(topo, "after re-detach")?;
+    }
+    Ok(())
+}
+
+/// Grow a link between two free switch ports, prove sensitivity and
+/// reverse restoration, and keep it on a coin flip.
+fn step_grow(topo: &mut Topology, rng: &mut SimRng) -> Result<(), TestCaseError> {
+    let free: Vec<Endpoint> = (0..topo.num_switches())
+        .filter_map(|i| {
+            let s = san_fabric::SwitchId(i as u16);
+            topo.free_port(s).map(|p| Endpoint::Switch(s, PortId(p)))
+        })
+        .collect();
+    if free.len() < 2 {
+        return Ok(());
+    }
+    let a = free[rng.below(free.len() as u64) as usize];
+    let b = free[rng.below(free.len() as u64) as usize];
+    if a == b {
+        return Ok(());
+    }
+    let fp0 = fingerprint_topology(topo);
+    let id = topo.try_connect(a, b).expect("both ports are free");
+    prop_assert_ne!(fp0, fingerprint_topology(topo), "grow changes the fp");
+    assert_structurally_green(topo, "after grow")?;
+    let fp1 = fingerprint_topology(topo);
+    let wire = topo.disconnect(id);
+    prop_assert_eq!(fp0, fingerprint_topology(topo), "reverse of grow");
+    if rng.chance(0.5) {
+        let again = topo.try_connect(wire.a, wire.b).expect("still free");
+        prop_assert_eq!(again, id);
+        prop_assert_eq!(fp1, fingerprint_topology(topo), "re-grow is exact");
+    }
+    Ok(())
+}
+
+/// De-rack a random survivable switch, prove the whole-switch reverse
+/// mutation (re-wiring in reverse removal order) restores the fingerprint,
+/// and leave it de-racked on a coin flip.
+fn step_switch(topo: &mut Topology, rng: &mut SimRng) -> Result<(), TestCaseError> {
+    let survivable = validate::survivable_switches(topo);
+    if survivable.is_empty() {
+        return Ok(());
+    }
+    let victim = survivable[rng.below(survivable.len() as u64) as usize];
+    let fp0 = fingerprint_topology(topo);
+    let removed = topo.remove_switch(victim);
+    if removed.is_empty() {
+        return Ok(()); // already bare (e.g. de-racked earlier)
+    }
+    prop_assert_ne!(fp0, fingerprint_topology(topo), "de-rack changes fp");
+    assert_structurally_green(topo, "after de-rack")?;
+    // Reverse removal order re-pops the LIFO free list onto the same ids.
+    for (id, wire) in removed.iter().rev() {
+        let again = topo.try_connect(wire.a, wire.b).expect("ports freed");
+        prop_assert_eq!(again, *id, "reverse order must restore ids");
+    }
+    prop_assert_eq!(fp0, fingerprint_topology(topo), "whole-switch reverse");
+    if rng.chance(0.5) {
+        topo.remove_switch(victim);
+        assert_structurally_green(topo, "after re-de-rack")?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generate → mutate → revalidate: random mutation walks keep every
+    /// structural validator green, and each mutation's fingerprint delta
+    /// is exactly its changed links (proved by reverse restoration).
+    #[test]
+    fn mutation_walks_stay_valid_and_fp_exact(
+        spec in grid(),
+        seed in any::<u64>(),
+        steps in 1usize..6,
+    ) {
+        let fab = spec.resolved(seed | 1).build();
+        let mut topo = fab.topo;
+        let mut rng = SimRng::seed_from(seed ^ 0x5ECF_A8B1);
+        assert_structurally_green(&topo, "seed fabric")?;
+        for _ in 0..steps {
+            match rng.below(3) {
+                0 => step_link(&mut topo, &mut rng)?,
+                1 => step_grow(&mut topo, &mut rng)?,
+                _ => step_switch(&mut topo, &mut rng)?,
+            }
+        }
+    }
+}

@@ -39,6 +39,9 @@ cargo run --release -q -p san-mc -- check --smoke
 echo "== scale_map smoke (atlas + planner-hint remap gate)"
 cargo run --release -q -p san-bench --bin scale_map -- --smoke
 
+echo "== reconfig smoke (three-policy live-reconfiguration gate)"
+cargo run --release -q -p san-bench --bin reconfig -- --smoke
+
 echo "== chaos smoke campaign (invariant gate)"
 cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/smoke.json --trials 8 --jobs 2
 
@@ -54,6 +57,25 @@ if cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/unprotected
     exit 1
 fi
 echo "unprotected baseline failed as expected (oracle alive)"
+
+echo "== chaos reconfig campaign (live re-cable under traffic gate)"
+cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/reconfig.json --trials 4 --jobs 2
+
+echo "== negative control (undrained removal MUST lose traffic)"
+# The drain protocol is only proven useful if skipping it demonstrably
+# hurts: an unannounced switch de-rack with the reliability firmware off
+# must leave messages undelivered. Requiring the missing_delivery
+# violation (not just a nonzero exit) pins the loss to the removal.
+undrained_out=$(cargo run --release -q -p san-chaos -- run crates/chaos/campaigns/reconfig_undrained.json --trials 2 --jobs 2 --no-shrink 2>&1) && {
+    echo "ERROR: undrained-removal campaign passed — planned removal is indistinguishable from a drained one" >&2
+    exit 1
+}
+if ! grep -q "missing_delivery" <<< "$undrained_out"; then
+    echo "ERROR: undrained-removal campaign failed without a missing_delivery violation" >&2
+    echo "$undrained_out" >&2
+    exit 1
+fi
+echo "undrained removal lost traffic as expected (drain protocol is load-bearing)"
 
 workload_gate
 
