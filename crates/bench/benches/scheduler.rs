@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the event-queue scheduler backends: the
+//! hierarchical timing wheel (default) against the legacy binary heap, on
+//! the access patterns a fabric simulation actually produces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use san_sim::{EventQueue, Time};
+
+const N: u64 = 10_000;
+
+fn drain(q: &mut EventQueue<u64>) -> u64 {
+    let mut acc = 0u64;
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+/// Near-horizon uniform churn: hop-latency-scale timers, the steady-state
+/// wormhole traffic pattern. The wheel's O(1) home turf.
+fn near_horizon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/near_horizon");
+    g.throughput(Throughput::Elements(N));
+    for (name, make) in [
+        ("wheel", EventQueue::new as fn() -> EventQueue<u64>),
+        ("heap", EventQueue::legacy_heap as fn() -> EventQueue<u64>),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = make();
+                for i in 0..N {
+                    q.push(Time::from_nanos(i * 37 % 9_999), i);
+                }
+                std::hint::black_box(drain(&mut q))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Mixed horizons: mostly hop-scale events with a 1-in-16 sprinkle of
+/// far-future timeouts (path-reset and retransmission timers land ms out),
+/// forcing the wheel through its overflow tier and cascades.
+fn mixed_timers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/mixed_timers");
+    g.throughput(Throughput::Elements(N));
+    for (name, make) in [
+        ("wheel", EventQueue::new as fn() -> EventQueue<u64>),
+        ("heap", EventQueue::legacy_heap as fn() -> EventQueue<u64>),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = make();
+                for i in 0..N {
+                    let at = if i % 16 == 0 {
+                        62_000_000 + i * 1_000 // path-reset scale
+                    } else {
+                        i * 300 % 50_000 // hop scale
+                    };
+                    q.push(Time::from_nanos(at), i);
+                }
+                std::hint::black_box(drain(&mut q))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Interleaved push/pop at a bounded working set: the simulation loop's
+/// actual shape (pop one event, schedule a couple more nearby).
+fn interleaved(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler/interleaved");
+    g.throughput(Throughput::Elements(N));
+    for (name, make) in [
+        ("wheel", EventQueue::new as fn() -> EventQueue<u64>),
+        ("heap", EventQueue::legacy_heap as fn() -> EventQueue<u64>),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = make();
+                for i in 0..64u64 {
+                    q.push(Time::from_nanos(i * 11), i);
+                }
+                let mut acc = 0u64;
+                for _ in 0..N {
+                    let (t, v) = q.pop().expect("queue stays primed");
+                    acc = acc.wrapping_add(v);
+                    q.push(t + san_sim::Duration::from_nanos(300 + v % 700), v + 1);
+                }
+                std::hint::black_box((acc, drain(&mut q)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, near_horizon, mixed_timers, interleaved);
+criterion_main!(benches);

@@ -245,6 +245,18 @@ pub fn run_trial(trial: &Trial) -> TrialOutcome {
 /// [`run_trial`], additionally returning the trial's trace-ring scan
 /// (for `san-chaos replay --trace` and post-mortem tooling).
 pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceScan) {
+    run_trial_on(trial, false)
+}
+
+/// [`run_trial_traced`] on the legacy binary-heap scheduler instead of the
+/// timing wheel. The knob is runner-level on purpose — it is not part of
+/// the trial value, because it must never change an outcome; equivalence
+/// tests compare this against [`run_trial_traced`] byte for byte.
+pub fn run_trial_traced_legacy_heap(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceScan) {
+    run_trial_on(trial, true)
+}
+
+fn run_trial_on(trial: &Trial, legacy_heap: bool) -> (TrialOutcome, san_telemetry::TraceScan) {
     let built = trial.topology.build();
     let n = built.hosts.len();
 
@@ -253,6 +265,7 @@ pub fn run_trial_traced(trial: &Trial) -> (TrialOutcome, san_telemetry::TraceSca
         send_bufs: trial.protocol.send_bufs,
         seed: trial.seed,
         telemetry: telemetry.clone(),
+        legacy_heap,
         ..ClusterConfig::default()
     };
 

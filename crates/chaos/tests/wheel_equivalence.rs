@@ -1,0 +1,53 @@
+//! Scheduler-equivalence contract: the timing-wheel event queue and the
+//! legacy binary heap are interchangeable — same `(time, seq)` total order,
+//! therefore the same trace ring, the same oracle verdict, byte for byte,
+//! on every trial. The wheel is the default; the heap survives exactly so
+//! this test can keep proving the refactor changed nothing observable.
+
+use san_chaos::{run_trial_traced, run_trial_traced_legacy_heap, Campaign};
+
+fn load(name: &str) -> Campaign {
+    let path = format!("{}/campaigns/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    Campaign::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Run `trials` of `campaign` on both schedulers and demand identical
+/// verdict lines and identical trace rings, event for event.
+fn assert_equivalent(campaign: &str, trials: u32) {
+    let c = load(campaign);
+    for i in 0..trials {
+        let trial = c.sample(i);
+        let (wheel_out, wheel_scan) = run_trial_traced(&trial);
+        let (heap_out, heap_scan) = run_trial_traced_legacy_heap(&trial);
+        assert_eq!(
+            wheel_out.verdict_line(),
+            heap_out.verdict_line(),
+            "{campaign}[{i}]: verdict diverged between wheel and heap"
+        );
+        assert_eq!(
+            wheel_scan.events(),
+            heap_scan.events(),
+            "{campaign}[{i}]: trace ring diverged between wheel and heap"
+        );
+    }
+}
+
+/// Fault-free baseline: pure protocol + fabric timing.
+#[test]
+fn wheel_matches_heap_on_smoke() {
+    assert_equivalent("smoke", 4);
+}
+
+/// Wire faults exercise the RNG-coupled drop/corrupt paths and path resets.
+#[test]
+fn wheel_matches_heap_on_transient() {
+    assert_equivalent("transient", 2);
+}
+
+/// Permanent failures exercise kill/remap timers and far-future timeouts —
+/// the overflow tier of the wheel, not just the near horizon.
+#[test]
+fn wheel_matches_heap_on_permanent() {
+    assert_equivalent("permanent", 2);
+}

@@ -282,7 +282,8 @@ impl ReliableFirmware {
         reverse: Route,
         earliest: Time,
     ) {
-        let r = self.receivers[to.idx()].clone();
+        let r = &self.receivers[to.idx()];
+        let (ack_seq, ack_gen) = (r.cumulative_ack(), r.generation);
         let route = if reverse.is_empty() {
             core.routes.get(to).unwrap_or(reverse)
         } else {
@@ -290,8 +291,8 @@ impl ReliableFirmware {
         };
         let mut ack = Packet::new(core.node, to, PacketKind::Ack);
         ack.route = route;
-        ack.ack_seq = r.cumulative_ack();
-        ack.ack_gen = r.generation;
+        ack.ack_seq = ack_seq;
+        ack.ack_gen = ack_gen;
         ack.flags.set(PacketFlags::PIGGY_ACK);
         let t = core
             .cpu

@@ -1,0 +1,364 @@
+//! Arena allocators for hot simulation state.
+//!
+//! * [`Slab`] — stable `u32` indices with generation tags. Matches the
+//!   semantics the fabric engine previously hand-rolled for in-flight
+//!   packets (`Vec<Option<Flight>>` + epoch vector + LIFO free list), so
+//!   porting onto it changes no slot-reuse order and therefore no trace.
+//! * [`ChainArena`] — singly linked chains of `u32` values carved out of one
+//!   shared node pool. Wormhole flights hold a chain of acquired channels;
+//!   with thousands of concurrent flights this replaces a `Vec` allocation
+//!   per flight with two `u32`s in the flight plus pooled nodes.
+//! * [`Pool`] — recycles `Box<T>` allocations on the NIC packet hot path.
+
+/// Slab with stable indices, LIFO slot reuse, and per-slot generation tags.
+///
+/// Generations start at 0 and bump on removal, so a live handle is
+/// `(index, generation)` and a stale handle can be detected by equality —
+/// the same discipline the fabric engine uses for its flight epochs.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(cap),
+            gens: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert, returning `(index, generation)` of the slot used.
+    pub fn insert(&mut self, value: T) -> (u32, u32) {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx as usize].is_none());
+            self.slots[idx as usize] = Some(value);
+            (idx, self.gens[idx as usize])
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Some(value));
+            self.gens.push(0);
+            (idx, 0)
+        }
+    }
+
+    /// Remove the value at `idx`, bumping its generation and recycling the
+    /// slot (LIFO). Returns `None` if the slot is already vacant.
+    pub fn remove(&mut self, idx: u32) -> Option<T> {
+        let v = self.slots.get_mut(idx as usize)?.take()?;
+        self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
+        self.free.push(idx);
+        self.len -= 1;
+        Some(v)
+    }
+
+    #[inline]
+    pub fn get(&self, idx: u32) -> Option<&T> {
+        self.slots.get(idx as usize)?.as_ref()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, idx: u32) -> Option<&mut T> {
+        self.slots.get_mut(idx as usize)?.as_mut()
+    }
+
+    /// Current generation of slot `idx` (0 for never-used indices in range).
+    #[inline]
+    pub fn generation(&self, idx: u32) -> u32 {
+        self.gens.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// True iff `(idx, generation)` names a live value.
+    #[inline]
+    pub fn contains(&self, idx: u32, generation: u32) -> bool {
+        self.generation(idx) == generation && self.get(idx).is_some()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots ever allocated (occupied + free).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterate `(index, &value)` over occupied slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+
+    /// Iterate `(index, &mut value)` over occupied slots in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (i as u32, v)))
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// Handle to one chain inside a [`ChainArena`]. An empty chain is all-NIL.
+#[derive(Debug, Clone, Copy)]
+pub struct Chain {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Chain {
+    pub const EMPTY: Chain = Chain {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+/// Node pool for singly linked `u32` chains (insertion-ordered iteration).
+#[derive(Debug, Default)]
+pub struct ChainArena {
+    /// `(value, next)`; vacant nodes reuse `next` as the free-list link.
+    nodes: Vec<(u32, u32)>,
+    free_head: u32,
+}
+
+impl ChainArena {
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free_head: NIL,
+        }
+    }
+
+    /// Append `value` to `chain`.
+    pub fn push(&mut self, chain: &mut Chain, value: u32) {
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            self.free_head = self.nodes[idx as usize].1;
+            self.nodes[idx as usize] = (value, NIL);
+            idx
+        } else {
+            self.nodes.push((value, NIL));
+            (self.nodes.len() - 1) as u32
+        };
+        if chain.tail == NIL {
+            chain.head = idx;
+        } else {
+            self.nodes[chain.tail as usize].1 = idx;
+        }
+        chain.tail = idx;
+        chain.len += 1;
+    }
+
+    /// Last value of the chain, if any.
+    #[inline]
+    pub fn last(&self, chain: &Chain) -> Option<u32> {
+        if chain.tail == NIL {
+            None
+        } else {
+            Some(self.nodes[chain.tail as usize].0)
+        }
+    }
+
+    /// Iterate values in insertion order.
+    pub fn iter<'a>(&'a self, chain: &Chain) -> impl Iterator<Item = u32> + 'a {
+        let mut cur = chain.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let (v, next) = self.nodes[cur as usize];
+                cur = next;
+                Some(v)
+            }
+        })
+    }
+
+    /// Free the chain's nodes back to the pool, returning its values.
+    pub fn take(&mut self, chain: &mut Chain) -> Vec<u32> {
+        let mut out = Vec::with_capacity(chain.len());
+        let mut cur = chain.head;
+        while cur != NIL {
+            let (v, next) = self.nodes[cur as usize];
+            out.push(v);
+            self.nodes[cur as usize].1 = self.free_head;
+            self.free_head = cur;
+            cur = next;
+        }
+        *chain = Chain::EMPTY;
+        out
+    }
+
+    /// Free the chain's nodes without collecting the values.
+    pub fn clear(&mut self, chain: &mut Chain) {
+        let mut cur = chain.head;
+        while cur != NIL {
+            let next = self.nodes[cur as usize].1;
+            self.nodes[cur as usize].1 = self.free_head;
+            self.free_head = cur;
+            cur = next;
+        }
+        *chain = Chain::EMPTY;
+    }
+
+    /// Total pooled nodes (live + free), for diagnostics.
+    pub fn pooled_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Bounded recycler for `Box<T>` allocations.
+///
+/// The NIC layer boxes every packet it schedules through the event queue;
+/// recycling the boxes turns that steady malloc/free churn into a pointer
+/// swap. Contents of recycled boxes are overwritten by the caller.
+#[derive(Debug)]
+pub struct Pool<T> {
+    free: Vec<Box<T>>,
+    cap: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl<T> Pool<T> {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Take a box, filling it with `make()`. Reuses a pooled allocation when
+    /// one is available.
+    pub fn take_with(&mut self, make: impl FnOnce() -> T) -> Box<T> {
+        if let Some(mut b) = self.free.pop() {
+            self.hits += 1;
+            *b = make();
+            b
+        } else {
+            self.misses += 1;
+            Box::new(make())
+        }
+    }
+
+    /// Return a box to the pool (dropped if the pool is full).
+    pub fn put(&mut self, b: Box<T>) {
+        if self.free.len() < self.cap {
+            self.free.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_reuses_slots_lifo_and_bumps_generation() {
+        let mut s = Slab::new();
+        let (a, ga) = s.insert("a");
+        let (b, gb) = s.insert("b");
+        assert_eq!((a, ga, b, gb), (0, 0, 1, 0));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.remove(b), Some("b"));
+        assert_eq!(s.remove(b), None);
+        // LIFO: last freed slot is reused first.
+        let (c, gc) = s.insert("c");
+        assert_eq!((c, gc), (b, 1));
+        let (d, gd) = s.insert("d");
+        assert_eq!((d, gd), (a, 1));
+        assert!(s.contains(c, 1));
+        assert!(!s.contains(c, 0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.capacity(), 2);
+        assert_eq!(s.iter().map(|(i, _)| i).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn chain_preserves_insertion_order_and_recycles() {
+        let mut arena = ChainArena::new();
+        let mut c1 = Chain::EMPTY;
+        let mut c2 = Chain::EMPTY;
+        arena.push(&mut c1, 10);
+        arena.push(&mut c2, 99);
+        arena.push(&mut c1, 20);
+        arena.push(&mut c1, 30);
+        assert_eq!(arena.iter(&c1).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(arena.last(&c1), Some(30));
+        assert_eq!(c1.len(), 3);
+        assert_eq!(arena.take(&mut c1), vec![10, 20, 30]);
+        assert!(c1.is_empty());
+        assert_eq!(arena.iter(&c2).collect::<Vec<_>>(), vec![99]);
+        // Freed nodes are reused; pool does not grow.
+        let before = arena.pooled_nodes();
+        let mut c3 = Chain::EMPTY;
+        arena.push(&mut c3, 1);
+        arena.push(&mut c3, 2);
+        arena.push(&mut c3, 3);
+        assert_eq!(arena.pooled_nodes(), before);
+        assert_eq!(arena.iter(&c3).collect::<Vec<_>>(), vec![1, 2, 3]);
+        arena.clear(&mut c3);
+        assert!(arena.last(&c3).is_none());
+    }
+
+    #[test]
+    fn pool_recycles_boxes() {
+        let mut p: Pool<u64> = Pool::new(4);
+        let a = p.take_with(|| 1);
+        assert_eq!(p.misses, 1);
+        p.put(a);
+        let b = p.take_with(|| 2);
+        assert_eq!(p.hits, 1);
+        assert_eq!(*b, 2);
+    }
+}

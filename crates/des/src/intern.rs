@@ -1,0 +1,105 @@
+//! Value interner with stable `u32` ids.
+//!
+//! Route tables hold one route per destination on every NIC — O(n²) buffers
+//! cluster-wide, and under up*/down* or spare-tree routing many of them are
+//! identical. Interning stores each distinct value once and hands out dense
+//! `u32` ids assigned in first-seen order, so id assignment is deterministic
+//! whenever the call sequence is.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Id of an interned value. `InternId::NONE` is the vacant sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InternId(pub u32);
+
+impl InternId {
+    pub const NONE: InternId = InternId(u32::MAX);
+
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
+/// Deduplicating store of `T` values with dense first-seen-order ids.
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    values: Vec<T>,
+    ids: HashMap<T, u32>,
+}
+
+impl<T: Copy + Eq + Hash> Interner<T> {
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+
+    /// Intern `value`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, value: T) -> InternId {
+        if let Some(&id) = self.ids.get(&value) {
+            return InternId(id);
+        }
+        let id = self.values.len() as u32;
+        assert!(id != u32::MAX, "interner full");
+        self.values.push(value);
+        self.ids.insert(value, id);
+        InternId(id)
+    }
+
+    /// Resolve an id. Panics on `InternId::NONE` or out-of-range ids.
+    #[inline]
+    pub fn resolve(&self, id: InternId) -> &T {
+        &self.values[id.0 as usize]
+    }
+
+    /// Number of distinct values interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<T: Copy + Eq + Hash> Default for Interner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_resolves() {
+        let mut i: Interner<[u8; 4]> = Interner::new();
+        let a = i.intern([1, 2, 3, 4]);
+        let b = i.intern([9, 9, 9, 9]);
+        let a2 = i.intern([1, 2, 3, 4]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), &[1, 2, 3, 4]);
+        assert_eq!(i.resolve(b), &[9, 9, 9, 9]);
+        assert!(InternId::NONE.is_none());
+        assert!(!a.is_none());
+    }
+
+    #[test]
+    fn ids_are_first_seen_dense() {
+        let mut i: Interner<u16> = Interner::new();
+        for (n, v) in [5u16, 7, 5, 9, 7, 11].iter().enumerate() {
+            let id = i.intern(*v);
+            // ids 0,1,0,2,1,3
+            let expect = [0u32, 1, 0, 2, 1, 3][n];
+            assert_eq!(id.0, expect);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! `san-des` — engine core for the SAN reproduction.
+//!
+//! This crate sits *below* `san-sim` and holds the performance-critical
+//! machinery that every layer above shares:
+//!
+//! * [`wheel::TimingWheel`] — hierarchical timing wheel / calendar queue with
+//!   an overflow tier for far-future timers. O(1) schedule and near-O(1) fire
+//!   close to the horizon, with pop order *identical* to a binary heap keyed
+//!   on `(time, insertion sequence)` — the determinism contract of the repo.
+//! * [`heap::HeapQueue`] — the legacy `BinaryHeap` scheduler, kept as the
+//!   reference implementation for equivalence tests and microbenchmarks.
+//! * [`arena`] — slab allocator with stable `u32` indices + generation tags
+//!   (in-flight packets), a chain arena for wormhole channel-occupancy lists,
+//!   and a box pool for packet recycling on the NIC hot path.
+//! * [`intern`] — byte-buffer interner with stable `u32` ids (route tables).
+//! * [`sync`] — conservative time-window synchronization for sharded
+//!   parallel simulation (CMB-style lookahead windows over a spin barrier).
+//!
+//! Everything here is plain `std`; determinism is the design constraint that
+//! shapes each structure, and each module documents the ordering invariant it
+//! preserves.
+
+pub mod arena;
+pub mod heap;
+pub mod intern;
+pub mod sync;
+pub mod wheel;

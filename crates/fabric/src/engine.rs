@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use san_des::arena::{Chain, ChainArena, Slab};
 use san_sim::{Duration, Sim, SimRng, Time};
 use san_telemetry::{Layer, Telemetry, TraceEvent, TraceKind};
 
@@ -90,6 +91,47 @@ pub enum FabricEvent {
     },
 }
 
+/// Which shard owns each link of a partitioned fabric. Installed via
+/// [`Engine::set_shard_map`] on every shard's engine; `None` (the default)
+/// means unsharded and leaves behaviour byte-identical to the serial engine.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// This engine's shard id.
+    pub mine: u16,
+    /// Owning shard per link index. Links grown after partitioning default
+    /// to `mine`.
+    pub link_owner: Vec<u16>,
+}
+
+/// A flight handed off at a shard boundary, to be re-injected mid-route in
+/// the owning shard via [`Engine::inject_crossing`].
+///
+/// Crossing semantics are store-and-forward: the flight releases everything
+/// it holds in the source shard, its body is fully buffered at the boundary
+/// (`ready_at = max(now, serialization done) + hop_latency`), and it then
+/// contends for the cut channel inside the owning shard, restarting
+/// serialization and its deadlock timer there. `hop_latency` is exactly the
+/// synchronization lookahead, which is what makes conservative windows safe.
+#[derive(Debug)]
+pub struct PortalCrossing {
+    /// The packet, as it stood at the boundary.
+    pub pkt: Packet,
+    /// Original injecting host.
+    pub src: NodeId,
+    /// The directed cut channel to acquire in the owning shard.
+    pub ch: u32,
+    /// Route position (next hop byte index) at handoff.
+    pub hop_idx: usize,
+    /// Input ports recorded so far (for the reverse route).
+    pub reverse_in_ports: Vec<u8>,
+    /// Transient-fault verdict drawn at injection, carried across.
+    pub will_drop_on_wire: bool,
+    /// Shard that owns the cut link.
+    pub dst_shard: u16,
+    /// Earliest instant the flight may contend in the owning shard.
+    pub ready_at: Time,
+}
+
 /// Why a packet vanished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
@@ -133,6 +175,9 @@ pub enum FabricOut {
         /// The packet that was stuck.
         pkt: Packet,
     },
+    /// The flight reached a link owned by another shard; the driver must
+    /// route it to `dst_shard` at `ready_at` (sharded runs only).
+    ShardCross(Box<PortalCrossing>),
 }
 
 /// Point-in-time fabric statistics (a snapshot of the registered
@@ -181,6 +226,8 @@ struct FabricMetrics {
     dropped: [san_telemetry::Counter; 6],
     path_resets: san_telemetry::Counter,
     bytes_delivered: san_telemetry::Counter,
+    /// Flights handed off at shard boundaries (0 in unsharded runs).
+    shard_crossings: san_telemetry::Counter,
     /// Cumulative occupied time per link (`fabric.link.<n>.busy_ns`),
     /// summed over both directed channels.
     link_busy: Vec<san_telemetry::Counter>,
@@ -202,6 +249,7 @@ impl FabricMetrics {
             dropped: REASONS.map(|r| tel.counter(&format!("fabric.dropped.{}", r.name()))),
             path_resets: tel.counter("fabric.path_resets"),
             bytes_delivered: tel.counter("fabric.bytes_delivered"),
+            shard_crossings: tel.counter("fabric.shard_crossings"),
             link_busy: (0..num_links)
                 .map(|l| tel.counter(&format!("fabric.link.{l}.busy_ns")))
                 .collect(),
@@ -253,7 +301,8 @@ struct Channel {
 struct Flight {
     pkt: Packet,
     src: NodeId,
-    held: Vec<u32>,
+    /// Acquired channels, insertion-ordered, in the engine's [`ChainArena`].
+    held: Chain,
     hop_idx: usize,
     reverse_in_ports: Vec<u8>,
     ser_done: Time,
@@ -269,9 +318,21 @@ pub struct Engine {
     cfg: EngineConfig,
     channels: Vec<Channel>,
     switch_alive: Vec<bool>,
-    flights: Vec<Option<Flight>>,
-    epochs: Vec<u32>,
-    free_slots: Vec<u32>,
+    /// In-flight packets: stable indices + generation tags, LIFO slot reuse
+    /// (identical to the hand-rolled slab this replaced, so event-epoch
+    /// matching and slot-assignment order are unchanged).
+    flights: Slab<Flight>,
+    /// Node pool for every flight's held-channel chain.
+    chains: ChainArena,
+    /// Link-ownership map for sharded runs; `None` (default) is the serial
+    /// engine, byte-identical to the pre-sharding build.
+    shard_map: Option<ShardMap>,
+    /// Trace events buffered within a dispatch, flushed to the ring in one
+    /// head claim at every public-method exit (so records from other layers
+    /// interleave exactly as they did with per-event recording).
+    tbatch: Vec<TraceEvent>,
+    /// Cached `tel.tracing_enabled()` (fixed at telemetry construction).
+    trace_on: bool,
     faults: TransientFaults,
     fault_rng: SimRng,
     /// Gilbert–Elliott channel state (true = bad) when `faults.burst` is set.
@@ -318,9 +379,11 @@ impl Engine {
             cfg,
             channels,
             switch_alive,
-            flights: Vec::new(),
-            epochs: Vec::new(),
-            free_slots: Vec::new(),
+            flights: Slab::new(),
+            chains: ChainArena::new(),
+            shard_map: None,
+            tbatch: Vec::new(),
+            trace_on: tel.tracing_enabled(),
             faults: TransientFaults::none(),
             fault_rng: SimRng::seed_from(0x00FA_B017),
             burst_bad: false,
@@ -353,6 +416,28 @@ impl Engine {
         }
     }
 
+    /// Buffer one trace event. Events batch up within a dispatch and flush
+    /// at public-method exits ([`Engine::flush_trace`]); order is preserved,
+    /// so the ring contents stay byte-identical to per-event recording.
+    #[inline]
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.trace_on {
+            self.tbatch.push(ev);
+            if self.tbatch.len() >= 32 {
+                self.flush_trace();
+            }
+        }
+    }
+
+    /// Flush buffered trace events to the ring in a single head claim.
+    #[inline]
+    fn flush_trace(&mut self) {
+        if !self.tbatch.is_empty() {
+            self.tel.record_batch(&self.tbatch);
+            self.tbatch.clear();
+        }
+    }
+
     /// Count + trace + report a drop (every loss funnels through here).
     fn report_drop(
         &mut self,
@@ -362,7 +447,7 @@ impl Engine {
         out: &mut Vec<FabricOut>,
     ) {
         self.metrics.count_drop(reason);
-        self.tel.record(Self::pkt_event(
+        self.trace(Self::pkt_event(
             now,
             TraceKind::PacketDropped,
             pkt.src,
@@ -435,7 +520,7 @@ impl Engine {
 
     /// Number of flights currently inside the network.
     pub fn in_flight(&self) -> usize {
-        self.flights.iter().filter(|f| f.is_some()).count()
+        self.flights.len()
     }
 
     // -- channel helpers ----------------------------------------------------
@@ -474,7 +559,7 @@ impl Engine {
     ) {
         self.metrics.injected.hit();
         pkt.stamps.injected = sim.now();
-        self.tel.record(Self::pkt_event(
+        self.trace(Self::pkt_event(
             sim.now(),
             TraceKind::PacketInjected,
             pkt.src,
@@ -497,7 +582,7 @@ impl Engine {
             }
             if self.faults.corrupt_prob > 0.0 && self.fault_rng.chance(self.faults.corrupt_prob) {
                 pkt.corrupted = true;
-                self.tel.record(Self::pkt_event(
+                self.trace(Self::pkt_event(
                     sim.now(),
                     TraceKind::PacketCorrupted,
                     pkt.src,
@@ -510,21 +595,20 @@ impl Engine {
         let src = pkt.src;
         let Some(first_link) = self.topo.link_at(Endpoint::Host(src)) else {
             self.report_drop(sim.now(), pkt, DropReason::InvalidRoute, out);
+            self.flush_trace();
             return;
         };
-        let slot = self.alloc_slot();
-        let epoch = self.epochs[slot as usize];
         let f = Flight {
             pkt,
             src,
-            held: Vec::with_capacity(4),
+            held: Chain::EMPTY,
             hop_idx: 0,
             reverse_in_ports: Vec::with_capacity(4),
             ser_done: Time::MAX, // set on first acquire
             waiting_on: None,
             will_drop_on_wire: will_drop,
         };
-        self.flights[slot as usize] = Some(f);
+        let (slot, epoch) = self.flights.insert(f);
         // Arm the path-reset (deadlock) timer.
         sim.schedule_in(
             self.cfg.path_reset_timeout,
@@ -536,16 +620,41 @@ impl Engine {
         );
         let ch = self.channel_from(first_link, Endpoint::Host(src));
         self.try_acquire(sim, slot, ch, out);
+        self.flush_trace();
     }
 
-    fn alloc_slot(&mut self) -> u32 {
-        if let Some(s) = self.free_slots.pop() {
-            s
-        } else {
-            self.flights.push(None);
-            self.epochs.push(0);
-            (self.flights.len() - 1) as u32
-        }
+    /// Re-inject a flight handed off from another shard (see
+    /// [`PortalCrossing`]). Runs in the shard owning `x.ch`, at `x.ready_at`;
+    /// the body was fully buffered at the boundary, so serialization (and
+    /// the deadlock timer — a sharded-only timing-model difference) restart
+    /// here.
+    pub fn inject_crossing<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        x: PortalCrossing,
+        out: &mut Vec<FabricOut>,
+    ) {
+        let f = Flight {
+            pkt: x.pkt,
+            src: x.src,
+            held: Chain::EMPTY,
+            hop_idx: x.hop_idx,
+            reverse_in_ports: x.reverse_in_ports,
+            ser_done: Time::MAX, // restarts on the cut-channel acquire
+            waiting_on: None,
+            will_drop_on_wire: x.will_drop_on_wire,
+        };
+        let (slot, epoch) = self.flights.insert(f);
+        sim.schedule_in(
+            self.cfg.path_reset_timeout,
+            FabricEvent::ResetCheck {
+                flight: slot,
+                epoch,
+            }
+            .into(),
+        );
+        self.try_acquire(sim, slot, x.ch, out);
+        self.flush_trace();
     }
 
     // -- event handling -----------------------------------------------------
@@ -572,7 +681,7 @@ impl Engine {
                 if self.live(flight, epoch) {
                     self.metrics.path_resets.hit();
                     let f = self.kill_flight(sim, flight, out);
-                    self.tel.record(Self::pkt_event(
+                    self.trace(Self::pkt_event(
                         sim.now(),
                         TraceKind::PathReset,
                         f.src,
@@ -603,13 +712,59 @@ impl Engine {
             // Pure notification: the mutation that produced it already ran.
             FabricEvent::Reconfigured { .. } => {}
         }
+        self.flush_trace();
     }
 
     fn live(&self, flight: u32, epoch: u32) -> bool {
-        self.flights
-            .get(flight as usize)
-            .is_some_and(|f| f.is_some())
-            && self.epochs[flight as usize] == epoch
+        self.flights.contains(flight, epoch)
+    }
+
+    /// If `ch`'s link belongs to another shard, that shard's id.
+    #[inline]
+    fn foreign_shard(&self, ch: u32) -> Option<u16> {
+        let m = self.shard_map.as_ref()?;
+        let owner = m
+            .link_owner
+            .get((ch / 2) as usize)
+            .copied()
+            .unwrap_or(m.mine);
+        (owner != m.mine).then_some(owner)
+    }
+
+    /// Hand `flight` off at a shard boundary: release everything it holds
+    /// here (store-and-forward — the body is fully buffered at the cut) and
+    /// emit a [`PortalCrossing`] the driver routes to the owning shard.
+    fn shard_handoff<E: From<FabricEvent>>(
+        &mut self,
+        sim: &mut Sim<E>,
+        flight: u32,
+        ch: u32,
+        dst_shard: u16,
+        out: &mut Vec<FabricOut>,
+    ) {
+        let f = self.kill_flight(sim, flight, out);
+        let now = sim.now();
+        let ser_done = if f.ser_done == Time::MAX {
+            now
+        } else {
+            f.ser_done
+        };
+        // Boundary buffering completes at max(head arrival, tail arrival);
+        // the cut-link hop itself costs `hop_latency`, which equals the
+        // conservative-window lookahead — the crossing can never be due
+        // inside the window that produced it.
+        let ready_at = now.max(ser_done) + self.cfg.hop_latency;
+        self.metrics.shard_crossings.hit();
+        out.push(FabricOut::ShardCross(Box::new(PortalCrossing {
+            pkt: f.pkt,
+            src: f.src,
+            ch,
+            hop_idx: f.hop_idx,
+            reverse_in_ports: f.reverse_in_ports,
+            will_drop_on_wire: f.will_drop_on_wire,
+            dst_shard,
+            ready_at,
+        })));
     }
 
     /// Try to take channel `ch` for `flight`; on success the head starts
@@ -621,6 +776,12 @@ impl Engine {
         ch: u32,
         out: &mut Vec<FabricOut>,
     ) {
+        // Sharded runs: a channel owned elsewhere is crossed by handing the
+        // flight to its owner, which also decides the link's liveness.
+        if let Some(dst) = self.foreign_shard(ch) {
+            self.shard_handoff(sim, flight, ch, dst, out);
+            return;
+        }
         if !self.channels[ch as usize].alive {
             let f = self.kill_flight(sim, flight, out);
             self.report_drop(sim.now(), f.pkt, DropReason::DeadLink, out);
@@ -632,20 +793,23 @@ impl Engine {
             self.grant(sim, flight, ch);
         } else {
             c.waiters.push_back(flight);
-            self.flights[flight as usize].as_mut().unwrap().waiting_on = Some(ch);
+            self.flights.get_mut(flight).unwrap().waiting_on = Some(ch);
         }
     }
 
     /// `flight` now owns `ch`: start the head across it.
     fn grant<E: From<FabricEvent>>(&mut self, sim: &mut Sim<E>, flight: u32, ch: u32) {
-        let epoch = self.epochs[flight as usize];
+        let epoch = self.flights.generation(flight);
         let hop = self.cfg.hop_latency;
         let bw = self.cfg.link_bandwidth;
         let now = sim.now();
         self.channels[ch as usize].acquired_at = now;
-        let f = self.flights[flight as usize].as_mut().unwrap();
+        let Self {
+            flights, chains, ..
+        } = self;
+        let f = flights.get_mut(flight).unwrap();
         f.waiting_on = None;
-        f.held.push(ch);
+        chains.push(&mut f.held, ch);
         if f.held.len() == 1 {
             // First channel: the body starts streaming now.
             f.ser_done = now + Duration::for_bytes(f.pkt.wire_bytes() as u64, bw);
@@ -660,25 +824,26 @@ impl Engine {
         flight: u32,
         out: &mut Vec<FabricOut>,
     ) {
-        let last_ch = *self.flights[flight as usize]
-            .as_ref()
-            .unwrap()
-            .held
-            .last()
-            .unwrap();
+        let last_ch = {
+            let f = self.flights.get(flight).unwrap();
+            self.chains.last(&f.held).unwrap()
+        };
         let at = self.channel_dst(last_ch);
         match at {
             Endpoint::Host(_h) => {
-                let f = self.flights[flight as usize].as_ref().unwrap();
-                if f.hop_idx < f.pkt.route.len() {
+                let (hop_idx, route_len, ser_done) = {
+                    let f = self.flights.get(flight).unwrap();
+                    (f.hop_idx, f.pkt.route.len(), f.ser_done)
+                };
+                if hop_idx < route_len {
                     // Route bytes left over after reaching a host: invalid.
                     let f = self.kill_flight(sim, flight, out);
                     self.report_drop(sim.now(), f.pkt, DropReason::InvalidRoute, out);
                     return;
                 }
                 // Tail arrives when serialization completes (cut-through).
-                let epoch = self.epochs[flight as usize];
-                let t = sim.now().max(f.ser_done);
+                let epoch = self.flights.generation(flight);
+                let t = sim.now().max(ser_done);
                 sim.schedule(t, FabricEvent::TailDone { flight, epoch }.into());
             }
             Endpoint::Switch(s, in_port) => {
@@ -688,7 +853,7 @@ impl Engine {
                     return;
                 }
                 let (hop_idx, route_len) = {
-                    let f = self.flights[flight as usize].as_mut().unwrap();
+                    let f = self.flights.get_mut(flight).unwrap();
                     f.reverse_in_ports.push(in_port.0);
                     (f.hop_idx, f.pkt.route.len())
                 };
@@ -698,13 +863,8 @@ impl Engine {
                     self.report_drop(sim.now(), f.pkt, DropReason::Absorbed, out);
                     return;
                 }
-                let port = self.flights[flight as usize]
-                    .as_ref()
-                    .unwrap()
-                    .pkt
-                    .route
-                    .hop(hop_idx);
-                self.flights[flight as usize].as_mut().unwrap().hop_idx += 1;
+                let port = self.flights.get(flight).unwrap().pkt.route.hop(hop_idx);
+                self.flights.get_mut(flight).unwrap().hop_idx += 1;
                 if port >= self.topo.switch_ports(s) {
                     let f = self.kill_flight(sim, flight, out);
                     self.report_drop(sim.now(), f.pkt, DropReason::InvalidRoute, out);
@@ -716,16 +876,17 @@ impl Engine {
                     return;
                 };
                 // Hop trace: observer is the switch (aux = exit port).
-                {
-                    let f = self.flights[flight as usize].as_ref().unwrap();
-                    self.tel.record(Self::pkt_event(
+                let ev = {
+                    let f = self.flights.get(flight).unwrap();
+                    Self::pkt_event(
                         sim.now(),
                         TraceKind::PacketHop,
                         NodeId(s.idx() as u16),
                         &f.pkt,
                         port as u64,
-                    ));
-                }
+                    )
+                };
+                self.trace(ev);
                 let ch = self.channel_from(link, Endpoint::Switch(s, PortId(port)));
                 self.try_acquire(sim, flight, ch, out);
             }
@@ -739,12 +900,10 @@ impl Engine {
         flight: u32,
         out: &mut Vec<FabricOut>,
     ) {
-        let last_ch = *self.flights[flight as usize]
-            .as_ref()
-            .unwrap()
-            .held
-            .last()
-            .unwrap();
+        let last_ch = {
+            let f = self.flights.get(flight).unwrap();
+            self.chains.last(&f.held).unwrap()
+        };
         let dest = self.channel_dst(last_ch);
         let mut f = self.take_flight(flight);
         self.release_held(sim, &mut f, out);
@@ -761,7 +920,7 @@ impl Engine {
         } else {
             self.metrics.delivered.hit();
             self.metrics.bytes_delivered.add(f.pkt.payload_len as u64);
-            self.tel.record(Self::pkt_event(
+            self.trace(Self::pkt_event(
                 sim.now(),
                 TraceKind::PacketDelivered,
                 node,
@@ -789,10 +948,7 @@ impl Engine {
     }
 
     fn take_flight(&mut self, flight: u32) -> Flight {
-        let f = self.flights[flight as usize].take().expect("flight gone");
-        self.epochs[flight as usize] = self.epochs[flight as usize].wrapping_add(1);
-        self.free_slots.push(flight);
-        f
+        self.flights.remove(flight).expect("flight gone")
     }
 
     /// Free all channels a flight holds, granting each to its next waiter.
@@ -802,7 +958,7 @@ impl Engine {
         f: &mut Flight,
         _out: &mut Vec<FabricOut>,
     ) {
-        let held = std::mem::take(&mut f.held);
+        let held = self.chains.take(&mut f.held);
         let now = sim.now();
         for ch in held {
             let busy = now.since(self.channels[ch as usize].acquired_at);
@@ -810,7 +966,7 @@ impl Engine {
             self.channels[ch as usize].owner = None;
             // Grant to the next live waiter.
             while let Some(w) = self.channels[ch as usize].waiters.pop_front() {
-                if self.flights[w as usize].is_some() {
+                if self.flights.get(w).is_some() {
                     self.channels[ch as usize].owner = Some(w);
                     self.grant(sim, w, ch);
                     break;
@@ -836,6 +992,7 @@ impl Engine {
         if !alive {
             self.kill_flights_on(sim, |held_ch| LinkId(held_ch / 2) == link, out);
         }
+        self.flush_trace();
     }
 
     /// Kill a switch: all its links' channels die with it.
@@ -862,6 +1019,7 @@ impl Engine {
             }
         }
         self.kill_flights_on(sim, |ch| dead_links.contains(&LinkId(ch / 2)), out);
+        self.flush_trace();
     }
 
     fn kill_flights_on<E: From<FabricEvent>>(
@@ -873,17 +1031,13 @@ impl Engine {
         let victims: Vec<u32> = self
             .flights
             .iter()
-            .enumerate()
-            .filter_map(|(i, f)| {
-                f.as_ref().and_then(|fl| {
-                    let hit =
-                        fl.held.iter().any(|&ch| pred(ch)) || fl.waiting_on.is_some_and(&pred);
-                    hit.then_some(i as u32)
-                })
+            .filter_map(|(i, fl)| {
+                let hit = self.chains.iter(&fl.held).any(&pred) || fl.waiting_on.is_some_and(&pred);
+                hit.then_some(i)
             })
             .collect();
         for v in victims {
-            if self.flights[v as usize].is_some() {
+            if self.flights.get(v).is_some() {
                 let f = self.kill_flight(sim, v, out);
                 self.report_drop(sim.now(), f.pkt, DropReason::KilledByFault, out);
             }
@@ -920,8 +1074,9 @@ impl Engine {
     fn count_flights_on(&self, pred: impl Fn(u32) -> bool) -> u64 {
         self.flights
             .iter()
-            .flatten()
-            .filter(|fl| fl.held.iter().any(|&ch| pred(ch)) || fl.waiting_on.is_some_and(&pred))
+            .filter(|(_, fl)| {
+                self.chains.iter(&fl.held).any(&pred) || fl.waiting_on.is_some_and(&pred)
+            })
             .count() as u64
     }
 
@@ -938,7 +1093,7 @@ impl Engine {
         let new_fp = fingerprint_topology(&self.topo);
         let epoch = self.reconfig_log.len() as u64 + 1;
         self.rmetrics.epochs.hit();
-        self.tel.record(TraceEvent {
+        self.trace(TraceEvent {
             at_ns: sim.now().nanos(),
             layer: Layer::Fabric,
             kind: TraceKind::Reconfig,
@@ -1028,6 +1183,7 @@ impl Engine {
         self.provision_link_state(id);
         self.rmetrics.links_added.hit();
         self.finish_reconfig(sim, old_fp, vec![id], Self::switches_of(&[a, b]));
+        self.flush_trace();
         Ok(id)
     }
 
@@ -1078,18 +1234,21 @@ impl Engine {
             vec![link],
             Self::switches_of(&[gone.a, gone.b]),
         );
+        self.flush_trace();
         Some(gone)
     }
 
     /// Live switch removal: detach every incident link (in-flight traffic
     /// on them is lost and counted), then seal a single epoch covering the
     /// whole de-rack. The switch record remains with zero wired ports.
+    /// Returns the sealed epoch (0 if the switch had no wired links); the
+    /// detached link list is in [`Engine::reconfig_log`] under that epoch.
     pub fn shrink_switch<E: From<FabricEvent>>(
         &mut self,
         sim: &mut Sim<E>,
         s: SwitchId,
         out: &mut Vec<FabricOut>,
-    ) -> Vec<LinkId> {
+    ) -> u64 {
         let old_fp = fingerprint_topology(&self.topo);
         let incident: Vec<LinkId> = self
             .topo
@@ -1102,7 +1261,7 @@ impl Engine {
             .map(|(id, _)| id)
             .collect();
         if incident.is_empty() {
-            return incident;
+            return 0;
         }
         let lost = self.count_flights_on(|ch| incident.contains(&LinkId(ch / 2)));
         self.rmetrics.inflight_lost.add(lost);
@@ -1124,7 +1283,22 @@ impl Engine {
         if !switches.contains(&s) {
             switches.push(s);
         }
-        self.finish_reconfig(sim, old_fp, incident.clone(), switches);
-        incident
+        let epoch = self.finish_reconfig(sim, old_fp, incident, switches);
+        self.flush_trace();
+        epoch
+    }
+
+    // -- sharding -----------------------------------------------------------
+
+    /// Install the link-ownership map for a sharded run. With no map (the
+    /// default) the engine is the serial engine, byte-identical traces and
+    /// all; with one, flights reaching a foreign link are handed off as
+    /// [`PortalCrossing`]s instead of acquiring it.
+    pub fn set_shard_map(&mut self, map: ShardMap) {
+        debug_assert!(
+            map.link_owner.len() >= self.topo.num_links(),
+            "shard map shorter than the link table"
+        );
+        self.shard_map = Some(map);
     }
 }

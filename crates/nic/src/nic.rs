@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
+use san_des::intern::{InternId, Interner};
 use san_fabric::engine::Engine;
 use san_fabric::{NodeId, Packet, PacketFlags, PacketKind, Route};
 use san_sim::{Resource, Sim, Time};
@@ -151,34 +152,45 @@ impl NicStats {
     }
 }
 
-/// Per-destination route table.
+/// Per-destination route table. Route buffers are interned: each distinct
+/// route is stored once and destinations hold dense `u32` ids, so the
+/// dominant per-NIC O(n) cost is 4 bytes per peer plus the (much smaller)
+/// set of distinct routes — up*/down* and spare-tree tables repeat routes
+/// heavily through shared trunks.
 #[derive(Debug, Clone)]
 pub struct RouteTable {
-    routes: Vec<Option<Route>>,
+    ids: Vec<InternId>,
+    pool: Interner<Route>,
 }
 
 impl RouteTable {
     /// A table for `n` destinations, all unknown.
     pub fn new(n: usize) -> Self {
         Self {
-            routes: vec![None; n],
+            ids: vec![InternId::NONE; n],
+            pool: Interner::new(),
         }
     }
     /// Route to `dst`, if known.
     pub fn get(&self, dst: NodeId) -> Option<Route> {
-        self.routes.get(dst.idx()).copied().flatten()
+        let id = *self.ids.get(dst.idx())?;
+        (!id.is_none()).then(|| *self.pool.resolve(id))
     }
     /// Install a route.
     pub fn set(&mut self, dst: NodeId, r: Route) {
-        self.routes[dst.idx()] = Some(r);
+        self.ids[dst.idx()] = self.pool.intern(r);
     }
     /// Forget a route (permanent-failure handling).
     pub fn invalidate(&mut self, dst: NodeId) {
-        self.routes[dst.idx()] = None;
+        self.ids[dst.idx()] = InternId::NONE;
     }
     /// Number of known routes.
     pub fn known(&self) -> usize {
-        self.routes.iter().filter(|r| r.is_some()).count()
+        self.ids.iter().filter(|id| !id.is_none()).count()
+    }
+    /// Number of distinct route buffers behind the table.
+    pub fn distinct_routes(&self) -> usize {
+        self.pool.len()
     }
 }
 
@@ -205,6 +217,10 @@ pub struct NicCore {
     pub stats: NicStats,
     /// Observability handle (shared with the whole simulation).
     pub telemetry: Telemetry,
+    /// Recycler for the `Box<Packet>` allocations every wire/RX event
+    /// carries through the queue — steady-state traffic reuses the same
+    /// handful of boxes instead of hitting the allocator per packet.
+    pub pkt_pool: san_des::arena::Pool<Packet>,
     needs_pump: bool,
     /// Packets delivered by the fabric but not yet picked up by the LANai.
     rx_inflight: u32,
@@ -259,8 +275,11 @@ impl NicCore {
         n_nodes: usize,
         tel: Telemetry,
     ) -> Self {
-        let pool =
-            SendPool::new(send_bufs, n_nodes as u16 + 4).expect("NIC configuration exceeds SRAM");
+        // Receive buffering is a bounded ring: the control program recycles
+        // a fixed buffer set no matter how many peers exist (a per-peer
+        // reservation would overflow the 2 MB SRAM past ~400 nodes).
+        let recv_ring = (n_nodes as u16 + 4).min(64);
+        let pool = SendPool::new(send_bufs, recv_ring).expect("NIC configuration exceeds SRAM");
         Self {
             node,
             timing,
@@ -272,6 +291,7 @@ impl NicCore {
             routes: RouteTable::new(n_nodes),
             stats: NicStats::registered(&tel, node),
             telemetry: tel,
+            pkt_pool: san_des::arena::Pool::new(64),
             needs_pump: false,
             rx_inflight: 0,
             fifo_tx_ready: Time::ZERO,
@@ -291,6 +311,14 @@ impl NicCore {
             seq: pkt.seq,
             aux,
         }
+    }
+
+    /// Take a boxed packet out of a queue event, returning the allocation
+    /// to [`NicCore::pkt_pool`] for the next transmit/receive.
+    fn unbox_pkt(&mut self, mut b: Box<Packet>) -> Packet {
+        let p = std::mem::replace(&mut *b, Packet::new(NodeId(0), NodeId(0), PacketKind::Data));
+        self.pkt_pool.put(b);
+        p
     }
 
     /// Firmware can request a descriptor-pump after it frees buffers.
@@ -323,9 +351,10 @@ impl NicCore {
         let (start, done) = self.net_tx.acquire_window(ctx.now().max(earliest), ser);
         self.pool.mark_tx(buf, start);
         let node = self.node;
+        let boxed = self.pkt_pool.take_with(move || pkt);
         ctx.sim.schedule(
             start,
-            ClusterEvent::Nic(node, NicEvent::Inject { pkt: Box::new(pkt) }),
+            ClusterEvent::Nic(node, NicEvent::Inject { pkt: boxed }),
         );
         ctx.sim
             .schedule(done, ClusterEvent::Nic(node, NicEvent::TxInjected { buf }));
@@ -344,9 +373,10 @@ impl NicCore {
         let ser = ctx.engine.serialization(pkt.wire_bytes());
         let (start, _done) = self.net_tx.acquire_window(ctx.now().max(earliest), ser);
         let node = self.node;
+        let boxed = self.pkt_pool.take_with(move || pkt);
         ctx.sim.schedule(
             start,
-            ClusterEvent::Nic(node, NicEvent::Inject { pkt: Box::new(pkt) }),
+            ClusterEvent::Nic(node, NicEvent::Inject { pkt: boxed }),
         );
     }
 
@@ -564,9 +594,10 @@ impl Nic {
         self.core.rx_inflight += 1;
         let t1 = self.core.cpu.acquire(ctx.now(), self.core.timing.rx_proc);
         let node = self.core.node;
+        let boxed = self.core.pkt_pool.take_with(move || pkt);
         ctx.sim.schedule(
             t1,
-            ClusterEvent::Nic(node, NicEvent::RxProcess { pkt: Box::new(pkt) }),
+            ClusterEvent::Nic(node, NicEvent::RxProcess { pkt: boxed }),
         );
     }
 
@@ -588,14 +619,15 @@ impl Nic {
                 self.fw.on_tx_ready(&mut self.core, ctx, buf);
             }
             NicEvent::Inject { pkt } => {
-                ctx.inject(*pkt);
+                let pkt = self.core.unbox_pkt(pkt);
+                ctx.inject(pkt);
             }
             NicEvent::TxInjected { buf } => {
                 self.fw.on_tx_injected(&mut self.core, ctx, buf);
             }
             NicEvent::RxProcess { pkt } => {
                 self.core.rx_inflight = self.core.rx_inflight.saturating_sub(1);
-                let pkt = *pkt;
+                let pkt = self.core.unbox_pkt(pkt);
                 if !pkt.crc_ok() {
                     self.core.stats.crc_drops.hit();
                 } else {

@@ -1,0 +1,376 @@
+//! Sharded cluster: intra-trial parallelism over a partitioned fabric.
+//!
+//! The topology's switches are split into contiguous blocks along a
+//! deterministic BFS order; every link (and the hosts behind its access
+//! links) belongs to exactly one shard. Each shard runs a full [`Cluster`]
+//! over the *whole* topology — real firmware and host agents for the hosts
+//! it owns, inert stand-ins for the rest — and its engine carries a
+//! [`ShardMap`] so flights that reach a foreign link are handed off as
+//! [`PortalCrossing`]s instead of crossing locally.
+//!
+//! Shards advance in conservative time windows (`san_des::sync`): the
+//! lookahead is the per-hop head latency, which is exactly the minimum time
+//! a crossing adds on top of its emission instant, so no shard can receive
+//! work inside a window it already simulated. Crossings are store-and-
+//! forward at the boundary (the body re-serializes in the owning shard),
+//! a deliberate timing-model coarsening that only exists when `shards > 1`;
+//! with one shard no map is installed and the run is byte-identical to the
+//! serial engine.
+
+use san_des::sync::{run_sharded, SendCell, ShardSim, SyncStats};
+use san_fabric::engine::{EngineStats, PortalCrossing, ShardMap};
+use san_fabric::{Endpoint, NodeId, Route, Topology};
+use san_sim::Time;
+
+use crate::cluster::{Cluster, ClusterConfig, ClusterEvent, HostAgent, IdleHost};
+use crate::nic::{Firmware, UnreliableFirmware};
+
+/// Deterministic switch partition: BFS over switch-switch links from switch
+/// 0 (unreachable switches appended in index order), cut into `n` contiguous
+/// blocks. Returns the owning shard per switch.
+fn partition_switches(topo: &Topology, n: usize) -> Vec<u16> {
+    let s = topo.num_switches();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); s];
+    for (_, l) in topo.links() {
+        if let (Some((a, _)), Some((b, _))) = (l.a.switch(), l.b.switch()) {
+            adj[a.idx()].push(b.idx());
+            adj[b.idx()].push(a.idx());
+        }
+    }
+    let mut order = Vec::with_capacity(s);
+    let mut seen = vec![false; s];
+    for root in 0..s {
+        if seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        let mut q = std::collections::VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    let block = s.div_ceil(n.max(1));
+    let mut shard = vec![0u16; s];
+    for (pos, &sw) in order.iter().enumerate() {
+        shard[sw] = (pos / block).min(n - 1) as u16;
+    }
+    shard
+}
+
+/// Owning shard per link: a switch-switch link belongs to its `a`-endpoint's
+/// switch, an access link to its switch end (so hosts always inject locally).
+fn partition_links(topo: &Topology, switch_shard: &[u16]) -> Vec<u16> {
+    let mut owner = vec![0u16; topo.num_links()];
+    for (id, l) in topo.links() {
+        let sw =
+            l.a.switch()
+                .or_else(|| l.b.switch())
+                .map(|(s, _)| s.idx())
+                .expect("host-host links do not exist");
+        owner[id.idx()] = switch_shard[sw];
+    }
+    owner
+}
+
+/// One shard's world, moved wholesale to a worker thread each window.
+struct ShardWorker {
+    cluster: SendCell<Cluster>,
+}
+
+impl ShardSim for ShardWorker {
+    type Msg = Box<PortalCrossing>;
+
+    fn next_time(&mut self) -> Option<u64> {
+        self.cluster.0.sim.peek_time().map(|t| t.nanos())
+    }
+
+    fn run_window(&mut self, bound: u64, out: &mut Vec<(usize, u64, Self::Msg)>) {
+        // `bound` is exclusive, `run_until` inclusive; lookahead ≥ 1 keeps
+        // `bound` ≥ 1.
+        self.cluster.0.run_until(Time::from_nanos(bound - 1));
+        for x in self.cluster.0.shard_out.drain(..) {
+            out.push((x.dst_shard as usize, x.ready_at.nanos(), x));
+        }
+    }
+
+    fn deliver(&mut self, at: u64, msg: Self::Msg) {
+        self.cluster
+            .0
+            .sim
+            .schedule(Time::from_nanos(at), ClusterEvent::Portal(msg));
+    }
+}
+
+/// A partitioned simulation: `shards` full-topology [`Cluster`]s advancing
+/// in conservative parallel time windows.
+pub struct ShardedCluster {
+    workers: Vec<ShardWorker>,
+    host_shard: Vec<u16>,
+    lookahead_ns: u64,
+    /// Accumulated synchronization counters across `run_until` calls.
+    pub sync_stats: SyncStats,
+}
+
+impl ShardedCluster {
+    /// Build `n_shards` shard worlds over `topo`. `make_fw` / `make_host`
+    /// are invoked once per host, in its owning shard only; other shards
+    /// model that host as an inert NIC (`UnreliableFirmware` + [`IdleHost`])
+    /// that can never transmit or receive.
+    ///
+    /// Each shard gets a private metrics-only [`Telemetry`] registry (the
+    /// handle in `cfg` is ignored) so worker threads never share trace
+    /// state; aggregate counters with [`ShardedCluster::engine_stats`].
+    ///
+    /// With `n_shards == 1` no shard map is installed: the run is the
+    /// serial engine, byte-identical to a plain [`Cluster`].
+    ///
+    /// [`Telemetry`]: san_telemetry::Telemetry
+    pub fn new(
+        topo: Topology,
+        cfg: ClusterConfig,
+        n_shards: usize,
+        mut make_fw: impl FnMut(NodeId) -> Box<dyn Firmware>,
+        mut make_host: impl FnMut(NodeId) -> Box<dyn HostAgent>,
+    ) -> Self {
+        let n_shards = n_shards.clamp(1, topo.num_switches().max(1));
+        let switch_shard = partition_switches(&topo, n_shards);
+        let link_owner = partition_links(&topo, &switch_shard);
+        let n_hosts = topo.num_hosts();
+        let host_shard: Vec<u16> = (0..n_hosts)
+            .map(|h| {
+                let l = topo
+                    .link_at(Endpoint::Host(NodeId(h as u16)))
+                    .expect("host without access link");
+                link_owner[l.idx()]
+            })
+            .collect();
+        let lookahead_ns = cfg.engine.hop_latency.nanos().max(1);
+        let workers = (0..n_shards)
+            .map(|s| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.telemetry = san_telemetry::Telemetry::new();
+                let hosts: Vec<Box<dyn HostAgent>> = (0..n_hosts)
+                    .map(|h| -> Box<dyn HostAgent> {
+                        if host_shard[h] as usize == s {
+                            make_host(NodeId(h as u16))
+                        } else {
+                            Box::new(IdleHost)
+                        }
+                    })
+                    .collect();
+                let mut cluster = Cluster::new(
+                    topo.clone(),
+                    shard_cfg,
+                    |id| {
+                        if host_shard[id.idx()] as usize == s {
+                            make_fw(id)
+                        } else {
+                            Box::new(UnreliableFirmware)
+                        }
+                    },
+                    hosts,
+                );
+                if n_shards > 1 {
+                    cluster.engine.set_shard_map(ShardMap {
+                        mine: s as u16,
+                        link_owner: link_owner.clone(),
+                    });
+                }
+                ShardWorker {
+                    cluster: SendCell(cluster),
+                }
+            })
+            .collect();
+        Self {
+            workers,
+            host_shard,
+            lookahead_ns,
+            sync_stats: SyncStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shard owning host `n`.
+    pub fn host_shard(&self, n: NodeId) -> usize {
+        self.host_shard[n.idx()] as usize
+    }
+
+    /// Shard `i`'s world (e.g. to reach an owned host's NIC or telemetry).
+    pub fn shard(&self, i: usize) -> &Cluster {
+        &self.workers[i].cluster.0
+    }
+
+    /// Mutable access to shard `i`'s world.
+    pub fn shard_mut(&mut self, i: usize) -> &mut Cluster {
+        &mut self.workers[i].cluster.0
+    }
+
+    /// Install routes: `f(src, dst)` is consulted exactly once per ordered
+    /// host pair, in `src`'s owning shard (foreign NICs stay routeless —
+    /// they never transmit).
+    pub fn install_routes(&mut self, mut f: impl FnMut(NodeId, NodeId) -> Option<Route>) {
+        let n = self.host_shard.len();
+        for (s, w) in self.workers.iter_mut().enumerate() {
+            let c = &mut w.cluster.0;
+            for a in 0..n {
+                if self.host_shard[a] as usize != s {
+                    continue;
+                }
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let (na, nb) = (NodeId(a as u16), NodeId(b as u16));
+                    if let Some(r) = f(na, nb) {
+                        c.nics[a].core.routes.set(nb, r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance every shard through `deadline` (inclusive, matching
+    /// [`Cluster::run_until`]). Returns the synchronization counters of this
+    /// call; they also accumulate in [`ShardedCluster::sync_stats`].
+    pub fn run_until(&mut self, deadline: Time) -> SyncStats {
+        for w in &mut self.workers {
+            w.cluster.0.start();
+        }
+        let end = deadline.nanos().saturating_add(1);
+        let stats = run_sharded(&mut self.workers, self.lookahead_ns, end);
+        self.sync_stats.rounds += stats.rounds;
+        self.sync_stats.messages += stats.messages;
+        stats
+    }
+
+    /// Total events processed across shards.
+    pub fn events_processed(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.cluster.0.events_processed())
+            .sum()
+    }
+
+    /// Fabric statistics summed across shards. Deliveries count once (in
+    /// the destination's shard); a flight that crosses `k` boundaries
+    /// appears in `injected` once plus `k` crossing re-injections' worth of
+    /// killed-by-handoff accounting on neither side (handoffs are not
+    /// drops), so drop/delivery totals remain comparable to a serial run.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut agg = EngineStats::default();
+        for w in &self.workers {
+            let s = w.cluster.0.engine.stats();
+            agg.injected += s.injected;
+            agg.delivered += s.delivered;
+            agg.path_resets += s.path_resets;
+            agg.bytes_delivered += s.bytes_delivered;
+            for (d, v) in agg.dropped.iter_mut().zip(s.dropped) {
+                *d += v;
+            }
+        }
+        agg
+    }
+
+    /// Cross-shard flight handoffs so far (0 with one shard).
+    pub fn crossings(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| {
+                w.cluster
+                    .0
+                    .telemetry
+                    .counter("fabric.shard_crossings")
+                    .get()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{inbox, Collector, StreamSender};
+
+    /// Two 8-port switches with two hosts each, joined by one trunk.
+    fn two_switch_world() -> Topology {
+        let mut t = Topology::new();
+        let hosts = t.add_hosts(4);
+        let s0 = t.add_switch(8);
+        let s1 = t.add_switch(8);
+        t.connect_host(hosts[0], s0, 0);
+        t.connect_host(hosts[1], s0, 1);
+        t.connect_host(hosts[2], s1, 0);
+        t.connect_host(hosts[3], s1, 1);
+        t.connect_switches(s0, 2, s1, 2);
+        t
+    }
+
+    /// Partition is deterministic, covers every switch and link, and puts
+    /// each host on the shard of its access switch.
+    #[test]
+    fn partition_is_deterministic_and_total() {
+        let topo = two_switch_world();
+        let a = partition_switches(&topo, 2);
+        let b = partition_switches(&topo, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), topo.num_switches());
+        assert_eq!(a[0], 0);
+        assert_eq!(a[1], 1);
+        let owners = partition_links(&topo, &a);
+        assert_eq!(owners.len(), topo.num_links());
+    }
+
+    /// Cross-shard traffic delivers the same packets as the serial engine;
+    /// every crossing goes through a portal.
+    fn run_world(shards: usize) -> (EngineStats, u64, usize) {
+        let topo = two_switch_world();
+        let rx1 = inbox();
+        let rx3 = inbox();
+        let (c1, c3) = (rx1.clone(), rx3.clone());
+        let mut sc = ShardedCluster::new(
+            topo,
+            ClusterConfig::default(),
+            shards,
+            |_| Box::new(UnreliableFirmware),
+            move |n| match n.idx() {
+                0 => Box::new(StreamSender::new(NodeId(3), 256, 8)),
+                2 => Box::new(StreamSender::new(NodeId(1), 256, 8)),
+                1 => Box::new(Collector(c1.clone())),
+                _ => Box::new(Collector(c3.clone())),
+            },
+        );
+        let routes: Vec<Option<Route>> = {
+            let t = sc.shard(0).engine.topology().clone();
+            (0..16)
+                .map(|i| t.shortest_route(NodeId(i / 4), NodeId(i % 4), |_| true))
+                .collect()
+        };
+        sc.install_routes(|a, b| routes[a.idx() * 4 + b.idx()]);
+        sc.run_until(Time::from_nanos(50_000_000));
+        let delivered = rx1.borrow().len() + rx3.borrow().len();
+        (sc.engine_stats(), sc.crossings(), delivered)
+    }
+
+    #[test]
+    fn sharded_matches_serial_delivery() {
+        let (serial, crossings1, got1) = run_world(1);
+        let (sharded, crossings2, got2) = run_world(2);
+        assert_eq!(crossings1, 0, "one shard never crosses");
+        assert!(crossings2 > 0, "cross-switch traffic must use portals");
+        assert_eq!(serial.delivered, 16);
+        assert_eq!(sharded.delivered, serial.delivered);
+        assert_eq!(sharded.bytes_delivered, serial.bytes_delivered);
+        assert_eq!(got1, 16);
+        assert_eq!(got2, 16);
+    }
+}

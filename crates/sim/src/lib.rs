@@ -49,11 +49,23 @@ pub struct Sim<E> {
 }
 
 impl<E> Sim<E> {
-    /// Create a simulation starting at time zero with the given RNG seed.
+    /// Create a simulation starting at time zero with the given RNG seed,
+    /// on the default timing-wheel scheduler.
     pub fn new(seed: u64) -> Self {
         Self {
             now: Time::ZERO,
             queue: EventQueue::new(),
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Like [`Sim::new`] but on the legacy binary-heap scheduler — the
+    /// reference implementation used by equivalence tests. Pop order is
+    /// identical on both backends; only wall-clock speed differs.
+    pub fn new_with_legacy_heap(seed: u64) -> Self {
+        Self {
+            now: Time::ZERO,
+            queue: EventQueue::legacy_heap(),
             rng: SimRng::seed_from(seed),
         }
     }
@@ -100,9 +112,10 @@ impl<E> Sim<E> {
         self.queue.len()
     }
 
-    /// Timestamp of the next pending event, if any.
+    /// Timestamp of the next pending event, if any. Takes `&mut self`
+    /// because the timing wheel may sweep slots forward to find it.
     #[inline]
-    pub fn peek_time(&self) -> Option<Time> {
+    pub fn peek_time(&mut self) -> Option<Time> {
         self.queue.peek_time()
     }
 

@@ -1,93 +1,108 @@
-//! The pending-event set: a binary heap keyed on `(time, sequence)`.
+//! The pending-event set, keyed on `(time, sequence)`.
 //!
 //! The sequence number makes simultaneous events pop in insertion order,
-//! which is what makes whole-system runs reproducible: without it, the heap's
-//! internal layout (and therefore pop order of ties) would depend on
-//! incidental history.
+//! which is what makes whole-system runs reproducible: without it, the
+//! scheduler's internal layout (and therefore pop order of ties) would
+//! depend on incidental history.
+//!
+//! Two interchangeable backends share that contract:
+//!
+//! * [`san_des::wheel::TimingWheel`] — hierarchical timing wheel, the
+//!   default. O(1) schedule and near-O(1) fire close to the horizon.
+//! * [`san_des::heap::HeapQueue`] — the original `BinaryHeap`, kept as the
+//!   reference scheduler ([`EventQueue::legacy_heap`]) for equivalence
+//!   tests and the scheduler microbenchmark.
+//!
+//! Both pop the exact same `(time, insertion-sequence)` total order, so the
+//! choice never changes simulation results — only wall-clock speed.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use san_des::heap::HeapQueue;
+use san_des::wheel::TimingWheel;
 
 use crate::time::Time;
 
 /// Deterministic priority queue of timestamped events.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
+    inner: Inner<E>,
 }
 
 #[derive(Debug)]
-struct Entry<E> {
-    key: Reverse<(Time, u64)>,
-    ev: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
+enum Inner<E> {
+    Wheel(TimingWheel<E>),
+    Heap(HeapQueue<E>),
 }
 
 impl<E> EventQueue<E> {
-    /// Empty queue.
+    /// Empty queue on the default timing-wheel backend.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::with_capacity(1024),
-            seq: 0,
+            inner: Inner::Wheel(TimingWheel::new()),
         }
+    }
+
+    /// Empty queue on the legacy binary-heap backend (reference scheduler).
+    pub fn legacy_heap() -> Self {
+        Self {
+            inner: Inner::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// True when running on the legacy heap backend.
+    pub fn is_legacy_heap(&self) -> bool {
+        matches!(self.inner, Inner::Heap(_))
     }
 
     /// Insert an event at absolute time `at`.
     #[inline]
     pub fn push(&mut self, at: Time, ev: E) {
-        let s = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry {
-            key: Reverse((at, s)),
-            ev,
-        });
+        match &mut self.inner {
+            Inner::Wheel(w) => w.push(at.nanos(), ev),
+            Inner::Heap(h) => h.push(at.nanos(), ev),
+        }
     }
 
     /// Remove and return the earliest event (FIFO among ties).
     #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.key.0 .0, e.ev))
+        match &mut self.inner {
+            Inner::Wheel(w) => w.pop().map(|(t, ev)| (Time::from_nanos(t), ev)),
+            Inner::Heap(h) => h.pop().map(|(t, ev)| (Time::from_nanos(t), ev)),
+        }
     }
 
-    /// Timestamp of the next event without removing it.
+    /// Timestamp of the next event without removing it. Takes `&mut self`
+    /// because the wheel may sweep slots forward to find it.
     #[inline]
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.key.0 .0)
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.peek_time().map(Time::from_nanos),
+            Inner::Heap(h) => h.peek_time().map(Time::from_nanos),
+        }
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Wheel(w) => w.len(),
+            Inner::Heap(h) => h.len(),
+        }
     }
 
     /// True when empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever pushed (diagnostic).
     #[inline]
     pub fn pushed_total(&self) -> u64 {
-        self.seq
+        match &self.inner {
+            Inner::Wheel(w) => w.pushed_total(),
+            Inner::Heap(h) => h.pushed_total(),
+        }
     }
 }
 
@@ -101,28 +116,39 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<&'static str>; 2] {
+        [EventQueue::new(), EventQueue::legacy_heap()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_nanos(5), "b");
-        q.push(Time::from_nanos(1), "a");
-        q.push(Time::from_nanos(9), "c");
-        assert_eq!(q.peek_time(), Some(Time::from_nanos(1)));
-        assert_eq!(q.pop(), Some((Time::from_nanos(1), "a")));
-        assert_eq!(q.pop(), Some((Time::from_nanos(5), "b")));
-        assert_eq!(q.pop(), Some((Time::from_nanos(9), "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in both() {
+            q.push(Time::from_nanos(5), "b");
+            q.push(Time::from_nanos(1), "a");
+            q.push(Time::from_nanos(9), "c");
+            assert_eq!(q.peek_time(), Some(Time::from_nanos(1)));
+            assert_eq!(q.pop(), Some((Time::from_nanos(1), "a")));
+            assert_eq!(q.pop(), Some((Time::from_nanos(5), "b")));
+            assert_eq!(q.pop(), Some((Time::from_nanos(9), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn fifo_among_ties() {
-        let mut q = EventQueue::new();
-        let t = Time::from_nanos(7);
-        for i in 0..1000u32 {
-            q.push(t, i);
-        }
-        for i in 0..1000u32 {
-            assert_eq!(q.pop().unwrap().1, i);
+        for backend in 0..2 {
+            let mut q = if backend == 0 {
+                EventQueue::new()
+            } else {
+                EventQueue::legacy_heap()
+            };
+            let t = Time::from_nanos(7);
+            for i in 0..1000u32 {
+                q.push(t, i);
+            }
+            for i in 0..1000u32 {
+                assert_eq!(q.pop().unwrap().1, i);
+            }
         }
     }
 
@@ -138,6 +164,12 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pushed_total(), 3);
     }
+
+    #[test]
+    fn backend_flags() {
+        assert!(!EventQueue::<u8>::new().is_legacy_heap());
+        assert!(EventQueue::<u8>::legacy_heap().is_legacy_heap());
+    }
 }
 
 #[cfg(test)]
@@ -147,15 +179,21 @@ mod proptests {
 
     proptest! {
         /// Popping must yield a nondecreasing time sequence, and ties must
-        /// preserve insertion order, for any input schedule.
+        /// preserve insertion order, for any input schedule — on both
+        /// backends, which must also agree with each other exactly.
         #[test]
         fn pop_order_is_total(times in proptest::collection::vec(0u64..50, 1..200)) {
-            let mut q = EventQueue::new();
+            let mut wheel = EventQueue::new();
+            let mut heap = EventQueue::legacy_heap();
             for (i, &t) in times.iter().enumerate() {
-                q.push(Time::from_nanos(t), i);
+                wheel.push(Time::from_nanos(t), i);
+                heap.push(Time::from_nanos(t), i);
             }
             let mut last: Option<(Time, usize)> = None;
-            while let Some((t, i)) = q.pop() {
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                let Some((t, i)) = a else { break };
                 if let Some((lt, li)) = last {
                     prop_assert!(t >= lt);
                     if t == lt {

@@ -470,6 +470,27 @@ impl Ring {
         self.slots[ahead].0[0].load(Ordering::Relaxed);
     }
 
+    /// Batched push: claims the head once for the whole admitted batch and
+    /// writes the slots sequentially. Order within the batch is preserved,
+    /// so flushing an engine-side buffer at dispatch boundaries keeps the
+    /// global trace byte-identical to unbatched recording.
+    pub(crate) fn push_batch(&self, evs: &[TraceEvent]) {
+        // Count admitted events first so the head moves exactly once.
+        let admitted = evs.iter().filter(|e| self.filter.admits(e)).count() as u64;
+        if admitted == 0 {
+            return;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        self.head.store(head + admitted, Ordering::Relaxed);
+        let mut idx = head;
+        for ev in evs {
+            if self.filter.admits(ev) {
+                self.slots[(idx & self.mask) as usize].store(ev);
+                idx += 1;
+            }
+        }
+    }
+
     pub(crate) fn events(&self) -> Vec<TraceEvent> {
         let head = self.head.load(Ordering::Relaxed);
         let cap = self.slots.len() as u64;
@@ -506,6 +527,14 @@ impl Recorder {
         match self {
             Recorder::Off => {}
             Recorder::On(ring) => ring.push(ev),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_batch(&self, evs: &[TraceEvent]) {
+        match self {
+            Recorder::Off => {}
+            Recorder::On(ring) => ring.push_batch(evs),
         }
     }
 }

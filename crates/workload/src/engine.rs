@@ -500,22 +500,25 @@ impl WorkloadDriver {
 
     /// Distill the end-of-run report (latency quantiles, fairness).
     pub fn report(&self) -> WorkloadReport {
-        let l = self.ledger.borrow();
+        // Sort the ledger's latency vectors in place (ascending order is a
+        // harmless canonicalization of completed samples) instead of cloning
+        // every tenant's full vector per report.
+        let mut l = self.ledger.borrow_mut();
         let mut tenants = Vec::with_capacity(self.tenants as usize);
         let mut pooled: Vec<u64> = Vec::new();
         for t in 0..self.tenants as usize {
-            let mut lat = l.latencies[t].clone();
-            lat.sort_unstable();
-            pooled.extend_from_slice(&lat);
+            l.latencies[t].sort_unstable();
+            let lat = &l.latencies[t];
+            pooled.extend_from_slice(lat);
             tenants.push(TenantStats {
                 tenant: t as u16 + 1,
                 offered: l.offered[t],
                 shed: l.shed[t],
                 delivered: l.delivered[t],
                 delivered_bytes: l.delivered_bytes[t],
-                p50_ns: quantile_ns(&lat, 0.5),
-                p99_ns: quantile_ns(&lat, 0.99),
-                p999_ns: quantile_ns(&lat, 0.999),
+                p50_ns: quantile_ns(lat, 0.5),
+                p99_ns: quantile_ns(lat, 0.99),
+                p999_ns: quantile_ns(lat, 0.999),
                 max_ns: lat.last().copied().unwrap_or(0),
             });
         }
