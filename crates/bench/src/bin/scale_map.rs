@@ -15,9 +15,16 @@
 //!
 //! Each fabric also runs one *cold-start* on-demand exploration (no
 //! routes, no hints) — the regime of Table 3's chain — which demonstrates
-//! why hints matter: on symmetric host-less cores the signature/identity
-//! machinery mis-identifies switches, and blind exploration degrades or
-//! fails while the hint path stays a handful of probes.
+//! why hints matter. Historically the fat-tree cold start *failed*: the
+//! depth-1 host signature cannot tell apart host-less aggregation
+//! switches serving different pods, so a foreign sighting merged into a
+//! known switch through a shared core and whole pods went unexplored
+//! (unreachable after ~322 probes on fat_tree:8). With two-hop
+//! signatures (`MapperConfig::deep_signatures`, on for the fat-tree cold
+//! starts here) the aggregation layer resolves exactly, path-reset-aware
+//! patience deadlines recover the probes that self-deadlock in the
+//! unknown wiring, and the cold start converges — at a probe cost that
+//! still makes the hint path orders of magnitude cheaper.
 //!
 //! `--smoke` runs the small fabrics (fat_tree:4, torus2d:4x4x1) as a CI
 //! gate with hard assertions; the default runs the 128-host fabrics
@@ -273,7 +280,13 @@ fn run_ondemand(
 /// Cold-start exploration: no routes installed, no hints — the regime of
 /// Table 3's chain, at fabric scale. Returns (resolved, unreachable,
 /// probes) of the first completed run.
-fn run_coldstart(topo: &Topology, n: usize, src: NodeId, dst: NodeId) -> (u64, u64, u64) {
+fn run_coldstart(
+    topo: &Topology,
+    n: usize,
+    src: NodeId,
+    dst: NodeId,
+    deep: bool,
+) -> (u64, u64, u64) {
     let ib = inbox();
     let hosts: Vec<Box<dyn HostAgent>> = (0..n)
         .map(|h| -> Box<dyn HostAgent> {
@@ -287,15 +300,27 @@ fn run_coldstart(topo: &Topology, n: usize, src: NodeId, dst: NodeId) -> (u64, u
         })
         .collect();
     let proto = ProtocolConfig::default().with_mapping();
-    let mcfg = topo_mapper_cfg(topo);
+    // Two-hop signatures (fat trees only): host-less aggregation switches
+    // are identified by the pods below them instead of falsely merging
+    // through shared cores — the fix that lets fat-tree cold starts
+    // converge past the old core-aliasing boundary.
+    let mut mcfg = topo_mapper_cfg(topo);
+    mcfg.deep_signatures = deep;
     let mut cluster = Cluster::new(
         topo.clone(),
         ClusterConfig::default(),
         move |_| Box::new(ReliableFirmware::new(proto.clone(), mcfg.clone(), n)),
         hosts,
     );
-    // No routes: the very first send must map.
-    let deadline = Time::from_millis(400);
+    // No routes: the very first send must map. Deep-signature exploration
+    // is paced by patience deadlines that outlast the ~62 ms path-reset
+    // timer (self-deadlocked probe worms only clear then), so a 128-host
+    // fat-tree cold start legitimately takes several virtual seconds.
+    let deadline = if deep {
+        Time::from_secs(30)
+    } else {
+        Time::from_secs(2)
+    };
     let mut t = Time::from_millis(5);
     loop {
         cluster.run_until(t);
@@ -355,8 +380,12 @@ fn run_fabric(spec: TopoSpec, smoke: bool, tel: &Telemetry) {
     let back = candidate_routes(&topo, dst, src, HINT_K, |_| true);
     let hints = vec![(src, dst, cands.clone()), (dst, src, back)];
 
-    // Cold start first: the blind-exploration baseline.
-    let (res, unr, probes) = run_coldstart(&topo, n, src, dst);
+    // Cold start first: the blind-exploration baseline. With deep
+    // signatures on, this must *converge* even on the fat trees whose
+    // host-less aggregation layer used to alias (the old documented
+    // boundary); the probe count is what hints then save.
+    let deep = matches!(spec, TopoSpec::FatTree { .. });
+    let (res, unr, probes) = run_coldstart(&topo, n, src, dst, deep);
     let verdict = if res > 0 { "resolved" } else { "failed" };
     println!(
         "  cold-start exploration ({} -> {}): {verdict} after {probes} probes \
@@ -370,6 +399,15 @@ fn run_fabric(spec: TopoSpec, smoke: bool, tel: &Telemetry) {
         verdict.into(),
         probes.to_string(),
     ]);
+    if matches!(spec, TopoSpec::FatTree { .. }) {
+        assert_eq!(
+            res,
+            1,
+            "{}: fat-tree cold start must resolve with deep signatures \
+             (unreachable {unr} after {probes} probes)",
+            spec.format()
+        );
+    }
 
     println!(
         "  {:<20} {:>7} {:>9} {:>9} {:>9} {:>8} {:>9} {:>11} {:>11}",

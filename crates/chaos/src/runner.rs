@@ -23,7 +23,8 @@ use san_nic::{
 use san_sim::{Duration, Time};
 use san_telemetry::{Telemetry, TraceKind};
 
-use san_topo::planner::candidate_routes;
+use san_fabric::RouteHints;
+use san_topo::planner::planner_for;
 
 use crate::campaign::{mix_seed, Campaign, TopologySpec, Trial};
 use crate::oracle::{self, Delivery, NodeEnd, Observation, PairExpect, Violation};
@@ -336,12 +337,16 @@ fn run_trial_on(trial: &Trial, legacy_heap: bool) -> (TrialOutcome, san_telemetr
     // Planner hints: give every traffic endpoint the san-topo candidate
     // set for its peer (both directions — ACK paths fail too). After a
     // permanent failure the mapper verifies these with one host probe
-    // each before paying for a blind BFS exploration.
+    // each before paying for a blind BFS exploration. The strategy is
+    // selected by topology family (`planner_for`): tori get the
+    // symmetry-template planner, everything else the generic one, whose
+    // routes are byte-identical to the historical free-function planner.
+    let mut planner = planner_for(&trial.topology.atlas_spec());
     let hints: Vec<(NodeId, NodeId, Vec<san_fabric::Route>)> = if proto.reliable && proto.mapping {
         pairs
             .iter()
             .flat_map(|&(a, b)| [(a, b), (b, a)])
-            .map(|(s, d)| (s, d, candidate_routes(&built.topo, s, d, 4, |_| true)))
+            .map(|(s, d)| (s, d, planner.pair_routes(&built.topo, s, d, 4, &|_| true)))
             .filter(|(_, _, c)| !c.is_empty())
             .collect()
     } else {
@@ -374,7 +379,10 @@ fn run_trial_on(trial: &Trial, legacy_heap: bool) -> (TrialOutcome, san_telemetr
             .as_any_mut()
             .downcast_mut::<ReliableFirmware>()
         {
-            fw.offer_route_candidates(dst, routes);
+            fw.offer_route_hints(
+                dst,
+                RouteHints::from_strategy(routes, planner.id(), 0, false),
+            );
         }
     }
     cluster
@@ -405,22 +413,25 @@ fn run_trial_on(trial: &Trial, legacy_heap: bool) -> (TrialOutcome, san_telemetr
                     .flat_map(|&(a, b)| [(a, b), (b, a)])
                     .map(|(s, d)| {
                         let usable = cluster.engine.planner_filter();
-                        // The closure wrapper supplies the `Copy` bound the
-                        // opaque filter type does not advertise.
-                        #[allow(clippy::redundant_closure)]
                         let routes =
-                            candidate_routes(cluster.engine.topology(), s, d, 4, |l| usable(l));
+                            planner.pair_routes(cluster.engine.topology(), s, d, 4, &|l| usable(l));
                         (s, d, routes)
                     })
                     .filter(|(_, _, c)| !c.is_empty())
                     .collect();
+                // Re-offers carry the reconfig epoch so the mapper's
+                // provenance stats can tell a post-reconfiguration hint
+                // from the cold-start batch.
                 for (src, dst, routes) in fresh {
                     if let Some(fw) = cluster.nics[src.0 as usize]
                         .fw
                         .as_any_mut()
                         .downcast_mut::<ReliableFirmware>()
                     {
-                        fw.offer_route_candidates(dst, routes);
+                        fw.offer_route_hints(
+                            dst,
+                            RouteHints::from_strategy(routes, planner.id(), epoch, false),
+                        );
                     }
                 }
             }

@@ -218,6 +218,30 @@ pub struct MapperConfig {
     /// as "nothing there". A small window (1–2) removes probe–probe cycles
     /// at the cost of one batch deadline per window-full.
     pub loop_probe_window: usize,
+    /// Two-hop identity signatures for host-less switches. The depth-1
+    /// host signature cannot tell apart two core/aggregation switches that
+    /// serve disjoint pods but answer the same loop probe through a shared
+    /// neighbour — the fat-tree *core-aliasing* failure, where a foreign
+    /// aggregation switch merges into an already-known one and whole pods
+    /// go unexplored. With this on, a candidate whose depth-1 signature is
+    /// all-silent is host-probed two hops out (`route_to(c) + [p, q]` for
+    /// every port pair, including back through the discovering link, so the
+    /// signature is arrival-direction independent): aggregation switches
+    /// pick up their pod's hosts at depth 2 and dedup exactly; only
+    /// switches silent at *both* depths (true cores) fall back to the
+    /// loop-probe identity check. Off by default — the testbed-scale
+    /// behaviour of the paper needs no depth-2 probes.
+    pub deep_signatures: bool,
+    /// Batch deadline used instead of `probe_timeout` when `deep_signatures`
+    /// is on. Multi-hop probes into unknown wiring can revisit a channel
+    /// their own worm still holds — a *self*-deadlock no pacing avoids —
+    /// and the fabric only clears it at the path-reset timer (~62 ms).
+    /// Probes queued behind the wedge are killed by their own reset timers
+    /// and retransmitted; their outcomes arrive one reset period late, so
+    /// the phase deadline must outlast the reset timer or the late answers
+    /// are misread as silence. Must exceed the fabric's
+    /// `path_reset_timeout` (62 ms by default).
+    pub probe_patience: Duration,
 }
 
 impl Default for MapperConfig {
@@ -228,6 +252,8 @@ impl Default for MapperConfig {
             identity_checks: true,
             max_switch_sightings: 64,
             loop_probe_window: usize::MAX,
+            deep_signatures: false,
+            probe_patience: Duration::from_millis(64),
         }
     }
 }

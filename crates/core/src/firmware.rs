@@ -103,8 +103,18 @@ impl ReliableFirmware {
     }
 
     /// Offer candidate routes for `dst` to the on-demand mapper (from an
-    /// external planner such as the `topo` route cache). The next mapping
-    /// run for `dst` verifies them before falling back to exploration.
+    /// external planner such as the `topo` route cache), with provenance:
+    /// the planning strategy, planner epoch and cache hit/miss travel with
+    /// the routes and are recorded when a mapping run consumes them. The
+    /// next mapping run for `dst` verifies the candidates before falling
+    /// back to exploration.
+    pub fn offer_route_hints(&mut self, dst: NodeId, hints: san_fabric::RouteHints) {
+        self.mapper.offer_hints(dst, hints);
+    }
+
+    /// Deprecated: provenance-less shim over
+    /// [`ReliableFirmware::offer_route_hints`] — wraps the routes as
+    /// manually offered hints.
     pub fn offer_route_candidates(&mut self, dst: NodeId, routes: Vec<Route>) {
         self.mapper.offer_candidates(dst, routes);
     }

@@ -29,7 +29,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use san_fabric::route::MAX_HOPS;
-use san_fabric::{NodeId, Packet, PacketKind, Route};
+use san_fabric::{NodeId, Packet, PacketKind, Route, RouteHints};
 use san_nic::{ClusterEvent, NicCore, NicCtx, NicEvent, SendDesc};
 use san_sim::Time;
 use san_telemetry::{Counter, SummaryHandle, Telemetry, TraceKind};
@@ -74,6 +74,14 @@ pub struct MapStats {
     pub switch_probes: Counter,
     /// Runs resolved by a planner-supplied hint route (no exploration).
     pub hint_resolved: Counter,
+    /// Deep (two-hop) signature scans performed (all runs).
+    pub deep_scans: Counter,
+    /// Strategy id of the most recently consumed hint set (`""` = none).
+    pub last_hint_strategy: &'static str,
+    /// Planner epoch of the most recently consumed hint set.
+    pub last_hint_epoch: u64,
+    /// Whether the most recently consumed hint set was a planner-cache hit.
+    pub last_hint_cache_hit: bool,
     /// Host probes in the most recent completed run.
     pub last_host_probes: u64,
     /// Switch probes in the most recent completed run.
@@ -97,6 +105,10 @@ impl MapStats {
             host_probes: tel.counter(&m("host_probes")),
             switch_probes: tel.counter(&m("switch_probes")),
             hint_resolved: tel.counter(&m("hint_resolved")),
+            deep_scans: tel.counter(&m("deep_scans")),
+            last_hint_strategy: "",
+            last_hint_epoch: 0,
+            last_hint_cache_hit: false,
             last_host_probes: 0,
             last_switch_probes: 0,
             last_time_ms: 0.0,
@@ -117,6 +129,13 @@ struct KnownSwitch {
     /// provably different switches, which is what defeats the
     /// reverse-route false positives cyclic fabrics can produce.
     signature: Vec<Option<NodeId>>,
+    /// Two-hop host signature (`max_ports × max_ports`, row-major by
+    /// `(p, q)`), taken only when the depth-1 signature was all-silent and
+    /// `deep_signatures` is on. `None` = never scanned. The full matrix is
+    /// a property of the switch alone — every port is probed, including
+    /// the one leading back to the discoverer — so two sightings of the
+    /// same switch through different redundant links compare equal.
+    deep_signature: Option<Vec<Option<NodeId>>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +151,12 @@ enum ProbeTag {
     /// Host probe through a switch candidate's port (signature scan).
     SigAt {
         port: u8,
+    },
+    /// Host probe two hops out of a switch candidate — through its port
+    /// `p`, then the neighbour's port `q` (deep-signature scan).
+    DeepSigAt {
+        p: u8,
+        q: u8,
     },
     LoopQ {
         q: u8,
@@ -162,8 +187,18 @@ enum Phase {
         port: u8,
         back: u8,
     },
+    /// Two-hop host-signature scan of a candidate whose depth-1 signature
+    /// was all-silent (`deep_signatures` on): hosts two hops out identify
+    /// aggregation-layer switches that depth-1 scans cannot tell apart —
+    /// the fat-tree core-aliasing fix.
+    DeepSignature {
+        parent: usize,
+        port: u8,
+        back: u8,
+    },
     /// Legacy loop-probe identity check, used only when the candidate's
-    /// signature is host-less and therefore non-discriminating.
+    /// signature is host-less and therefore non-discriminating (at every
+    /// scanned depth).
     Identity {
         parent: usize,
         port: u8,
@@ -185,13 +220,29 @@ struct MapRun {
     identity_hits: Vec<usize>,
     /// Per-port replies of the phase in progress (Hosts / Signature).
     sig_scratch: Vec<Option<NodeId>>,
+    /// Per-port-pair replies of a deep-signature scan in progress,
+    /// row-major by `(p, q)`.
+    deep_scratch: Vec<Option<NodeId>>,
     my_port: Option<u8>,
     /// The candidate routes of the hint phase, by probe index.
     hint_routes: Vec<Route>,
     /// Loop probes of the current phase not yet on the wire (paced by
     /// `loop_probe_window`); drained one window-full per batch deadline.
     pending: VecDeque<(PacketKind, Route, ProbeTag)>,
+    /// Probes of the current phase killed by the fabric's path-reset timer,
+    /// in kill order (= injection order: the first entry is the worm that
+    /// wedged, the rest were queued behind it). Deep-signature mode only;
+    /// resent rotated at the next patience deadline.
+    reset_victims: Vec<(PacketKind, Route, ProbeTag)>,
+    /// How many times each probe route has been path-reset this run. A
+    /// route that keeps wedging is retracing a channel its own worm holds
+    /// (a *self*-deadlock): it can never complete and is dropped — silence
+    /// is its true answer — after [`MAX_PROBE_RESETS`] attempts.
+    reset_counts: HashMap<Route, u8>,
 }
+
+/// A probe path-reset this many times is a self-deadlocking route: give up.
+const MAX_PROBE_RESETS: u8 = 3;
 
 /// The on-demand mapper of one NIC.
 #[derive(Debug)]
@@ -204,9 +255,9 @@ pub struct Mapper {
     /// before the batch deadline): a late reply still names a host and its
     /// route — free knowledge worth caching.
     late_probes: HashMap<u64, Route>,
-    /// Planner-supplied candidate routes, consumed by the next run for
-    /// their destination (see [`Mapper::offer_candidates`]).
-    hints: HashMap<NodeId, Vec<Route>>,
+    /// Planner-supplied candidate routes with provenance, consumed by the
+    /// next run for their destination (see [`Mapper::offer_hints`]).
+    hints: HashMap<NodeId, RouteHints>,
     next_token: u64,
     next_batch: u64,
     stats: MapStats,
@@ -251,18 +302,33 @@ impl Mapper {
     }
 
     /// Offer candidate routes for `dst` from an external planner (e.g. the
-    /// `topo` crate's route cache). The next mapping run for `dst` verifies
-    /// them with one host probe each *before* exploring: a live candidate
-    /// resolves the run at hint cost, all-silent falls back to the normal
-    /// exploration. Candidates are consumed by that run; routes longer than
-    /// the source-route budget are dropped here.
-    pub fn offer_candidates(&mut self, dst: NodeId, routes: Vec<Route>) {
-        let routes: Vec<Route> = routes.into_iter().filter(|r| r.len() <= MAX_HOPS).collect();
+    /// `topo` crate's route cache), with provenance: which strategy planned
+    /// them, at which planner epoch, and whether they came out of a warm
+    /// cache (recorded in [`MapStats`] when the run consumes them). The
+    /// next mapping run for `dst` verifies them with one host probe each
+    /// *before* exploring: a live candidate resolves the run at hint cost,
+    /// all-silent falls back to the normal exploration. Candidates are
+    /// consumed by that run; routes longer than the source-route budget are
+    /// dropped here.
+    pub fn offer_hints(&mut self, dst: NodeId, hints: RouteHints) {
+        let routes: Vec<Route> = hints
+            .routes
+            .iter()
+            .copied()
+            .filter(|r| r.len() <= MAX_HOPS)
+            .collect();
         if routes.is_empty() {
             self.hints.remove(&dst);
         } else {
-            self.hints.insert(dst, routes);
+            self.hints.insert(dst, RouteHints { routes, ..hints });
         }
+    }
+
+    /// Deprecated: provenance-less shim over [`Mapper::offer_hints`] — the
+    /// routes are wrapped as manually offered hints (strategy `"manual"`,
+    /// epoch 0). Kept for callers predating [`RouteHints`].
+    pub fn offer_candidates(&mut self, dst: NodeId, routes: Vec<Route>) {
+        self.offer_hints(dst, RouteHints::manual(routes));
     }
 
     /// Take back the descriptors parked for `dst`.
@@ -300,6 +366,7 @@ impl Mapper {
                 explored_hosts: false,
                 candidates: Vec::new(),
                 signature: Vec::new(),
+                deep_signature: None,
             }],
             phase: Phase::Hosts { idx: 0 },
             batch: 0,
@@ -307,12 +374,20 @@ impl Mapper {
             loop_hits: Vec::new(),
             identity_hits: Vec::new(),
             sig_scratch: Vec::new(),
+            deep_scratch: Vec::new(),
             my_port: None,
             hint_routes: Vec::new(),
             pending: VecDeque::new(),
+            reset_victims: Vec::new(),
+            reset_counts: HashMap::new(),
         });
         match self.hints.remove(&dst) {
-            Some(routes) => self.start_hint_phase(core, ctx, routes),
+            Some(h) => {
+                self.stats.last_hint_strategy = h.strategy;
+                self.stats.last_hint_epoch = h.epoch;
+                self.stats.last_hint_cache_hit = h.cache_hit;
+                self.start_hint_phase(core, ctx, h.routes)
+            }
             None => self.start_hosts_phase(core, ctx, 0),
         }
     }
@@ -353,9 +428,17 @@ impl Mapper {
         core.transmit_unpooled_from(ctx, p, t);
     }
 
-    /// Put the next window-full of queued loop probes on the wire.
+    /// Put the next window-full of queued loop probes on the wire. In
+    /// deep-signature mode the whole phase goes out at once: same-source
+    /// probes serialise on their shared first channel (each waits for the
+    /// one ahead to deliver or die), so probe–probe cycles cannot form and
+    /// pacing would only add one patience deadline per window-full.
     fn pump_pending(&mut self, core: &mut NicCore, ctx: &mut NicCtx) {
-        let window = self.cfg.loop_probe_window.max(1);
+        let window = if self.cfg.deep_signatures {
+            usize::MAX
+        } else {
+            self.cfg.loop_probe_window.max(1)
+        };
         loop {
             let run = self.run.as_mut().expect("pumping outside a run");
             if run.outstanding.len() >= window {
@@ -373,8 +456,16 @@ impl Mapper {
         self.next_batch += 1;
         self.run.as_mut().unwrap().batch = batch;
         let node = core.node;
+        // Deep-signature runs probe unknown wiring with multi-hop worms that
+        // can wedge until the fabric's path-reset timer; the deadline must
+        // outlast it (see `MapperConfig::probe_patience`).
+        let timeout = if self.cfg.deep_signatures {
+            self.cfg.probe_patience
+        } else {
+            self.cfg.probe_timeout
+        };
         ctx.sim.schedule_in(
-            self.cfg.probe_timeout,
+            timeout,
             ClusterEvent::Nic(
                 node,
                 NicEvent::Timer {
@@ -480,6 +571,7 @@ impl Mapper {
             let run = self.run.as_mut().unwrap();
             run.phase = Phase::Signature { parent, port, back };
             run.sig_scratch = vec![None; self.cfg.max_ports as usize];
+            run.deep_scratch.clear();
         }
         if candidate_route.len() < MAX_HOPS {
             for x in 0..self.cfg.max_ports {
@@ -493,6 +585,63 @@ impl Mapper {
                 );
             }
         }
+        self.arm_batch_deadline(core, ctx);
+    }
+
+    /// Deep-signature scan of a host-less candidate: host probes through
+    /// every `(p, q)` port pair — out port `p` of the candidate, then port
+    /// `q` of whatever sits behind it. The port we arrived through is
+    /// probed like any other, so the resulting matrix is a property of the
+    /// switch alone and two sightings over different redundant links
+    /// compare exactly equal. Aggregation-layer switches pick up the hosts
+    /// two hops below them (their identity where depth 1 saw silence);
+    /// switches silent at both depths fall back to loop-probe identity.
+    ///
+    /// The probes are paced through the `loop_probe_window` like loop
+    /// probes: their routes take down-then-up turns that concurrent
+    /// flights can wormhole-deadlock into total gridlock — a flooded scan
+    /// reads as all-silent *and* jams every later probe until path reset.
+    fn start_deep_signature_phase(
+        &mut self,
+        core: &mut NicCore,
+        ctx: &mut NicCtx,
+        parent: usize,
+        port: u8,
+        back: u8,
+    ) {
+        self.stats.deep_scans.hit();
+        let candidate_route = {
+            let run = self.run.as_ref().unwrap();
+            run.switches[parent].route_to.then(port)
+        };
+        let mp = self.cfg.max_ports as usize;
+        {
+            let run = self.run.as_mut().unwrap();
+            run.phase = Phase::DeepSignature { parent, port, back };
+            run.deep_scratch = vec![None; mp * mp];
+            if candidate_route.len() + 2 <= MAX_HOPS {
+                for p in 0..self.cfg.max_ports {
+                    for q in 0..self.cfg.max_ports {
+                        // (back, port) retraces the parent→candidate
+                        // channel the probe's own wormhole body still
+                        // holds: it would self-deadlock and wedge the
+                        // whole path until the ~62 ms reset. The cell is
+                        // knowable anyway — it re-enters the candidate, a
+                        // switch, so it reads `None` in every sighting.
+                        if p == back && q == port {
+                            continue;
+                        }
+                        let route = candidate_route.then(p).then(q);
+                        run.pending.push_back((
+                            PacketKind::ProbeHost,
+                            route,
+                            ProbeTag::DeepSigAt { p, q },
+                        ));
+                    }
+                }
+            }
+        }
+        self.pump_pending(core, ctx);
         self.arm_batch_deadline(core, ctx);
     }
 
@@ -514,11 +663,17 @@ impl Mapper {
             run.identity_hits.clear();
             // Loop-probe identity is only meaningful against other
             // host-less switches — a host-bearing switch would already have
-            // been distinguished by its signature.
+            // been distinguished by its signature, and a switch whose deep
+            // signature found hosts two hops out is likewise already exact.
             run.switches
                 .iter()
                 .enumerate()
                 .filter(|(_, k)| k.signature.iter().all(|h| h.is_none()))
+                .filter(|(_, k)| {
+                    k.deep_signature
+                        .as_ref()
+                        .is_none_or(|d| d.iter().all(Option::is_none))
+                })
                 .filter(|(_, k)| candidate_route.len() + k.reverse_from.len() <= MAX_HOPS)
                 .map(|(ki, k)| (ki, candidate_route.join(&k.reverse_from)))
                 .collect()
@@ -550,6 +705,18 @@ impl Mapper {
         };
         if !run.outstanding.contains_key(&pkt.msg_id) {
             return false;
+        }
+        if self.cfg.deep_signatures {
+            // Don't resend in place: a self-deadlocking probe would re-wedge
+            // the same channel and starve every probe queued behind it, in a
+            // path-reset-period duty cycle, forever. Collect the casualties
+            // (kill order = injection order, so the head of the list is the
+            // worm that wedged) and resend them *rotated* at the patience
+            // deadline, so proven wedgers go last and their victims fly
+            // first on the cleared fabric.
+            let tag = run.outstanding.remove(&pkt.msg_id).unwrap();
+            run.reset_victims.push((pkt.kind, pkt.route, tag));
+            return true;
         }
         match pkt.kind {
             PacketKind::ProbeHost => {
@@ -655,6 +822,34 @@ impl Mapper {
                 }
                 outs
             }
+            (PacketKind::ProbeReply, ProbeTag::DeepSigAt { p, q }) => {
+                let who = pkt.src;
+                let mp = self.cfg.max_ports as usize;
+                if let Some(slot) = run.deep_scratch.get_mut(p as usize * mp + q as usize) {
+                    *slot = Some(who);
+                }
+                if who == core.node {
+                    self.refill_window(core, ctx);
+                    return Vec::new();
+                }
+                let Phase::DeepSignature {
+                    parent,
+                    port: cport,
+                    ..
+                } = run.phase
+                else {
+                    self.refill_window(core, ctx);
+                    return Vec::new();
+                };
+                let route = run.switches[parent].route_to.then(cport).then(p).then(q);
+                let mut outs = vec![MapOutcome::RouteFound { dst: who, route }];
+                if who == run.target {
+                    outs.extend(self.finish_run(core, ctx, Some(route)));
+                } else {
+                    self.refill_window(core, ctx);
+                }
+                outs
+            }
             (PacketKind::ProbeLoop, ProbeTag::LoopQ { q }) => {
                 run.loop_hits.push(q);
                 self.refill_window(core, ctx);
@@ -722,6 +917,31 @@ impl Mapper {
         // Anything still outstanding has timed out; silence is the signal
         // (the scratch signature keeps `None` for unanswered ports).
         run.outstanding.clear();
+        if !run.reset_victims.is_empty() {
+            // Deadlock recovery killed some of this phase's probes; their
+            // outcomes are still unknown. Resend them with the proven
+            // wedger (first killed) moved to the back so the probes it
+            // starved get a clear fabric; a route that keeps wedging is a
+            // self-deadlock and is dropped after MAX_PROBE_RESETS.
+            let mut victims = std::mem::take(&mut run.reset_victims);
+            victims.rotate_left(1);
+            let mut any = false;
+            for (kind, route, tag) in victims {
+                let n = run.reset_counts.entry(route).or_insert(0);
+                *n += 1;
+                if *n >= MAX_PROBE_RESETS {
+                    continue;
+                }
+                run.pending.push_back((kind, route, tag));
+                any = true;
+            }
+            if any {
+                self.pump_pending(core, ctx);
+                self.arm_batch_deadline(core, ctx);
+                return Vec::new();
+            }
+        }
+        let run = self.run.as_mut().unwrap();
         if !run.pending.is_empty() {
             // Paced phase with probes still queued: put the next
             // window-full on the wire under a fresh deadline before
@@ -776,6 +996,7 @@ impl Mapper {
                             explored_hosts: false,
                             candidates: Vec::new(),
                             signature: Vec::new(),
+                            deep_signature: None,
                         });
                         self.advance(core, ctx)
                     }
@@ -805,13 +1026,63 @@ impl Mapper {
                         explored_hosts: true,
                         candidates,
                         signature: sig,
+                        deep_signature: None,
                     });
                     self.advance(core, ctx)
+                } else if self.cfg.deep_signatures {
+                    // No hosts at depth 1: look two hops out before giving
+                    // up on host-population identity (the fat-tree
+                    // core-aliasing fix — aggregation switches are told
+                    // apart by the pods hanging two hops below them).
+                    run.sig_scratch = sig;
+                    self.start_deep_signature_phase(core, ctx, parent, port, back);
+                    Vec::new()
                 } else {
                     // No hosts anywhere: signatures cannot discriminate.
                     // Keep the scan and fall back to loop-probe identity
                     // against the other host-less switches.
                     run.sig_scratch = sig;
+                    self.start_identity_phase(core, ctx, parent, port, back);
+                    Vec::new()
+                }
+            }
+            Phase::DeepSignature { parent, port, back } => {
+                let deep = std::mem::take(&mut run.deep_scratch);
+                if deep.iter().any(|h| h.is_some()) {
+                    let known = run.switches.iter().any(|k| {
+                        k.explored_hosts && k.deep_signature.as_deref() == Some(&deep[..])
+                    });
+                    if known {
+                        // Same two-hop host population: a switch we already
+                        // mapped, re-sighted over a redundant link — the
+                        // merge the depth-1 signature would have gotten
+                        // wrong for pod-serving aggregation switches.
+                        run.sig_scratch.clear();
+                        self.advance(core, ctx)
+                    } else {
+                        // Distinct at depth 2: provably new. The depth-1
+                        // scan already was its host exploration (all
+                        // silent), so its candidates are every quiet port.
+                        let sig = std::mem::take(&mut run.sig_scratch);
+                        let route_to = run.switches[parent].route_to.then(port);
+                        let reverse_from =
+                            Route::from_ports(&[back]).join(&run.switches[parent].reverse_from);
+                        let candidates = candidates_from(&sig, Some(back));
+                        run.switches.push(KnownSwitch {
+                            route_to,
+                            reverse_from,
+                            explored_hosts: true,
+                            candidates,
+                            signature: sig,
+                            deep_signature: Some(deep),
+                        });
+                        self.advance(core, ctx)
+                    }
+                } else {
+                    // Silent at both depths (a true core): only the
+                    // loop-probe identity check can tell it from the other
+                    // such switches. Keep the empty matrix for the record.
+                    run.deep_scratch = deep;
                     self.start_identity_phase(core, ctx, parent, port, back);
                     Vec::new()
                 }
@@ -822,6 +1093,7 @@ impl Mapper {
                     // signature scan that preceded this phase serves as its
                     // host exploration (all empty).
                     let sig = std::mem::take(&mut run.sig_scratch);
+                    let deep = std::mem::take(&mut run.deep_scratch);
                     let route_to = run.switches[parent].route_to.then(port);
                     let reverse_from =
                         Route::from_ports(&[back]).join(&run.switches[parent].reverse_from);
@@ -832,6 +1104,7 @@ impl Mapper {
                         explored_hosts: true,
                         candidates,
                         signature: sig,
+                        deep_signature: (!deep.is_empty()).then_some(deep),
                     });
                 }
                 // else: a switch we already know (redundant link) — no new
@@ -889,6 +1162,17 @@ impl Mapper {
                     } = run.phase
                     {
                         let r = run.switches[parent].route_to.then(cport).then(port);
+                        self.late_probes.insert(token, r);
+                    }
+                }
+                ProbeTag::DeepSigAt { p, q } => {
+                    if let Phase::DeepSignature {
+                        parent,
+                        port: cport,
+                        ..
+                    } = run.phase
+                    {
+                        let r = run.switches[parent].route_to.then(cport).then(p).then(q);
                         self.late_probes.insert(token, r);
                     }
                 }

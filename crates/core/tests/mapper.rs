@@ -431,3 +431,74 @@ fn dead_candidates_fall_back_to_exploration() {
     );
     assert!(st.resolved.get() >= 1, "destination still mapped");
 }
+
+/// Fat-tree cold starts cross the depth-1 signature's blind spot: host-less
+/// aggregation switches serving different pods answer identically, falsely
+/// merge through a shared core, and whole pods go unexplored — the
+/// *core-aliasing* boundary. Two-hop signatures (`deep_signatures`) plus
+/// path-reset-aware patience deadlines resolve the aggregation layer and
+/// recover self-deadlocked probes, so the same exploration converges.
+#[test]
+fn fat_tree_cold_start_needs_deep_signatures() {
+    use san_topo::TopoSpec;
+    let run = |deep: bool| {
+        let fab = TopoSpec::parse("fat_tree:4").unwrap().build();
+        let topo = fab.topo.clone();
+        let n = fab.hosts.len();
+        let (src, dst) = (fab.hosts[0], *fab.hosts.last().unwrap());
+        let ib = inbox();
+        let hosts: Vec<Box<dyn HostAgent>> = (0..n)
+            .map(|h| -> Box<dyn HostAgent> {
+                if h == src.idx() {
+                    Box::new(san_nic::testkit::StreamSender::new(dst, 64, 1))
+                } else if h == dst.idx() {
+                    Box::new(Collector(ib.clone()))
+                } else {
+                    Box::new(IdleHost)
+                }
+            })
+            .collect();
+        let proto = ProtocolConfig::default().with_mapping();
+        let mcfg = MapperConfig {
+            max_ports: topo.max_switch_ports().max(1),
+            max_switch_sightings: (topo.num_switches() * 4).max(64),
+            deep_signatures: deep,
+            ..MapperConfig::default()
+        };
+        let mut c = Cluster::new(
+            topo,
+            ClusterConfig::default(),
+            move |_| Box::new(ReliableFirmware::new(proto.clone(), mcfg.clone(), n)),
+            hosts,
+        );
+        // Source and destination sit in different pods: the route crosses
+        // the aliasing aggregation/core layers both ways.
+        let mut t = Time::from_millis(5);
+        loop {
+            c.run_until(t);
+            let st = fw_of(&c, src.idx()).mapper_stats();
+            let (res, unr) = (st.resolved.get(), st.unreachable.get());
+            if res + unr >= 1 || t >= Time::from_secs(20) {
+                return (res, unr, st.deep_scans.get());
+            }
+            t += Duration::from_millis(5);
+        }
+    };
+
+    let (res, unr, scans) = run(false);
+    assert_eq!(
+        (res, unr),
+        (0, 1),
+        "depth-1 signatures alias the fat-tree core layer: the cross-pod \
+         destination must conclude unreachable"
+    );
+    assert_eq!(scans, 0, "deep scans are off by default");
+
+    let (res, unr, scans) = run(true);
+    assert_eq!(
+        (res, unr),
+        (1, 0),
+        "deep signatures resolve the cross-pod destination"
+    );
+    assert!(scans > 0, "the fix actually ran deep scans");
+}

@@ -1,0 +1,77 @@
+//! Route-hint envelopes: candidate routes plus planner provenance.
+//!
+//! The on-demand mapper (`san_ft::Mapper`) accepts externally computed
+//! candidate routes as *hints* — tried first, before any probing. Hints
+//! used to travel as a bare `Vec<Route>`, which meant telemetry and the
+//! chaos runner's reconfig re-offer path could not tell where a hint came
+//! from (which planner strategy, which planner epoch, whether the plan was
+//! a cache hit). [`RouteHints`] is the typed envelope that carries that
+//! provenance alongside the routes. The routes themselves are the only
+//! behaviourally significant part; provenance is inert metadata surfaced
+//! through mapper stats and traces.
+
+use crate::route::Route;
+
+/// A batch of candidate routes for one destination, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteHints {
+    /// Candidate source routes toward the destination, best first.
+    pub routes: Vec<Route>,
+    /// Identifier of the planner strategy that produced the routes
+    /// (e.g. `"generic-diverse"`, `"torus-symmetry"`, `"manual"`).
+    pub strategy: &'static str,
+    /// Planner epoch at offer time. Strategies that replan after wiring
+    /// changes bump this so stale re-offers are distinguishable; manual
+    /// offers use 0.
+    pub epoch: u64,
+    /// Whether the plan behind these routes came from a warm cache entry.
+    pub cache_hit: bool,
+}
+
+impl RouteHints {
+    /// Wrap routes that were computed by hand (tests, ad-hoc callers):
+    /// strategy `"manual"`, epoch 0, not a cache hit.
+    pub fn manual(routes: Vec<Route>) -> Self {
+        RouteHints {
+            routes,
+            strategy: "manual",
+            epoch: 0,
+            cache_hit: false,
+        }
+    }
+
+    /// Wrap routes from a named planner strategy.
+    pub fn from_strategy(
+        routes: Vec<Route>,
+        strategy: &'static str,
+        epoch: u64,
+        cache_hit: bool,
+    ) -> Self {
+        RouteHints {
+            routes,
+            strategy,
+            epoch,
+            cache_hit,
+        }
+    }
+
+    /// True when there are no candidate routes at all.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_hints_carry_default_provenance() {
+        let h = RouteHints::manual(vec![Route::from_ports(&[1, 2])]);
+        assert_eq!(h.strategy, "manual");
+        assert_eq!(h.epoch, 0);
+        assert!(!h.cache_hit);
+        assert!(!h.is_empty());
+        assert!(RouteHints::manual(vec![]).is_empty());
+    }
+}

@@ -17,11 +17,17 @@
 //!   link/switch candidate sets for fault injection, and a one-call
 //!   [`validate::check`] that also proves `UpDownMap::build` works.
 //! * [`export`] — DOT and JSON dumps of a built fabric for inspection.
-//! * [`planner`] — ECMP-style equal-cost + link-disjoint k-route sets per
-//!   host pair, a deadlock-freedom verdict via
-//!   `fabric::updown::routes_deadlock_free`, and a [`planner::RouteCache`]
-//!   keyed by (topology fingerprint, alive-link fingerprint) so repeated
-//!   remaps on the same degraded fabric are O(1) lookups.
+//! * [`planner`] — the [`planner::RoutePlanner`] strategy seam: the generic
+//!   ECMP-style equal-cost + link-disjoint search, a deadlock-freedom
+//!   verdict via `fabric::updown::routes_deadlock_free`, and a
+//!   [`planner::RouteCache`] keyed by (topology fingerprint, alive-link
+//!   fingerprint) so repeated remaps on the same degraded fabric are O(1)
+//!   lookups. [`planner::planner_for`] selects the strategy by
+//!   [`TopoSpec`] family.
+//! * [`symmetry`] — the torus-native strategy: k diverse minimal routes
+//!   per pair materialized from translational-symmetry templates in
+//!   O(k·hops), with quadrant-aware disjoint alternates under dead links
+//!   and a generic fallback when the wiring stops looking like a torus.
 //!
 //! The planner's route sets double as *mapper hints*: `san-ft`'s on-demand
 //! mapper accepts candidate routes and verifies them with single host
@@ -35,8 +41,13 @@
 pub mod atlas;
 pub mod export;
 pub mod planner;
+pub mod symmetry;
 pub mod validate;
 
 pub use atlas::{Fabric, TopoClass, TopoSpec};
-pub use planner::{candidate_routes, plan, PlanTable, RouteCache};
+pub use planner::{
+    candidate_routes, plan, planner_for, GenericDiversePlanner, PlanHints, PlanRequest, PlanTable,
+    Planned, RouteCache, RoutePlanner,
+};
+pub use symmetry::TorusSymmetryPlanner;
 pub use validate::Survey;

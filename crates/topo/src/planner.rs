@@ -10,6 +10,15 @@
 //! alternates with single host probes before paying for a BFS exploration
 //! — and what a global controller would install as a full map.
 //!
+//! Planning is a *strategy* behind the [`RoutePlanner`] trait: the
+//! topology-agnostic [`GenericDiversePlanner`] (BFS/ECMP pool + diverse
+//! selection, exactly the historical behaviour) and the torus-native
+//! [`crate::symmetry::TorusSymmetryPlanner`] (O(k·hops) template
+//! materialization, no pool enumeration). [`planner_for`] picks the
+//! strategy by [`TopoSpec`] family; [`RouteCache`] carries one and
+//! exposes its provenance (strategy id, planner epoch, hit/miss) so
+//! mapper hints can say where they came from.
+//!
 //! Deadlock-freedom of a planned table is a *verdict*, not a guarantee:
 //! minimal routes on cyclic fabrics (tori) generally are not
 //! deadlock-free, and the paper's whole point is to recover rather than
@@ -21,7 +30,7 @@
 //! (the common case during a flap storm) are O(1) lookups, and the
 //! hit/miss counters are registered in telemetry when a handle is given.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use san_fabric::route::MAX_HOPS;
@@ -29,8 +38,163 @@ use san_fabric::updown::routes_deadlock_free;
 use san_fabric::{Endpoint, LinkId, NodeId, PortId, Route, SwitchId, Topology, WiringDelta};
 use san_telemetry::{Counter, Telemetry};
 
-use crate::atlas::{fingerprint_topology, Fnv};
+use crate::atlas::{fingerprint_topology, Fnv, TopoSpec};
 use crate::validate::route_links;
+
+/// One planning request: the wiring, the hosts whose ordered pairs want
+/// candidates, the per-pair candidate budget, the alive-link predicate,
+/// and optionally a prior table to carry unaffected pairs from.
+pub struct PlanRequest<'a> {
+    /// The wiring to plan over.
+    pub topo: &'a Topology,
+    /// Hosts whose ordered pairs are planned.
+    pub hosts: &'a [NodeId],
+    /// Candidate budget per pair.
+    pub k: usize,
+    /// Which links may be used.
+    pub alive: &'a dyn Fn(LinkId) -> bool,
+    /// Prior plan to migrate across a wiring delta, if any.
+    pub hints: Option<PlanHints<'a>>,
+}
+
+/// Carry-over hints for incremental replanning: pairs whose every prior
+/// candidate avoids the delta's changed links keep their candidate lists
+/// byte-identically; everything else is recomputed.
+pub struct PlanHints<'a> {
+    /// The table planned on the pre-delta wiring (same alive set).
+    pub prior: &'a PlanTable,
+    /// The wiring delta separating `prior`'s topology from the current one.
+    pub delta: &'a WiringDelta,
+}
+
+/// A planning result: the table plus what the carry-over path did.
+pub struct Planned {
+    /// The planned table.
+    pub table: PlanTable,
+    /// Pairs carried over byte-identically from the prior table.
+    pub kept_pairs: usize,
+    /// Pairs recomputed (non-empty result).
+    pub replanned_pairs: usize,
+}
+
+/// A route-planning strategy. Implementations provide per-pair candidate
+/// generation; whole-table planning (with incremental carry-over) is a
+/// shared default. `steps` is the strategy's route-enumeration work
+/// counter — ports/edges examined for search-based strategies, hops
+/// emitted for template-based ones — the currency the cross-topology
+/// study compares.
+pub trait RoutePlanner {
+    /// Stable strategy identifier (hint provenance, telemetry).
+    fn id(&self) -> &'static str;
+
+    /// Up to `k` diverse candidate routes for one ordered pair over the
+    /// alive links. Empty when disconnected.
+    fn pair_routes(
+        &mut self,
+        topo: &Topology,
+        from: NodeId,
+        to: NodeId,
+        k: usize,
+        alive: &dyn Fn(LinkId) -> bool,
+    ) -> Vec<Route>;
+
+    /// Cumulative route-enumeration steps this strategy has spent.
+    fn steps(&self) -> u64;
+
+    /// Plan every ordered pair of `req.hosts`. With [`PlanRequest::hints`],
+    /// pairs whose prior candidates all avoid the delta's changed links are
+    /// carried over byte-identically; the rest are recomputed via
+    /// [`RoutePlanner::pair_routes`].
+    fn plan(&mut self, req: &PlanRequest<'_>) -> Planned {
+        let mut routes = BTreeMap::new();
+        let mut kept_pairs = 0;
+        let mut replanned_pairs = 0;
+        for &a in req.hosts {
+            for &b in req.hosts {
+                if a == b {
+                    continue;
+                }
+                let carried = req.hints.as_ref().and_then(|h| {
+                    let cands = h.prior.routes(a, b);
+                    let untouched = !cands.is_empty()
+                        && cands.iter().all(|r| {
+                            route_links(req.topo, a, r)
+                                .is_some_and(|links| links.iter().all(|l| !h.delta.touches(*l)))
+                        });
+                    untouched.then(|| cands.to_vec())
+                });
+                match carried {
+                    Some(cands) => {
+                        kept_pairs += 1;
+                        routes.insert((a.0, b.0), cands);
+                    }
+                    None => {
+                        let cands = self.pair_routes(req.topo, a, b, req.k, req.alive);
+                        if !cands.is_empty() {
+                            replanned_pairs += 1;
+                            routes.insert((a.0, b.0), cands);
+                        }
+                    }
+                }
+            }
+        }
+        Planned {
+            table: PlanTable { routes },
+            kept_pairs,
+            replanned_pairs,
+        }
+    }
+}
+
+/// The topology-agnostic strategy: BFS distance labels + equal-cost DFS
+/// pool, greedy link-diversity selection, then link-disjoint detours.
+/// Byte-identical to the historical free-function planner.
+#[derive(Debug, Default)]
+pub struct GenericDiversePlanner {
+    steps: u64,
+}
+
+impl GenericDiversePlanner {
+    /// A fresh planner with a zeroed step counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutePlanner for GenericDiversePlanner {
+    fn id(&self) -> &'static str {
+        "generic-diverse"
+    }
+
+    fn pair_routes(
+        &mut self,
+        topo: &Topology,
+        from: NodeId,
+        to: NodeId,
+        k: usize,
+        alive: &dyn Fn(LinkId) -> bool,
+    ) -> Vec<Route> {
+        candidate_routes_counted(topo, from, to, k, alive, &mut self.steps)
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// The strategy for a [`TopoSpec`] family: torus2d/3d get the
+/// symmetry-template planner, everything else the generic one.
+pub fn planner_for(spec: &TopoSpec) -> Box<dyn RoutePlanner> {
+    match *spec {
+        TopoSpec::Torus2D { rows, cols, .. } => {
+            Box::new(crate::symmetry::TorusSymmetryPlanner::new(&[rows, cols]))
+        }
+        TopoSpec::Torus3D { x, y, z, .. } => {
+            Box::new(crate::symmetry::TorusSymmetryPlanner::new(&[x, y, z]))
+        }
+        _ => Box::new(GenericDiversePlanner::new()),
+    }
+}
 
 /// Up to `k` candidate routes from `from` to `to` over alive links:
 /// the first shortest route, then further equal-cost routes picked
@@ -40,6 +204,10 @@ use crate::validate::route_links;
 /// same link dies as one — so plain enumeration order (which packs all
 /// same-first-hop ECMP routes together) is not used directly. Empty when
 /// the pair is disconnected.
+///
+/// Deprecated: thin shim over [`GenericDiversePlanner`]; new callers
+/// should go through [`RoutePlanner`] (via [`planner_for`]) so strategy
+/// selection and step accounting work.
 pub fn candidate_routes(
     topo: &Topology,
     from: NodeId,
@@ -47,19 +215,35 @@ pub fn candidate_routes(
     k: usize,
     alive: impl Fn(LinkId) -> bool + Copy,
 ) -> Vec<Route> {
+    let mut steps = 0;
+    candidate_routes_counted(topo, from, to, k, &alive, &mut steps)
+}
+
+/// The generic strategy's per-pair body, with the work counter threaded
+/// through: every BFS neighbor scan, every DFS port examined, and a
+/// whole-fabric charge per detour shortest-path call count as one step.
+pub(crate) fn candidate_routes_counted(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    k: usize,
+    alive: &dyn Fn(LinkId) -> bool,
+    steps: &mut u64,
+) -> Vec<Route> {
     if from == to || k == 0 {
         return Vec::new();
     }
     // Enumerate a larger equal-cost pool than requested, then select a
     // diverse k out of it.
     let pool_cap = k.saturating_mul(4).clamp(k, 32);
-    let pool = ecmp_routes(topo, from, to, pool_cap, alive);
+    let pool = ecmp_routes(topo, from, to, pool_cap, alive, steps);
     let mut routes: Vec<Route> = Vec::new();
-    let mut used: Vec<LinkId> = Vec::new();
+    let mut chosen: HashSet<Route> = HashSet::new();
+    let mut used: HashSet<LinkId> = HashSet::new();
     while routes.len() < k {
         let best = pool
             .iter()
-            .filter(|r| !routes.contains(r))
+            .filter(|r| !chosen.contains(*r))
             .map(|r| {
                 let links = route_links(topo, from, r).unwrap_or_default();
                 let overlap = links.iter().filter(|l| used.contains(l)).count();
@@ -67,12 +251,8 @@ pub fn candidate_routes(
             })
             .min_by_key(|&(overlap, _)| overlap);
         let Some((_, r)) = best else { break };
-        let fresh: Vec<LinkId> = route_links(topo, from, r)
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|l| !used.contains(l))
-            .collect();
-        used.extend(fresh);
+        used.extend(route_links(topo, from, r).unwrap_or_default());
+        chosen.insert(*r);
         routes.push(*r);
     }
     // Link-disjoint alternates: ban the fabric links every accepted route
@@ -81,17 +261,23 @@ pub fn candidate_routes(
         .iter()
         .filter_map(|&h| topo.link_at(Endpoint::Host(h)))
         .collect();
-    let mut banned: Vec<LinkId> = routes
+    let mut banned: HashSet<LinkId> = routes
         .iter()
         .flat_map(|r| route_links(topo, from, r).unwrap_or_default())
         .filter(|l| !exempt.contains(l))
         .collect();
+    let probed = std::cell::Cell::new(0u64);
     while routes.len() < k {
-        let open = |l: LinkId| alive(l) && (!banned.contains(&l) || exempt.contains(&l));
+        // A detour shortest-path call is a fabric BFS; its work is every
+        // link it examines, counted via the open-predicate invocations.
+        let open = |l: LinkId| {
+            probed.set(probed.get() + 1);
+            alive(l) && (!banned.contains(&l) || exempt.contains(&l))
+        };
         let Some(r) = topo.shortest_route(from, to, open) else {
             break;
         };
-        if routes.contains(&r) {
+        if chosen.contains(&r) {
             break;
         }
         banned.extend(
@@ -100,8 +286,10 @@ pub fn candidate_routes(
                 .into_iter()
                 .filter(|l| !exempt.contains(l)),
         );
+        chosen.insert(r);
         routes.push(r);
     }
+    *steps += probed.get();
     routes
 }
 
@@ -113,7 +301,8 @@ fn ecmp_routes(
     from: NodeId,
     to: NodeId,
     k: usize,
-    alive: impl Fn(LinkId) -> bool + Copy,
+    alive: &dyn Fn(LinkId) -> bool,
+    steps: &mut u64,
 ) -> Vec<Route> {
     let Some(first) = topo.link_at(Endpoint::Host(from)) else {
         return Vec::new();
@@ -139,6 +328,7 @@ fn ecmp_routes(
     let mut q = VecDeque::from([sd]);
     while let Some(s) = q.pop_front() {
         for (_, link, far) in topo.neighbors(s) {
+            *steps += 1;
             if !alive(link) {
                 continue;
             }
@@ -155,7 +345,9 @@ fn ecmp_routes(
     }
     let mut out = Vec::new();
     let mut stack: Vec<u8> = Vec::new();
-    dfs_equal_cost(topo, s0, sd, dport, &dist, &alive, k, &mut stack, &mut out);
+    dfs_equal_cost(
+        topo, s0, sd, dport, &dist, alive, k, &mut stack, &mut out, steps,
+    );
     out
 }
 
@@ -166,10 +358,11 @@ fn dfs_equal_cost(
     sd: SwitchId,
     dport: PortId,
     dist: &[u32],
-    alive: &impl Fn(LinkId) -> bool,
+    alive: &dyn Fn(LinkId) -> bool,
     k: usize,
     stack: &mut Vec<u8>,
     out: &mut Vec<Route>,
+    steps: &mut u64,
 ) {
     if out.len() >= k {
         return;
@@ -183,6 +376,7 @@ fn dfs_equal_cost(
         return;
     }
     for p in 0..topo.switch_ports(at) {
+        *steps += 1;
         let ep = Endpoint::Switch(at, PortId(p));
         let Some(link) = topo.link_at(ep) else {
             continue;
@@ -193,7 +387,7 @@ fn dfs_equal_cost(
         if let Some((s2, _)) = topo.link(link).other(ep).switch() {
             if dist[s2.idx()] != u32::MAX && dist[s2.idx()] + 1 == dist[at.idx()] {
                 stack.push(p);
-                dfs_equal_cost(topo, s2, sd, dport, dist, alive, k, stack, out);
+                dfs_equal_cost(topo, s2, sd, dport, dist, alive, k, stack, out, steps);
                 stack.pop();
                 if out.len() >= k {
                     return;
@@ -272,25 +466,25 @@ impl PlanTable {
 }
 
 /// Plan up to `k` candidates for every ordered pair of `hosts`.
+///
+/// Deprecated: thin shim over [`GenericDiversePlanner`]; new callers
+/// should build a [`PlanRequest`] against a [`RoutePlanner`] so strategy
+/// selection and carry-over hints are available.
 pub fn plan(
     topo: &Topology,
     hosts: &[NodeId],
     k: usize,
     alive: impl Fn(LinkId) -> bool + Copy,
 ) -> PlanTable {
-    let mut routes = BTreeMap::new();
-    for &a in hosts {
-        for &b in hosts {
-            if a == b {
-                continue;
-            }
-            let cands = candidate_routes(topo, a, b, k, alive);
-            if !cands.is_empty() {
-                routes.insert((a.0, b.0), cands);
-            }
-        }
-    }
-    PlanTable { routes }
+    GenericDiversePlanner::new()
+        .plan(&PlanRequest {
+            topo,
+            hosts,
+            k,
+            alive: &alive,
+            hints: None,
+        })
+        .table
 }
 
 /// Digest of an alive-link set, given the dead list (sorted internally so
@@ -323,10 +517,15 @@ pub struct ReplanStats {
 }
 
 /// Memoized planning over degraded fabrics, keyed by
-/// `(topology fingerprint, alive-set fingerprint)`.
+/// `(topology fingerprint, alive-set fingerprint)`, computing through a
+/// [`RoutePlanner`] strategy (generic unless constructed with
+/// [`RouteCache::for_spec`]).
 pub struct RouteCache {
     k: usize,
+    planner: Box<dyn RoutePlanner>,
     entries: HashMap<(u64, u64), Arc<PlanTable>>,
+    epoch: u64,
+    last_hit: bool,
     /// Cache hits (same degraded fabric re-planned).
     pub hits: Counter,
     /// Cache misses (fresh plan computed).
@@ -340,11 +539,20 @@ pub struct RouteCache {
 }
 
 impl RouteCache {
-    /// A cache planning `k` candidates per pair, with local counters.
+    /// A cache planning `k` candidates per pair with the generic strategy
+    /// and local counters.
     pub fn new(k: usize) -> Self {
+        Self::with_planner(k, Box::new(GenericDiversePlanner::new()))
+    }
+
+    /// A cache planning through an explicit strategy.
+    pub fn with_planner(k: usize, planner: Box<dyn RoutePlanner>) -> Self {
         Self {
             k: k.max(1),
+            planner,
             entries: HashMap::new(),
+            epoch: 0,
+            last_hit: false,
             hits: Counter::default(),
             misses: Counter::default(),
             evicted: Counter::default(),
@@ -353,9 +561,16 @@ impl RouteCache {
         }
     }
 
-    /// Same, with hit/miss counters registered in `tel` as
-    /// `topo.cache.hits` / `topo.cache.misses`, and the reconfiguration
-    /// counters as `reconfig.cache.{evicted, kept_pairs, replanned_pairs}`.
+    /// A cache whose strategy is chosen by [`TopoSpec`] family (torus
+    /// specs get the symmetry planner, everything else generic).
+    pub fn for_spec(k: usize, spec: &TopoSpec) -> Self {
+        Self::with_planner(k, planner_for(spec))
+    }
+
+    /// Same as [`RouteCache::new`], with hit/miss counters registered in
+    /// `tel` as `topo.cache.hits` / `topo.cache.misses`, and the
+    /// reconfiguration counters as
+    /// `reconfig.cache.{evicted, kept_pairs, replanned_pairs}`.
     pub fn with_telemetry(k: usize, tel: &Telemetry) -> Self {
         Self {
             hits: tel.counter("topo.cache.hits"),
@@ -365,6 +580,40 @@ impl RouteCache {
             replanned_pairs: tel.counter("reconfig.cache.replanned_pairs"),
             ..Self::new(k)
         }
+    }
+
+    /// Same as [`RouteCache::for_spec`], with the telemetry registration
+    /// of [`RouteCache::with_telemetry`].
+    pub fn for_spec_with_telemetry(k: usize, spec: &TopoSpec, tel: &Telemetry) -> Self {
+        Self {
+            hits: tel.counter("topo.cache.hits"),
+            misses: tel.counter("topo.cache.misses"),
+            evicted: tel.counter("reconfig.cache.evicted"),
+            kept_pairs: tel.counter("reconfig.cache.kept_pairs"),
+            replanned_pairs: tel.counter("reconfig.cache.replanned_pairs"),
+            ..Self::for_spec(k, spec)
+        }
+    }
+
+    /// The strategy id of the planner behind this cache.
+    pub fn strategy(&self) -> &'static str {
+        self.planner.id()
+    }
+
+    /// The planner epoch: the latest reconfiguration epoch migrated via
+    /// [`RouteCache::replan_after`] (0 before any migration).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the most recent [`RouteCache::plan`] call was a cache hit.
+    pub fn last_was_hit(&self) -> bool {
+        self.last_hit
+    }
+
+    /// Cumulative route-enumeration steps the strategy has spent.
+    pub fn steps(&self) -> u64 {
+        self.planner.steps()
     }
 
     /// Migrate the cache across a live-reconfiguration delta instead of
@@ -388,43 +637,24 @@ impl RouteCache {
         // Every remaining old-fingerprint entry is unmigratable.
         let before = self.entries.len();
         self.entries.retain(|&(tfp, _), _| tfp != delta.old_fp);
-        let mut stats = ReplanStats {
-            evicted: before - self.entries.len(),
-            ..ReplanStats::default()
-        };
+        let evicted = before - self.entries.len();
         let alive = |l: LinkId| !dead.contains(&l);
-        let mut routes: BTreeMap<(u16, u16), Vec<Route>> = BTreeMap::new();
-        for &a in hosts {
-            for &b in hosts {
-                if a == b {
-                    continue;
-                }
-                let carried = old.as_ref().and_then(|t| {
-                    let cands = t.routes(a, b);
-                    let untouched = !cands.is_empty()
-                        && cands.iter().all(|r| {
-                            route_links(topo, a, r)
-                                .is_some_and(|links| links.iter().all(|l| !delta.touches(*l)))
-                        });
-                    untouched.then(|| cands.to_vec())
-                });
-                match carried {
-                    Some(cands) => {
-                        stats.kept_pairs += 1;
-                        routes.insert((a.0, b.0), cands);
-                    }
-                    None => {
-                        let cands = candidate_routes(topo, a, b, self.k, alive);
-                        if !cands.is_empty() {
-                            stats.replanned_pairs += 1;
-                            routes.insert((a.0, b.0), cands);
-                        }
-                    }
-                }
-            }
-        }
+        let k = self.k;
+        let planned = self.planner.plan(&PlanRequest {
+            topo,
+            hosts,
+            k,
+            alive: &alive,
+            hints: old.as_deref().map(|prior| PlanHints { prior, delta }),
+        });
+        let stats = ReplanStats {
+            kept_pairs: planned.kept_pairs,
+            replanned_pairs: planned.replanned_pairs,
+            evicted,
+        };
         self.entries
-            .insert((delta.new_fp, afp), Arc::new(PlanTable { routes }));
+            .insert((delta.new_fp, afp), Arc::new(planned.table));
+        self.epoch = delta.epoch;
         self.evicted.add(stats.evicted as u64);
         self.kept_pairs.add(stats.kept_pairs as u64);
         self.replanned_pairs.add(stats.replanned_pairs as u64);
@@ -439,10 +669,24 @@ impl RouteCache {
         let key = (fingerprint_topology(topo), alive_fingerprint(dead));
         if let Some(hit) = self.entries.get(&key) {
             self.hits.hit();
+            self.last_hit = true;
             return hit.clone();
         }
         self.misses.hit();
-        let table = Arc::new(plan(topo, hosts, self.k, |l| !dead.contains(&l)));
+        self.last_hit = false;
+        let k = self.k;
+        let alive = |l: LinkId| !dead.contains(&l);
+        let table = Arc::new(
+            self.planner
+                .plan(&PlanRequest {
+                    topo,
+                    hosts,
+                    k,
+                    alive: &alive,
+                    hints: None,
+                })
+                .table,
+        );
         self.entries.insert(key, table.clone());
         table
     }
@@ -540,6 +784,32 @@ mod tests {
     }
 
     #[test]
+    fn trait_plan_matches_free_functions_and_counts_steps() {
+        let f = TopoSpec::FatTree { k: 4 }.build();
+        let hosts = crate::validate::sample_hosts(&f.hosts, 6);
+        let mut p = GenericDiversePlanner::new();
+        let alive = |_: LinkId| true;
+        let planned = p.plan(&PlanRequest {
+            topo: &f.topo,
+            hosts: &hosts,
+            k: 3,
+            alive: &alive,
+            hints: None,
+        });
+        let legacy = plan(&f.topo, &hosts, 3, |_| true);
+        assert_eq!(planned.table.fingerprint(), legacy.fingerprint());
+        assert_eq!(planned.kept_pairs, 0);
+        assert_eq!(planned.replanned_pairs, legacy.len());
+        assert!(p.steps() > 0, "generic planning must account its search");
+        // Per-pair shim equivalence.
+        let (a, b) = (hosts[0], hosts[1]);
+        assert_eq!(
+            p.pair_routes(&f.topo, a, b, 3, &alive),
+            candidate_routes(&f.topo, a, b, 3, |_| true)
+        );
+    }
+
+    #[test]
     fn replan_after_keeps_untouched_pairs_byte_identical() {
         use san_fabric::fingerprint_topology;
         let mut f = TopoSpec::FatTree { k: 4 }.build();
@@ -564,11 +834,13 @@ mod tests {
         let stats = cache.replan_after(&f.topo, &delta, &hosts, &[]);
         assert!(stats.kept_pairs > 0, "most pairs avoid one edge link");
         assert!(stats.replanned_pairs > 0, "pairs crossing it must replan");
+        assert_eq!(cache.epoch(), 1, "migration adopts the delta epoch");
 
         // The migrated entry is the O(1) hit path on the new wiring…
         let hits_before = cache.hits.get();
         let after = cache.plan(&f.topo, &hosts, &[]);
         assert_eq!(cache.hits.get(), hits_before + 1, "migration pre-seeded");
+        assert!(cache.last_was_hit());
         for &a in &hosts {
             for &b in &hosts {
                 if a == b {
@@ -635,16 +907,19 @@ mod tests {
         let dead = [f.topo.links().next().unwrap().0];
         let mut cache = RouteCache::new(3);
         let first = cache.plan(&f.topo, &f.hosts, &dead);
+        assert!(!cache.last_was_hit());
         let second = cache.plan(&f.topo, &f.hosts, &dead);
         assert!(
             Arc::ptr_eq(&first, &second),
             "second lookup is the hit path"
         );
+        assert!(cache.last_was_hit());
         assert_eq!(cache.hits.get(), 1);
         assert_eq!(cache.misses.get(), 1);
         // A different alive set is a different entry.
         let other = cache.plan(&f.topo, &f.hosts, &[]);
         assert!(!Arc::ptr_eq(&first, &other));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.strategy(), "generic-diverse");
     }
 }

@@ -160,6 +160,30 @@ pub fn link_disjoint_paths(topo: &Topology, a: NodeId, b: NodeId, cap: usize) ->
     count
 }
 
+/// Greedy in-order count of candidates link-disjoint from every earlier
+/// counted one, host-attach links excluded — the planner-independent
+/// diversity currency route-planning strategies are scored with (the
+/// symmetry proptests and the cross-topology study both use it).
+pub fn disjoint_count(topo: &Topology, from: NodeId, routes: &[Route]) -> usize {
+    let mut used: std::collections::HashSet<LinkId> = std::collections::HashSet::new();
+    let mut n = 0;
+    for r in routes {
+        let Some(links) = route_links(topo, from, r) else {
+            continue;
+        };
+        let fabric: Vec<LinkId> = links
+            .iter()
+            .copied()
+            .filter(|&l| topo.link(l).a.switch().is_some() && topo.link(l).b.switch().is_some())
+            .collect();
+        if fabric.iter().all(|l| !used.contains(l)) {
+            n += 1;
+            used.extend(fabric);
+        }
+    }
+    n
+}
+
 /// Links whose individual death leaves all hosts connected — the safe
 /// candidates for single-fault injection. Host attachment links are never
 /// survivable (each host has exactly one), so only fabric links qualify.

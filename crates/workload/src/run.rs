@@ -112,10 +112,12 @@ pub fn run(cfg: &RunConfig) -> WorkloadReport {
         },
         agents,
     );
-    // Tori need deadlock-free up*/down* routes; everything else takes
-    // shortest paths.
+    // Cyclic fabrics (tori, near-regular graphs) need deadlock-free
+    // up*/down* routes; everything else takes shortest paths.
     match cfg.topo.class() {
-        TopoClass::Torus2D | TopoClass::Torus3D => cluster.install_updown_routes(),
+        TopoClass::Torus2D | TopoClass::Torus3D | TopoClass::Regular => {
+            cluster.install_updown_routes()
+        }
         _ => cluster.install_shortest_routes(),
     }
     if cfg.loss > 0.0 || cfg.corrupt > 0.0 {

@@ -42,6 +42,9 @@ cargo run --release -q -p san-bench --bin engine -- --smoke
 echo "== scale_map smoke (atlas + planner-hint remap gate)"
 cargo run --release -q -p san-bench --bin scale_map -- --smoke
 
+echo "== topo smoke (planner-strategy equivalence + torus floor + cold-start gate)"
+cargo run --release -q -p san-bench --bin topo -- --smoke
+
 echo "== reconfig smoke (three-policy live-reconfiguration gate)"
 cargo run --release -q -p san-bench --bin reconfig -- --smoke
 
